@@ -1,0 +1,112 @@
+//! Criterion benches regenerating the measured series of **every figure**
+//! in the paper's evaluation (Section VII).
+//!
+//! * `fig7_fig9/<strategy>/<size>` — end-to-end execution of the benchmark
+//!   query per strategy and document size. Throughput is configured to the
+//!   *transferred bytes*, so Criterion's report carries both the Figure 9
+//!   timing series and the Figure 7 bandwidth series.
+//! * `fig8_breakdown` — the same run at the largest size; the category
+//!   split (shred / local exec / (de)serialize / remote exec / network) is
+//!   printed once per strategy.
+//! * `fig10_fig11_projection/<kind>/<size>` — compile-time vs runtime
+//!   projection cost (Figure 11); projected sizes (Figure 10) are printed.
+//!
+//! Sizes are scaled down from the paper's 10–160 MB per document so a bench
+//! run stays in CI-friendly territory; see EXPERIMENTS.md for the mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use xqd_bench::{
+    fig10_11_projection, run_point, setup_federation, BENCHMARK_QUERY,
+};
+use xqd_core::Strategy;
+
+// CI-friendly sizes; the experiments example sweeps 0.25-16 MB per doc
+const SIZES: &[usize] = &[100_000, 200_000, 400_000];
+
+fn bench_fig7_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_fig9");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &size in SIZES {
+        for strategy in Strategy::ALL {
+            // measure bandwidth once, outside the timing loop
+            let point = run_point(size, strategy);
+            group.throughput(Throughput::Bytes(point.metrics.transferred_bytes()));
+            println!(
+                "fig7 [{} @ {} B docs]: transferred {} B in {} transfers",
+                strategy.name(),
+                2 * size,
+                point.metrics.transferred_bytes(),
+                point.metrics.transfers
+            );
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), 2 * size),
+                &size,
+                |b, &s| {
+                    b.iter_batched(
+                        || setup_federation(s, 42),
+                        |mut fed| fed.run(BENCHMARK_QUERY, strategy).unwrap(),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let size = *SIZES.last().unwrap();
+    for strategy in Strategy::ALL {
+        let p = run_point(size, strategy);
+        println!(
+            "fig8 [{}]: shred {:?} | local {:?} | (de)serialize {:?} | remote {:?} | network {:?}",
+            strategy.name(),
+            p.metrics.shred,
+            p.metrics.local_exec(),
+            p.metrics.serialize,
+            p.metrics.remote_exec,
+            p.metrics.network,
+        );
+    }
+    let mut group = c.benchmark_group("fig8_breakdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for strategy in Strategy::ALL {
+        group.bench_function(strategy.name(), |b| {
+            b.iter_batched(
+                || setup_federation(size, 42),
+                |mut fed| fed.run(BENCHMARK_QUERY, strategy).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_fig11_projection");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &size in SIZES {
+        let p = fig10_11_projection(size, 42);
+        println!(
+            "fig10 [{} B doc]: compile-time {} B vs runtime {} B ({:.1}x more precise)",
+            p.doc_bytes,
+            p.compile_time_bytes,
+            p.runtime_bytes,
+            p.compile_time_bytes as f64 / p.runtime_bytes.max(1) as f64
+        );
+        group.bench_with_input(BenchmarkId::new("both", size), &size, |b, &s| {
+            b.iter(|| fig10_11_projection(s, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, bench_fig7_fig9, bench_fig8, bench_fig10_fig11);
+criterion_main!(figures);

@@ -1,0 +1,220 @@
+//! # xqd-bench — the Section VII experiment harness
+//!
+//! One function per figure of the paper's evaluation; both the Criterion
+//! benches (`benches/`) and the `experiments` example binary drive these,
+//! so the printed series and the measured ones come from the same code.
+//!
+//! Sizes are scaled down from the paper's 10–160 MB per document (see
+//! DESIGN.md): the reproduction target is the *shape* of each figure — who
+//! wins, by what factor, and how the series scale — not 2009 wall-clock
+//! numbers.
+
+use std::time::{Duration, Instant};
+
+use xqd_core::Strategy;
+use xqd_xmark::{document_pair, people_document, XmarkConfig};
+use xqd_xml::project::{compute_projection, build_projected, ProjectionInput};
+use xqd_xml::{serialize_document, Store};
+use xqd_xrpc::{Federation, Metrics, NetworkModel};
+
+/// The Section VII benchmark query (the paper's XMark adaptation of Qn2):
+/// persons under 40 from peer1 semijoined against open auctions on peer2,
+/// returning the matching annotations' authors.
+pub const BENCHMARK_QUERY: &str = r#"
+(let $t := (let $s := doc("xrpc://peer1/xmk.xml")/child::site/child::people/child::person
+            return for $x in $s return
+                if ($x/descendant::age < 40) then $x else ())
+ return for $e in (let $c := doc("xrpc://peer2/xmk.auctions.xml")
+                   return $c/descendant::open_auction)
+        return if ($e/child::seller/attribute::person = $t/attribute::id)
+               then $e/child::annotation else ())/child::author
+"#;
+
+/// Builds the two-peer federation of Section VII with documents of roughly
+/// `bytes_per_doc` each (total data = 2 × bytes_per_doc).
+pub fn setup_federation(bytes_per_doc: usize, seed: u64) -> Federation {
+    let cfg = XmarkConfig::with_target_bytes(bytes_per_doc, seed);
+    let (people, auctions) = document_pair(&cfg);
+    let mut fed = Federation::new(NetworkModel::lan());
+    fed.load_document("peer1", "xmk.xml", &people).expect("people doc");
+    fed.load_document("peer2", "xmk.auctions.xml", &auctions).expect("auctions doc");
+    fed
+}
+
+/// One measured benchmark point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub strategy: Strategy,
+    pub total_doc_bytes: u64,
+    pub metrics: Metrics,
+    pub result_len: usize,
+}
+
+/// Runs the benchmark query under `strategy` on a fresh federation.
+pub fn run_point(bytes_per_doc: usize, strategy: Strategy) -> Point {
+    let mut fed = setup_federation(bytes_per_doc, 42);
+    let total_doc_bytes = fed.total_document_bytes();
+    let out = fed.run(BENCHMARK_QUERY, strategy).expect("benchmark query");
+    Point { strategy, total_doc_bytes, metrics: out.metrics, result_len: out.result.len() }
+}
+
+/// Figure 7 — bandwidth usage: total transferred bytes (documents + SOAP
+/// messages) per strategy and document size.
+pub fn fig7_bandwidth(sizes: &[usize]) -> Vec<(usize, Vec<Point>)> {
+    sizes
+        .iter()
+        .map(|&s| (s, Strategy::ALL.iter().map(|&st| run_point(s, st)).collect()))
+        .collect()
+}
+
+/// Figure 8 — query time breakdown at one size: per strategy, the five
+/// categories (shred, local exec, (de)serialize, remote exec, network).
+pub fn fig8_breakdown(bytes_per_doc: usize) -> Vec<Point> {
+    Strategy::ALL.iter().map(|&st| run_point(bytes_per_doc, st)).collect()
+}
+
+/// Figure 9 — total execution time per strategy across sizes.
+pub fn fig9_scaling(sizes: &[usize]) -> Vec<(usize, Vec<Point>)> {
+    fig7_bandwidth(sizes)
+}
+
+/// One Figure 10/11 measurement: projected sizes and projection times for
+/// compile-time vs runtime projection over one people document.
+#[derive(Debug, Clone)]
+pub struct ProjectionPoint {
+    pub doc_bytes: usize,
+    pub compile_time_bytes: usize,
+    pub runtime_bytes: usize,
+    pub compile_time_cost: Duration,
+    pub runtime_cost: Duration,
+}
+
+/// Figures 10 & 11 — projection precision and cost.
+///
+/// Compile-time projection (Marian & Siméon) can only follow the static
+/// paths: it keeps **all** `site/people/person` elements (returned) and
+/// their `age` descendants (used). Runtime projection starts from the
+/// materialized, *filtered* context — only persons whose age passes the
+/// predicate — and is therefore more precise by roughly the predicate's
+/// selectivity.
+pub fn fig10_11_projection(doc_bytes: usize, seed: u64) -> ProjectionPoint {
+    fig10_11_projection_with_threshold(doc_bytes, seed, 40)
+}
+
+/// [`fig10_11_projection`] with a configurable age threshold — the
+/// selectivity knob of the `runtime_vs_compiletime` ablation: the higher
+/// the threshold, the less runtime projection can prune beyond the static
+/// paths.
+pub fn fig10_11_projection_with_threshold(
+    doc_bytes: usize,
+    seed: u64,
+    age_threshold: u32,
+) -> ProjectionPoint {
+    let cfg = XmarkConfig::with_target_bytes(doc_bytes, seed);
+    let xml = people_document(&cfg);
+    let mut store = Store::new();
+    let doc_id = xqd_xml::parse_document(&mut store, &xml, Some("xmk.xml")).unwrap();
+
+    // shared path machinery: person and age node sets
+    let doc = store.doc(doc_id);
+    let mut persons = Vec::new();
+    let mut ages = Vec::new();
+    let person_name = store.names.get("person");
+    let age_name = store.names.get("age");
+    for i in 0..doc.len() as u32 {
+        if Some(doc.name(i)) == person_name {
+            persons.push(i);
+        } else if Some(doc.name(i)) == age_name {
+            ages.push(i);
+        }
+    }
+
+    // compile-time: all persons returned, ages used
+    let t0 = Instant::now();
+    let ct_input = ProjectionInput::new(ages.clone(), persons.clone());
+    let ct = compute_projection(doc, &ct_input);
+    let ct_builder = build_projected(doc, &store.names, &ct, None);
+    let mut scratch = Store::new();
+    let ct_doc = scratch.attach(ct_builder);
+    let ct_xml = serialize_document(scratch.doc(ct_doc), &scratch.names);
+    let compile_time_cost = t0.elapsed();
+
+    // runtime: evaluate the predicate first, keep only matching persons
+    let t1 = Instant::now();
+    let filtered: Vec<u32> = persons
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let end = doc.subtree_end(p);
+            (p..=end).any(|i| {
+                Some(doc.name(i)) == age_name
+                    && doc
+                        .string_value(i)
+                        .parse::<u32>()
+                        .map(|a| a < age_threshold)
+                        .unwrap_or(false)
+            })
+        })
+        .collect();
+    let rt_input = ProjectionInput::new(vec![], filtered);
+    let rt = compute_projection(doc, &rt_input);
+    let rt_builder = build_projected(doc, &store.names, &rt, None);
+    let mut scratch2 = Store::new();
+    let rt_doc = scratch2.attach(rt_builder);
+    let rt_xml = serialize_document(scratch2.doc(rt_doc), &scratch2.names);
+    let runtime_cost = t1.elapsed();
+
+    ProjectionPoint {
+        doc_bytes: xml.len(),
+        compile_time_bytes: ct_xml.len(),
+        runtime_bytes: rt_xml.len(),
+        compile_time_cost,
+        runtime_cost,
+    }
+}
+
+/// Human-readable strategy column order used in all printed tables.
+pub fn strategy_label(s: Strategy) -> &'static str {
+    s.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_query_agrees_across_strategies() {
+        let mut baseline = None;
+        for strategy in Strategy::ALL {
+            let mut fed = setup_federation(30_000, 7);
+            let out = fed.run(BENCHMARK_QUERY, strategy).unwrap();
+            assert!(!out.result.is_empty(), "{strategy:?} produced no authors");
+            match &baseline {
+                None => baseline = Some(out.result),
+                Some(b) => assert_eq!(&out.result, b, "{strategy:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_ordering_holds() {
+        // data-shipping > by-value > by-fragment ≥ by-projection in bytes
+        let points = fig8_breakdown(40_000);
+        let bytes: Vec<u64> = points.iter().map(|p| p.metrics.transferred_bytes()).collect();
+        assert!(bytes[0] > bytes[1], "data-shipping {} > by-value {}", bytes[0], bytes[1]);
+        assert!(bytes[1] > bytes[2], "by-value {} > by-fragment {}", bytes[1], bytes[2]);
+        assert!(bytes[2] > bytes[3], "by-fragment {} > by-projection {}", bytes[2], bytes[3]);
+    }
+
+    #[test]
+    fn fig10_runtime_more_precise() {
+        let p = fig10_11_projection(60_000, 3);
+        assert!(
+            p.runtime_bytes * 2 < p.compile_time_bytes,
+            "runtime {} should be well under compile-time {}",
+            p.runtime_bytes,
+            p.compile_time_bytes
+        );
+        assert!(p.compile_time_bytes < p.doc_bytes);
+    }
+}

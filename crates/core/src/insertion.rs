@@ -1,0 +1,151 @@
+//! XRPCExpr insertion (Section III-B).
+//!
+//! Given a chosen subgraph root `rs` and a target peer, the procedure:
+//!
+//! 1. inserts a fresh `XRPCExpr` vertex `vx` above `rs` and rewires the
+//!    incoming parse edge,
+//! 2. for every varref edge leaving the subgraph `(vi inside, vj:Var
+//!    outside)`, inserts an `XRPCParam[$p := $qname]` vertex under `vx`
+//!    and reroutes the inner references through it,
+//! 3. with no outgoing varrefs, the parameter list is simply empty
+//!    (`XRPCParam[()]` in the paper's notation).
+
+use crate::dgraph::{DGraph, Rule, VertexId};
+use xqd_xquery::ast::Atomic;
+
+/// Inserts an `XRPCExpr` above `rs`, shipping the subgraph to `peer`.
+/// Returns the new `XRPCExpr` vertex.
+pub fn insert_xrpc(g: &mut DGraph, rs: VertexId, peer: &str) -> VertexId {
+    assert_ne!(rs, g.root, "cannot wrap the query root in an XRPCExpr");
+    let parent = g
+        .vertex(rs)
+        .parent
+        .expect("non-root vertex must have a parent");
+
+    // step 2 preparation: collect outgoing varref edges, grouped by target
+    // Var vertex so each distinct binding becomes one parameter
+    let outgoing = g.outgoing_varrefs(rs);
+    let mut by_target: Vec<(VertexId, String)> = Vec::new();
+    for (_inner, target) in &outgoing {
+        if by_target.iter().all(|(t, _)| t != target) {
+            let name = match &g.vertex(*target).rule {
+                Rule::Var(n) => n.clone(),
+                Rule::XRPCParam { var, .. } => var.clone(),
+                other => panic!("varref target must be Var-like, found {other:?}"),
+            };
+            by_target.push((*target, name));
+        }
+    }
+
+    // step 1: the XRPCExpr vertex with peer literal + body
+    let peer_vertex = g.add_vertex(Rule::Literal(Atomic::Str(peer.to_string())), vec![]);
+    let vx = g.add_vertex(Rule::XRPCExpr { projection: None }, vec![peer_vertex, rs]);
+    g.replace_child(parent, rs, vx);
+    // re-parent rs under vx (replace_child set vx's parent; fix rs)
+    g.vertex_mut(rs).parent = Some(vx);
+
+    // step 2: parameters
+    for (i, (target, qname)) in by_target.iter().enumerate() {
+        let pname = format!("dot{}", i + 1);
+        let param = g.add_vertex(
+            Rule::XRPCParam { var: pname.clone(), outer: qname.clone() },
+            vec![],
+        );
+        g.vertex_mut(param).varref = Some(*target);
+        g.vertex_mut(param).parent = Some(vx);
+        g.vertex_mut(vx).children.push(param);
+        // reroute inner references
+        g.retarget_varrefs(rs, *target, &pname, param);
+    }
+    vx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dgraph::{build_dgraph, to_expr};
+    use xqd_xquery::{normalize, parse_query};
+
+    fn graph_of(q: &str) -> DGraph {
+        let m = parse_query(q).unwrap();
+        let e = normalize(&m).unwrap();
+        build_dgraph(&e).unwrap()
+    }
+
+    #[test]
+    fn insertion_without_parameters() {
+        let mut g = graph_of(
+            "let $s := doc(\"xrpc://A/d.xml\")/child::people/child::person return $s",
+        );
+        // rs = the /person step (value of $s)
+        let rs = g
+            .ids()
+            .find(|&id| {
+                matches!(&g.vertex(id).rule,
+                    Rule::AxisStep { test: xqd_xquery::ast::NameTest::Name(n), .. } if n == "person")
+            })
+            .unwrap();
+        let vx = insert_xrpc(&mut g, rs, "A");
+        assert_eq!(g.vertex(vx).children.len(), 2, "peer + body, no params");
+        let e = to_expr(&g);
+        assert_eq!(
+            e.to_string(),
+            "let $s := execute at { \"A\" } params () \
+             { doc(\"xrpc://A/d.xml\")/child::people/child::person } return $s"
+        );
+    }
+
+    #[test]
+    fn insertion_creates_params_for_outgoing_varrefs() {
+        // mirrors Example 3.2 / Fig. 3: the inner for references $c and $t
+        let mut g = graph_of(
+            "let $c := doc(\"xrpc://B/b.xml\") return \
+             let $t := doc(\"xrpc://A/a.xml\")//p return \
+             for $e in $c/child::x return if ($e/attribute::id = $t/child::id) then $e else ()",
+        );
+        let for_v = g
+            .ids()
+            .find(|&id| matches!(&g.vertex(id).rule, Rule::ForExpr))
+            .unwrap();
+        let vx = insert_xrpc(&mut g, for_v, "B");
+        // peer + body + 2 params
+        assert_eq!(g.vertex(vx).children.len(), 4);
+        let e = to_expr(&g);
+        let s = e.to_string();
+        assert!(s.contains("params ($dot1 := $c, $dot2 := $t)"), "{s}");
+        // inner refs were renamed
+        assert!(s.contains("$dot1/child::x"), "{s}");
+        assert!(s.contains("$dot2/child::id"), "{s}");
+    }
+
+    #[test]
+    fn same_variable_used_twice_becomes_one_param() {
+        let mut g = graph_of(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             for $e in doc(\"xrpc://B/b.xml\")/child::x \
+             return if ($e/child::a = $t/child::id and $e/child::b = $t/child::name) \
+                    then $e else ()",
+        );
+        let for_v = g
+            .ids()
+            .find(|&id| matches!(&g.vertex(id).rule, Rule::ForExpr))
+            .unwrap();
+        let vx = insert_xrpc(&mut g, for_v, "B");
+        assert_eq!(g.vertex(vx).children.len(), 3, "peer + body + ONE param for $t");
+    }
+
+    #[test]
+    fn inserted_query_roundtrips_through_printer() {
+        let mut g = graph_of(
+            "let $s := doc(\"xrpc://A/d.xml\")/child::p return count($s)",
+        );
+        let rs = g
+            .ids()
+            .find(|&id| matches!(&g.vertex(id).rule, Rule::AxisStep { .. }))
+            .unwrap();
+        insert_xrpc(&mut g, rs, "A");
+        let e = to_expr(&g);
+        let reparsed = xqd_xquery::parse_expr_str(&e.to_string()).unwrap();
+        assert_eq!(reparsed.to_string(), e.to_string());
+    }
+}

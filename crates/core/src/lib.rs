@@ -1,0 +1,27 @@
+//! # xqd-core — XQuery decomposition (the paper's primary contribution)
+//!
+//! Implements the query-distribution framework of *"Efficient Distribution
+//! of Full-Fledged XQuery"* (ICDE 2009):
+//!
+//! * [`dgraph`] — the dependency graph (parse + varref edges) of Section III;
+//! * [`uris`] — URI dependency sets `D(v)` and `hasMatchingDoc`;
+//! * [`conditions`] — the insertion conditions i–iv for pass-by-value and
+//!   their relaxations for pass-by-fragment / pass-by-projection, plus the
+//!   interesting-decomposition-point selection;
+//! * [`insertion`] — XRPCExpr insertion (Section III-B);
+//! * [`letmotion`] — let-motion normalization (Section IV);
+//! * [`codemotion`] — distributed code motion (Section IV, Example 4.3);
+//! * [`paths`] — relative projection-path analysis (Section VI);
+//! * [`mod@decompose`] — the end-to-end decomposer.
+
+pub mod codemotion;
+pub mod conditions;
+pub mod decompose;
+pub mod dgraph;
+pub mod insertion;
+pub mod letmotion;
+pub mod paths;
+pub mod uris;
+
+pub use conditions::Semantics;
+pub use decompose::{decompose, decompose_with, Decomposition, DecomposeOptions, Strategy};

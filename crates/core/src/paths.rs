@@ -1,0 +1,697 @@
+//! Relative projection-path analysis (Section VI).
+//!
+//! For every `XRPCExpr`, by-projection decomposition needs to know:
+//!
+//! * per shipped **parameter**: the relative paths the remote body applies
+//!   to it (`Urel(vparam)` / `Rrel(vparam)`), used to project the request
+//!   message;
+//! * for the call **result**: the relative paths the *caller* applies to it
+//!   (`Urel(vxrpc)` / `Rrel(vxrpc)`), shipped in the request's
+//!   `projection-paths` element so the remote peer can project the response
+//!   (Fig. 5).
+//!
+//! The analysis is a structural induction over the d-graph computing, per
+//! vertex, the set of *tracked paths* describing its value — each a tracked
+//! source (a parameter or an `XRPCExpr` result) plus a suffix of axis steps
+//! per the Table V grammar (including the `root()` / `id()` / `idref()`
+//! markers, rules ROOT and ID). Consumption contexts accumulate paths into
+//! the global *used* and *returned* buckets:
+//!
+//! * comparison / arithmetic / string-function operands atomize — they use
+//!   the node **and its text descendants** (kept-alone nodes would lose
+//!   their string value);
+//! * node comparisons and EBV tests use just the nodes;
+//! * constructor content, `deep-equal`, query results and re-shipped
+//!   parameters need whole subtrees — *returned*;
+//! * anything not understood falls back to *returned* (conservative).
+
+use std::collections::HashMap;
+
+use xqd_xml::Axis;
+use xqd_xquery::ast::{ExecProjection, NameTest, PathSpec, RelPath, RelStep};
+
+use crate::dgraph::{DGraph, Rule, VertexId};
+
+/// A path rooted at a tracked source vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TrackedPath {
+    source: VertexId,
+    steps: Vec<RelStep>,
+}
+
+/// Longest suffix kept before giving up on precision (paths longer than
+/// this are truncated to "return everything from here", i.e. marked
+/// returned at the prefix).
+const MAX_STEPS: usize = 12;
+
+#[derive(Default)]
+struct Accumulator {
+    used: Vec<TrackedPath>,
+    returned: Vec<TrackedPath>,
+}
+
+impl Accumulator {
+    fn mark_used(&mut self, paths: &[TrackedPath]) {
+        for p in paths {
+            push_unique(&mut self.used, p.clone());
+        }
+    }
+
+    /// Atomizing consumption: the node plus its text descendants.
+    fn mark_atomized(&mut self, paths: &[TrackedPath]) {
+        for p in paths {
+            push_unique(&mut self.used, p.clone());
+            let mut with_text = p.clone();
+            with_text.steps.push(RelStep::Axis {
+                axis: Axis::DescendantOrSelf,
+                test: NameTest::Text,
+            });
+            if with_text.steps.len() <= MAX_STEPS {
+                push_unique(&mut self.used, with_text);
+            } else {
+                push_unique(&mut self.returned, p.clone());
+            }
+        }
+    }
+
+    fn mark_returned(&mut self, paths: &[TrackedPath]) {
+        for p in paths {
+            push_unique(&mut self.returned, p.clone());
+        }
+    }
+}
+
+fn push_unique(v: &mut Vec<TrackedPath>, p: TrackedPath) {
+    if !v.contains(&p) {
+        v.push(p);
+    }
+}
+
+struct Analyzer<'g> {
+    g: &'g DGraph,
+    /// Tracked sources: XRPCParam vertices and XRPCExpr vertices.
+    acc: Accumulator,
+    /// Memoized value paths per vertex (vertices are evaluated in one
+    /// binding context because the d-graph already resolved varrefs).
+    memo: HashMap<VertexId, Vec<TrackedPath>>,
+    /// Context-item paths (stack, innermost last).
+    context: Vec<Vec<TrackedPath>>,
+}
+
+impl<'g> Analyzer<'g> {
+    fn paths_of(&mut self, v: VertexId) -> Vec<TrackedPath> {
+        if let Some(p) = self.memo.get(&v) {
+            return p.clone();
+        }
+        let result = self.compute(v);
+        self.memo.insert(v, result.clone());
+        result
+    }
+
+    fn extend_with_step(&mut self, input: Vec<TrackedPath>, step: RelStep) -> Vec<TrackedPath> {
+        let mut out = Vec::new();
+        for mut p in input {
+            if p.steps.len() >= MAX_STEPS {
+                // precision exhausted: conservatively return the prefix
+                self.acc.mark_returned(&[p.clone()]);
+                continue;
+            }
+            p.steps.push(step.clone());
+            push_unique(&mut out, p);
+        }
+        out
+    }
+
+    fn compute(&mut self, v: VertexId) -> Vec<TrackedPath> {
+        let vert = self.g.vertex(v).clone();
+        match &vert.rule {
+            Rule::Literal(_) | Rule::Empty | Rule::Root => vec![],
+            Rule::XRPCParam { .. } => vec![TrackedPath { source: v, steps: vec![] }],
+            Rule::VarRef(_) => match vert.varref {
+                Some(t) => self.paths_of(t),
+                None => vec![],
+            },
+            Rule::Var(_) => {
+                if let Some(&c) = vert.children.first() {
+                    self.paths_of(c)
+                } else {
+                    vec![]
+                }
+            }
+            Rule::ContextItem => self.context.last().cloned().unwrap_or_default(),
+            Rule::ExprSeq => {
+                let mut out = Vec::new();
+                for &c in &vert.children {
+                    for p in self.paths_of(c) {
+                        push_unique(&mut out, p);
+                    }
+                }
+                out
+            }
+            Rule::ForExpr | Rule::LetExpr => {
+                // children: [Var, ret]; Var memoization handles the binding
+                self.paths_of(vert.children[1])
+            }
+            Rule::IfExpr => {
+                // EBV of the condition: uses the nodes (existence only)
+                let cond = self.paths_of(vert.children[0]);
+                self.acc.mark_used(&cond);
+                let mut out = self.paths_of(vert.children[1]);
+                for p in self.paths_of(vert.children[2]) {
+                    push_unique(&mut out, p);
+                }
+                out
+            }
+            Rule::Typeswitch { .. } => {
+                let input = self.paths_of(vert.children[0]);
+                self.acc.mark_used(&input);
+                // children: input, (var, body)…, default var, default body
+                let mut out = Vec::new();
+                let mut i = 2;
+                while i < vert.children.len() {
+                    for p in self.paths_of(vert.children[i]) {
+                        push_unique(&mut out, p);
+                    }
+                    i += 2;
+                }
+                out
+            }
+            Rule::CompExpr(_) | Rule::Arith(_) => {
+                for &c in &vert.children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_atomized(&p);
+                }
+                vec![]
+            }
+            Rule::NodeCmp(_) | Rule::And | Rule::Or => {
+                for &c in &vert.children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_used(&p);
+                }
+                vec![]
+            }
+            Rule::NodeSetExpr(_) => {
+                let mut out = Vec::new();
+                for &c in &vert.children {
+                    for p in self.paths_of(c) {
+                        push_unique(&mut out, p);
+                    }
+                }
+                out
+            }
+            Rule::OrderExpr(_) => {
+                let input = self.paths_of(vert.children[0]);
+                self.context.push(input.clone());
+                for &k in &vert.children[1..] {
+                    let p = self.paths_of(k);
+                    self.acc.mark_atomized(&p);
+                }
+                self.context.pop();
+                input
+            }
+            Rule::Constructor { .. } => {
+                // copied content needs whole subtrees
+                for &c in &vert.children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_returned(&p);
+                }
+                vec![] // fresh nodes: not tracked
+            }
+            Rule::AxisStep { axis, test } => {
+                let input = self.paths_of(vert.children[0]);
+                // predicates evaluate with the candidate nodes as context
+                if vert.children.len() > 1 {
+                    let ctx = self.extend_with_step(
+                        input.clone(),
+                        RelStep::Axis { axis: *axis, test: test.clone() },
+                    );
+                    self.context.push(ctx);
+                    for &p in &vert.children[1..] {
+                        let paths = self.paths_of(p);
+                        self.acc.mark_atomized(&paths);
+                    }
+                    self.context.pop();
+                }
+                self.extend_with_step(input, RelStep::Axis { axis: *axis, test: test.clone() })
+            }
+            Rule::Filter => {
+                let input = self.paths_of(vert.children[0]);
+                self.context.push(input.clone());
+                let pred = self.paths_of(vert.children[1]);
+                self.acc.mark_atomized(&pred);
+                self.context.pop();
+                input
+            }
+            Rule::FunCall(name) => self.funcall(v, name, &vert.children),
+            Rule::XRPCExpr { .. } => {
+                // the remote body is analyzed too: its use of XRPCParam
+                // sources defines the request projection, and whatever it
+                // returns is serialized into the response, subtrees included
+                let body_result = self.paths_of(vert.children[1]);
+                self.acc.mark_returned(&body_result);
+                // values shipped INTO a call leave our analysis (they are
+                // copied into the request) — if they derive from a tracked
+                // source (e.g. another call's result), that source must
+                // deliver full subtrees for them
+                for &c in &vert.children[2..] {
+                    if let Some(t) = self.g.vertex(c).varref {
+                        let p = self.paths_of(t);
+                        self.acc.mark_returned(&p);
+                    }
+                }
+                // the peer expression is atomized
+                let peer = self.paths_of(vert.children[0]);
+                self.acc.mark_atomized(&peer);
+                vec![TrackedPath { source: v, steps: vec![] }]
+            }
+        }
+    }
+
+    fn funcall(&mut self, _v: VertexId, name: &str, children: &[VertexId]) -> Vec<TrackedPath> {
+        let bare = name.strip_prefix("fn:").unwrap_or(name);
+        match bare {
+            "doc" | "collection" => {
+                for &c in children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_atomized(&p);
+                }
+                vec![] // fresh document source, not tracked
+            }
+            "root" => {
+                let input = self.paths_of(children[0]);
+                self.extend_with_step(input, RelStep::Root)
+            }
+            "id" | "idref" => {
+                // rule (ID): first argument contributes values (atomized),
+                // second is the document context the lookup runs in
+                let vals = self.paths_of(children[0]);
+                self.acc.mark_atomized(&vals);
+                let ctx = if children.len() > 1 {
+                    self.paths_of(children[1])
+                } else {
+                    vec![]
+                };
+                let step = if bare == "id" { RelStep::Id } else { RelStep::Idref };
+                self.extend_with_step(ctx, step)
+            }
+            // existence/cardinality: nodes only
+            "count" | "empty" | "exists" | "not" | "boolean" | "zero-or-one"
+            | "exactly-one" | "reverse" => {
+                let mut out = Vec::new();
+                for &c in children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_used(&p);
+                    if matches!(bare, "reverse" | "zero-or-one" | "exactly-one") {
+                        out.extend(p);
+                    }
+                }
+                out
+            }
+            // name/uri inspection: nodes only
+            "name" | "local-name" | "base-uri" | "document-uri" | "xrpc:base-uri"
+            | "xrpc:document-uri" => {
+                for &c in children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_used(&p);
+                }
+                vec![]
+            }
+            // full structural comparison
+            "deep-equal" => {
+                for &c in children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_returned(&p);
+                }
+                vec![]
+            }
+            // niladic context functions
+            "true" | "false" | "static-base-uri" | "default-collation" | "current-dateTime" => {
+                vec![]
+            }
+            // atomizing string/number functions (known-safe list)
+            "string" | "data" | "number" | "sum" | "avg" | "min" | "max" | "concat"
+            | "string-join" | "contains" | "starts-with" | "string-length" | "substring"
+            | "upper-case" | "lower-case" | "normalize-space" | "distinct-values" => {
+                for &c in children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_atomized(&p);
+                }
+                vec![]
+            }
+            // unknown function: escape hatch — whole subtrees
+            _ => {
+                for &c in children {
+                    let p = self.paths_of(c);
+                    self.acc.mark_returned(&p);
+                }
+                vec![]
+            }
+        }
+    }
+}
+
+/// Result of analyzing one graph: per tracked source, its used/returned
+/// relative paths.
+pub struct PathAnalysis {
+    used: Vec<TrackedPath>,
+    returned: Vec<TrackedPath>,
+}
+
+/// Analyzes the whole query graph: evaluates the root (marking its result
+/// paths *returned* — the query result is fully materialized) and collects
+/// the accumulated path effects.
+pub fn analyze_paths(g: &DGraph) -> PathAnalysis {
+    let mut a = Analyzer { g, acc: Accumulator::default(), memo: HashMap::new(), context: Vec::new() };
+    let result = a.paths_of(g.root);
+    a.acc.mark_returned(&result);
+    PathAnalysis { used: a.acc.used, returned: a.acc.returned }
+}
+
+impl PathAnalysis {
+    /// The relative `Urel`/`Rrel` spec for one tracked source vertex.
+    ///
+    /// Returned paths subsume identical used paths; the empty returned path
+    /// (`self::node()`) subsumes everything — the source is shipped whole.
+    pub fn spec_for(&self, source: VertexId) -> PathSpec {
+        let mut returned: Vec<RelPath> = Vec::new();
+        for p in &self.returned {
+            if p.source == source {
+                let rp = RelPath(p.steps.clone());
+                if !returned.contains(&rp) {
+                    returned.push(rp);
+                }
+            }
+        }
+        if returned.iter().any(|r| r.0.is_empty()) {
+            // whole value shipped with subtrees: nothing else matters
+            return PathSpec { used: vec![], returned: vec![RelPath(vec![])] };
+        }
+        let mut used: Vec<RelPath> = Vec::new();
+        for p in &self.used {
+            if p.source == source {
+                let rp = RelPath(p.steps.clone());
+                if !used.contains(&rp) && !returned.contains(&rp) {
+                    used.push(rp);
+                }
+            }
+        }
+        PathSpec { used, returned }
+    }
+}
+
+/// Computes the [`ExecProjection`] for every `XRPCExpr` vertex in the graph
+/// and attaches it in place.
+pub fn attach_projections(g: &mut DGraph) {
+    let analysis = analyze_paths(g);
+    let xrpc_vertices: Vec<VertexId> = g
+        .ids()
+        .filter(|&v| matches!(g.vertex(v).rule, Rule::XRPCExpr { .. }))
+        .collect();
+    for vx in xrpc_vertices {
+        let children = g.vertex(vx).children.clone();
+        // per-parameter specs come from analyzing the body with params as
+        // sources — which the global analysis already did, because params
+        // ARE vertices
+        let mut params = Vec::new();
+        for &p in &children[2..] {
+            params.push(analysis.spec_for(p));
+        }
+        let result = analysis.spec_for(vx);
+        if let Rule::XRPCExpr { projection } = &mut g.vertex_mut(vx).rule {
+            *projection = Some(Box::new(ExecProjection { params, result }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dgraph::{build_dgraph, to_expr};
+    use xqd_xquery::parse_expr_str;
+
+    fn analyzed(q: &str) -> (DGraph, PathAnalysis) {
+        let e = parse_expr_str(q).unwrap();
+        let g = build_dgraph(&e).unwrap();
+        let a = analyze_paths(&g);
+        (g, a)
+    }
+
+    fn param_vertex(g: &DGraph, var: &str) -> VertexId {
+        g.ids()
+            .find(|&id| matches!(&g.vertex(id).rule, Rule::XRPCParam { var: v, .. } if v == var))
+            .unwrap()
+    }
+
+    fn xrpc_vertex(g: &DGraph) -> VertexId {
+        g.ids()
+            .find(|&id| matches!(&g.vertex(id).rule, Rule::XRPCExpr { .. }))
+            .unwrap()
+    }
+
+    #[test]
+    fn param_used_in_comparison_gets_attribute_path() {
+        // the benchmark query's parameter shape: only @id of $t is needed
+        let (g, a) = analyzed(
+            "let $t := doc(\"xrpc://A/a.xml\")//person return \
+             execute at { \"B\" } params ($q := $t) { \
+               for $e in doc(\"xrpc://B/b.xml\")//open_auction \
+               return if ($e/child::seller/attribute::person = $q/attribute::id) \
+                      then $e else () }",
+        );
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        assert!(spec.returned.is_empty(), "{spec:?}");
+        let used: Vec<String> = spec.used.iter().map(|p| p.to_string()).collect();
+        assert!(used.iter().any(|p| p.starts_with("attribute::id")), "{used:?}");
+    }
+
+    #[test]
+    fn result_consumed_by_child_step_gets_returned_path() {
+        let (g, a) = analyzed(
+            "(execute at { \"B\" } params () { doc(\"xrpc://B/b.xml\")//annotation })\
+             /child::author",
+        );
+        let spec = a.spec_for(xrpc_vertex(&g));
+        let returned: Vec<String> = spec.returned.iter().map(|p| p.to_string()).collect();
+        assert_eq!(returned, vec!["child::author"], "{spec:?}");
+    }
+
+    #[test]
+    fn result_returned_whole_when_it_is_the_query_result() {
+        let (g, a) = analyzed("execute at { \"B\" } params () { doc(\"xrpc://B/b.xml\")//x }");
+        let spec = a.spec_for(xrpc_vertex(&g));
+        assert_eq!(spec.returned, vec![RelPath(vec![])], "whole result shipped: {spec:?}");
+    }
+
+    #[test]
+    fn reverse_step_on_result_is_recorded() {
+        // Example 6.1: $bc/parent::a requires the response to include the
+        // parent — the returned-path `parent::a` of Fig. 5
+        let (g, a) = analyzed(
+            "let $bc := execute at { \"p\" } params () \
+                { element a { element b {()} }/child::b } \
+             return count($bc/parent::a)",
+        );
+        let spec = a.spec_for(xrpc_vertex(&g));
+        let returned: Vec<String> = spec.returned.iter().map(|p| p.to_string()).collect();
+        let used: Vec<String> = spec.used.iter().map(|p| p.to_string()).collect();
+        assert!(
+            returned.iter().chain(&used).any(|p| p.starts_with("parent::a")),
+            "returned={returned:?} used={used:?}"
+        );
+    }
+
+    #[test]
+    fn root_call_contributes_root_step() {
+        let (g, a) = analyzed(
+            "let $x := execute at { \"p\" } params () { doc(\"xrpc://p/d.xml\")//leaf } \
+             return count(root($x))",
+        );
+        let spec = a.spec_for(xrpc_vertex(&g));
+        let all: Vec<String> = spec
+            .used
+            .iter()
+            .chain(&spec.returned)
+            .map(|p| p.to_string())
+            .collect();
+        assert!(all.iter().any(|p| p.contains("root()")), "{all:?}");
+    }
+
+    #[test]
+    fn constructor_content_needs_subtrees() {
+        let (g, a) = analyzed(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             execute at { \"B\" } params ($q := $t) { element wrap { $q } }",
+        );
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        assert_eq!(spec.returned, vec![RelPath(vec![])], "{spec:?}");
+    }
+
+    #[test]
+    fn attach_projections_fills_execute_nodes() {
+        let e = parse_expr_str(
+            "(execute at { \"B\" } params () { doc(\"xrpc://B/b.xml\")//annotation })\
+             /child::author",
+        )
+        .unwrap();
+        let mut g = build_dgraph(&e).unwrap();
+        attach_projections(&mut g);
+        let out = to_expr(&g);
+        match &out {
+            xqd_xquery::Expr::Path { start: Some(s), .. } => match s.as_ref() {
+                xqd_xquery::Expr::Execute { projection, .. } => {
+                    let proj = projection.as_ref().expect("projection attached");
+                    assert_eq!(proj.result.returned.len(), 1);
+                    assert_eq!(proj.result.returned[0].to_string(), "child::author");
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomized_param_includes_text_descendants() {
+        let (g, a) = analyzed(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             execute at { \"B\" } params ($q := $t) { $q/child::name = \"x\" }",
+        );
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        let used: Vec<String> = spec.used.iter().map(|p| p.to_string()).collect();
+        assert!(used.iter().any(|p| p == "child::name"), "{used:?}");
+        assert!(
+            used.iter().any(|p| p.contains("text()")),
+            "atomization needs text descendants: {used:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::dgraph::build_dgraph;
+    use xqd_xquery::parse_expr_str;
+
+    fn analyzed(q: &str) -> (DGraph, PathAnalysis) {
+        let e = parse_expr_str(q).unwrap();
+        let g = build_dgraph(&e).unwrap();
+        let a = analyze_paths(&g);
+        (g, a)
+    }
+
+    fn param_vertex(g: &DGraph, var: &str) -> VertexId {
+        g.ids()
+            .find(|&id| matches!(&g.vertex(id).rule, Rule::XRPCParam { var: v, .. } if v == var))
+            .unwrap()
+    }
+
+    fn spec_paths(spec: &xqd_xquery::ast::PathSpec) -> (Vec<String>, Vec<String>) {
+        (
+            spec.used.iter().map(ToString::to_string).collect(),
+            spec.returned.iter().map(ToString::to_string).collect(),
+        )
+    }
+
+    #[test]
+    fn order_by_key_on_param_is_atomized() {
+        let (g, a) = analyzed(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             execute at { \"B\" } params ($q := $t) \
+             { ($q order by ./child::age) }",
+        );
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        let (used, returned) = spec_paths(&spec);
+        // the items are returned (the body's result) …
+        assert_eq!(returned, vec!["self::node()"], "{used:?} {returned:?}");
+    }
+
+    #[test]
+    fn typeswitch_input_is_used() {
+        let (g, a) = analyzed(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             execute at { \"B\" } params ($q := $t) \
+             { typeswitch ($q) case $n as node() return 1 default $d return 2 }",
+        );
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        let (used, returned) = spec_paths(&spec);
+        assert!(returned.is_empty(), "{returned:?}");
+        assert!(used.contains(&"self::node()".to_string()), "{used:?}");
+    }
+
+    #[test]
+    fn unknown_function_escapes_to_returned() {
+        // a UDF call that survives normalization (none should, but the
+        // analysis must stay conservative if one does)
+        let (g, a) = analyzed(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             execute at { \"B\" } params ($q := $t) { mystery($q/child::x) }",
+        );
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        let (_, returned) = spec_paths(&spec);
+        assert!(
+            returned.iter().any(|p| p.contains("child::x")),
+            "conservative full subtree: {returned:?}"
+        );
+    }
+
+    #[test]
+    fn idref_contributes_idref_step() {
+        let (g, a) = analyzed(
+            "let $x := execute at { \"p\" } params () { doc(\"xrpc://p/d.xml\")//leaf } \
+             return count(idref(\"k\", $x))",
+        );
+        let xrpc = g
+            .ids()
+            .find(|&id| matches!(&g.vertex(id).rule, Rule::XRPCExpr { .. }))
+            .unwrap();
+        let spec = a.spec_for(xrpc);
+        let (used, returned) = spec_paths(&spec);
+        assert!(
+            used.iter().chain(&returned).any(|p| p.contains("idref()")),
+            "{used:?} {returned:?}"
+        );
+    }
+
+    #[test]
+    fn count_uses_nodes_without_text() {
+        let (g, a) = analyzed(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             execute at { \"B\" } params ($q := $t) { count($q/child::x) }",
+        );
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        let (used, returned) = spec_paths(&spec);
+        assert!(returned.is_empty(), "{returned:?}");
+        assert!(used.contains(&"child::x".to_string()), "{used:?}");
+        assert!(
+            !used.iter().any(|p| p.contains("text()")),
+            "count() does not atomize: {used:?}"
+        );
+    }
+
+    #[test]
+    fn node_set_ops_propagate_paths() {
+        let (g, a) = analyzed(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             execute at { \"B\" } params ($q := $t) \
+             { $q/child::x union $q/child::y }",
+        );
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        let (_, returned) = spec_paths(&spec);
+        assert!(returned.contains(&"child::x".to_string()), "{returned:?}");
+        assert!(returned.contains(&"child::y".to_string()), "{returned:?}");
+    }
+
+    #[test]
+    fn long_paths_truncate_conservatively() {
+        // a chain longer than MAX_STEPS collapses into a returned prefix
+        let steps = "/child::a".repeat(15);
+        let (g, a) = analyzed(&format!(
+            "let $t := doc(\"xrpc://A/a.xml\")//p return \
+             execute at {{ \"B\" }} params ($q := $t) {{ count($q{steps}) }}"
+        ));
+        let spec = a.spec_for(param_vertex(&g, "q"));
+        assert!(
+            !spec.returned.is_empty(),
+            "precision exhaustion must fall back to returned: {spec:?}"
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! URI dependency sets `D(v)` and the `hasMatchingDoc` predicate.
+//!
+//! `D(v)` collects, per vertex, the `fn:doc()` applications it can reach —
+//! each tagged with the vertex where the document is opened, so two loads of
+//! the *same URI through different calls* stay distinguishable (that is
+//! precisely the situation pass-by-fragment cannot repair: nodes from two
+//! shreddings of one document never regain shared identity).
+//!
+//! Following the paper: a computed `doc(Expr)` contributes the wildcard
+//! `*`, `fn:collection()` is treated as `doc(*)`, and element construction
+//! is assigned an artificial unique URI `doc(vi::vi)`.
+//!
+//! Two variants are computed:
+//! * `D_parse` (parse edges only, the paper's definition) — drives the
+//!   equivalence classes behind *interesting* decomposition points;
+//! * `D_full` (parse + varref edges, the footnote-3 refinement) — drives
+//!   `hasMatchingDoc`, where missing a variable-carried dependency would be
+//!   unsound.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::dgraph::{DGraph, Rule, VertexId};
+
+/// One URI dependency: the (possibly wildcard) URI and the vertex where the
+/// document is opened or the element is constructed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UriDep {
+    /// `doc("uri") :: v`
+    Doc { uri: String, vertex: VertexId },
+    /// `doc(*) :: v` — computed URI or `fn:collection()`.
+    Wildcard { vertex: VertexId },
+    /// `doc(vi::vi)` — element/document constructor at `v`.
+    Constructed { vertex: VertexId },
+}
+
+impl UriDep {
+    pub fn uri(&self) -> Option<&str> {
+        match self {
+            UriDep::Doc { uri, .. } => Some(uri),
+            _ => None,
+        }
+    }
+
+    /// Can two dependencies refer to the same document? (wildcards match
+    /// any real document; constructed fragments match nothing else).
+    pub fn may_match(&self, other: &UriDep) -> bool {
+        match (self, other) {
+            (UriDep::Constructed { .. }, _) | (_, UriDep::Constructed { .. }) => false,
+            (UriDep::Wildcard { .. }, _) | (_, UriDep::Wildcard { .. }) => true,
+            (UriDep::Doc { uri: a, .. }, UriDep::Doc { uri: b, .. }) => a == b,
+        }
+    }
+}
+
+/// The per-vertex URI dependency sets of a d-graph.
+#[derive(Debug)]
+pub struct UriAnalysis {
+    /// `D(v)` over parse edges (the paper's `⊑p`-based definition).
+    pub parse: Vec<BTreeSet<UriDep>>,
+    /// `D(v)` over parse + varref edges (footnote-3 precision).
+    pub full: Vec<BTreeSet<UriDep>>,
+}
+
+/// The dependency contributed by the vertex itself, if any.
+fn own_dep(g: &DGraph, v: VertexId) -> Option<UriDep> {
+    match &g.vertex(v).rule {
+        Rule::FunCall(name) => {
+            let bare = name.strip_prefix("fn:").unwrap_or(name);
+            match bare {
+                "doc" => {
+                    let kids = &g.vertex(v).children;
+                    match kids.first().map(|&c| &g.vertex(c).rule) {
+                        Some(Rule::Literal(a)) => {
+                            Some(UriDep::Doc { uri: a.to_lexical(), vertex: v })
+                        }
+                        _ => Some(UriDep::Wildcard { vertex: v }),
+                    }
+                }
+                "collection" => Some(UriDep::Wildcard { vertex: v }),
+                _ => None,
+            }
+        }
+        Rule::Constructor { .. } => Some(UriDep::Constructed { vertex: v }),
+        _ => None,
+    }
+}
+
+/// Computes both dependency-set variants for every vertex.
+pub fn analyze_uris(g: &DGraph) -> UriAnalysis {
+    let n = g.len();
+    let mut parse: Vec<BTreeSet<UriDep>> = vec![BTreeSet::new(); n];
+    let mut full: Vec<Option<BTreeSet<UriDep>>> = vec![None; n];
+
+    // parse-based sets bottom-up: children were pushed before parents, so a
+    // forward scan sees children first... NOT guaranteed by build order for
+    // all rules; use explicit post-order instead.
+    let order = post_order(g);
+    for &v in &order {
+        let mut set = BTreeSet::new();
+        if let Some(d) = own_dep(g, v) {
+            set.insert(d);
+        }
+        for &c in &g.vertex(v).children {
+            set.extend(parse[c.0 as usize].iter().cloned());
+        }
+        parse[v.0 as usize] = set;
+    }
+
+    // full sets: fixpoint-free DFS with memoization (varref edges cannot
+    // form cycles in lexically-scoped queries; a visiting guard keeps the
+    // traversal terminating regardless)
+    fn compute_full(
+        g: &DGraph,
+        v: VertexId,
+        full: &mut Vec<Option<BTreeSet<UriDep>>>,
+        visiting: &mut Vec<bool>,
+    ) -> BTreeSet<UriDep> {
+        if let Some(s) = &full[v.0 as usize] {
+            return s.clone();
+        }
+        if visiting[v.0 as usize] {
+            return BTreeSet::new();
+        }
+        visiting[v.0 as usize] = true;
+        let mut set = BTreeSet::new();
+        if let Some(d) = own_dep(g, v) {
+            set.insert(d);
+        }
+        let vert = g.vertex(v).clone();
+        for c in vert.children {
+            set.extend(compute_full(g, c, full, visiting));
+        }
+        if let Some(t) = vert.varref {
+            set.extend(compute_full(g, t, full, visiting));
+        }
+        visiting[v.0 as usize] = false;
+        full[v.0 as usize] = Some(set.clone());
+        set
+    }
+    let mut visiting = vec![false; n];
+    for v in g.ids() {
+        compute_full(g, v, &mut full, &mut visiting);
+    }
+
+    UriAnalysis {
+        parse,
+        full: full.into_iter().map(|s| s.unwrap_or_default()).collect(),
+    }
+}
+
+fn post_order(g: &DGraph) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(g.len());
+    let mut stack = vec![(g.root, false)];
+    while let Some((v, expanded)) = stack.pop() {
+        if expanded {
+            out.push(v);
+            continue;
+        }
+        stack.push((v, true));
+        for &c in g.vertex(v).children.iter() {
+            stack.push((c, false));
+        }
+    }
+    // vertices disconnected from the root (none in well-formed graphs) are
+    // appended so indices stay total
+    if out.len() < g.len() {
+        let mut seen = vec![false; g.len()];
+        for &v in &out {
+            seen[v.0 as usize] = true;
+        }
+        for v in g.ids() {
+            if !seen[v.0 as usize] {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+impl UriAnalysis {
+    /// The paper's `hasMatchingDoc(v)`: does `v` depend on **two different
+    /// applications** of `fn:doc()` that may open the same document? This is
+    /// exactly the situation where result sequences can mix nodes from
+    /// multiple shreddings, which no message format can repair.
+    pub fn has_matching_doc(&self, v: VertexId) -> bool {
+        let deps: Vec<&UriDep> = self.full[v.0 as usize].iter().collect();
+        for (i, a) in deps.iter().enumerate() {
+            for b in deps.iter().skip(i + 1) {
+                if a.may_match(b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Groups vertices into equivalence classes by their (non-empty)
+    /// parse-based `D(v)`.
+    pub fn equivalence_classes(&self, g: &DGraph) -> HashMap<BTreeSet<UriDep>, Vec<VertexId>> {
+        let mut out: HashMap<BTreeSet<UriDep>, Vec<VertexId>> = HashMap::new();
+        for v in g.ids() {
+            let d = &self.parse[v.0 as usize];
+            if !d.is_empty() {
+                out.entry(d.clone()).or_default().push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Splits an `xrpc://host/name` URI into `(host, document name)`.
+pub fn split_xrpc_uri(uri: &str) -> Option<(&str, &str)> {
+    let rest = uri.strip_prefix("xrpc://")?;
+    let slash = rest.find('/')?;
+    Some((&rest[..slash], &rest[slash + 1..]))
+}
+
+/// If every document URI in `deps` lives on one `xrpc://` host, returns that
+/// host — the only peer the subexpression can be shipped to. Wildcards,
+/// local documents and mixed hosts return `None`. Constructed fragments are
+/// location-free and ignored.
+pub fn single_xrpc_host(deps: &BTreeSet<UriDep>) -> Option<String> {
+    let mut host: Option<&str> = None;
+    let mut saw_doc = false;
+    for d in deps {
+        match d {
+            UriDep::Constructed { .. } => {}
+            UriDep::Wildcard { .. } => return None,
+            UriDep::Doc { uri, .. } => {
+                saw_doc = true;
+                let (h, _) = split_xrpc_uri(uri)?;
+                match host {
+                    None => host = Some(h),
+                    Some(prev) if prev == h => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+    }
+    if saw_doc {
+        host.map(str::to_string)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dgraph::build_dgraph;
+    use xqd_xquery::{normalize, parse_query};
+
+    fn graph_of(q: &str) -> DGraph {
+        let m = parse_query(q).unwrap();
+        let e = normalize(&m).unwrap();
+        build_dgraph(&e).unwrap()
+    }
+
+    #[test]
+    fn doc_literal_dependency() {
+        let g = graph_of("doc(\"xrpc://A/d.xml\")/child::x");
+        let a = analyze_uris(&g);
+        let root_deps = &a.parse[g.root.0 as usize];
+        assert_eq!(root_deps.len(), 1);
+        assert!(matches!(
+            root_deps.iter().next().unwrap(),
+            UriDep::Doc { uri, .. } if uri == "xrpc://A/d.xml"
+        ));
+    }
+
+    #[test]
+    fn computed_doc_is_wildcard() {
+        let g = graph_of("doc(concat(\"a\", \".xml\"))");
+        let a = analyze_uris(&g);
+        assert!(matches!(
+            a.parse[g.root.0 as usize].iter().next().unwrap(),
+            UriDep::Wildcard { .. }
+        ));
+    }
+
+    #[test]
+    fn constructor_gets_unique_uri() {
+        let g = graph_of("(element a { () }, element a { () })");
+        let a = analyze_uris(&g);
+        let deps = &a.parse[g.root.0 as usize];
+        assert_eq!(deps.len(), 2, "two constructors, two artificial URIs");
+        let v: Vec<_> = deps.iter().collect();
+        assert!(!v[0].may_match(v[1]), "constructed URIs never match");
+    }
+
+    #[test]
+    fn parse_vs_full_dependency() {
+        let g = graph_of(
+            "let $s := doc(\"xrpc://A/d.xml\")/child::x return for $y in $s return $y",
+        );
+        let a = analyze_uris(&g);
+        // the ForExpr reaches doc() only through the varref on $s
+        let for_vertex = g
+            .ids()
+            .find(|&id| matches!(&g.vertex(id).rule, Rule::ForExpr))
+            .unwrap();
+        assert!(a.parse[for_vertex.0 as usize].is_empty());
+        assert_eq!(a.full[for_vertex.0 as usize].len(), 1);
+    }
+
+    #[test]
+    fn has_matching_doc_same_uri_twice() {
+        let g = graph_of("(doc(\"xrpc://A/d.xml\")//x, doc(\"xrpc://A/d.xml\")//y)");
+        let a = analyze_uris(&g);
+        assert!(a.has_matching_doc(g.root), "same URI opened twice");
+    }
+
+    #[test]
+    fn no_matching_doc_for_single_load() {
+        let g = graph_of("(doc(\"xrpc://A/d.xml\")//x, doc(\"xrpc://B/e.xml\")//y)");
+        let a = analyze_uris(&g);
+        assert!(!a.has_matching_doc(g.root), "two different documents");
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let g = graph_of("(doc(\"xrpc://A/d.xml\")//x, doc($u)//y)");
+        let a = analyze_uris(&g);
+        assert!(a.has_matching_doc(g.root));
+    }
+
+    #[test]
+    fn single_load_through_variable_has_no_match() {
+        // one doc() call used twice through a variable is SAFE: it is a
+        // single application (same vertex)
+        let g = graph_of(
+            "let $d := doc(\"xrpc://A/d.xml\") return ($d//x, $d//y)",
+        );
+        let a = analyze_uris(&g);
+        assert!(!a.has_matching_doc(g.root));
+    }
+
+    #[test]
+    fn xrpc_uri_split() {
+        assert_eq!(split_xrpc_uri("xrpc://peer1/d.xml"), Some(("peer1", "d.xml")));
+        assert_eq!(split_xrpc_uri("http://a/b"), None);
+        assert_eq!(split_xrpc_uri("xrpc://hostonly"), None);
+    }
+
+    #[test]
+    fn single_host_extraction() {
+        let g = graph_of("(doc(\"xrpc://A/d.xml\")//x, doc(\"xrpc://A/e.xml\")//y)");
+        let a = analyze_uris(&g);
+        assert_eq!(single_xrpc_host(&a.parse[g.root.0 as usize]), Some("A".to_string()));
+
+        let g2 = graph_of("(doc(\"xrpc://A/d.xml\")//x, doc(\"xrpc://B/e.xml\")//y)");
+        let a2 = analyze_uris(&g2);
+        assert_eq!(single_xrpc_host(&a2.parse[g2.root.0 as usize]), None);
+
+        let g3 = graph_of("doc(\"local.xml\")//x");
+        let a3 = analyze_uris(&g3);
+        assert_eq!(single_xrpc_host(&a3.parse[g3.root.0 as usize]), None);
+    }
+
+    #[test]
+    fn equivalence_classes_partition_by_deps() {
+        let g = graph_of(
+            "let $s := doc(\"xrpc://A/d.xml\")/child::x return \
+             for $e in doc(\"xrpc://B/e.xml\")/child::y return if ($e = $s) then $e else ()",
+        );
+        let a = analyze_uris(&g);
+        let classes = a.equivalence_classes(&g);
+        // classes: {A}, {B}, {A,B}
+        assert_eq!(classes.len(), 3);
+    }
+}

@@ -1,0 +1,343 @@
+//! # xqd-xmark — XMark-shaped synthetic data generator
+//!
+//! Generates the two documents the paper's Section VII benchmark consults:
+//!
+//! * a **people** document — `site/people/person` with `@id`, `name`,
+//!   contact fields, a fat `profile` (interests, education, business, and
+//!   the `age` the benchmark predicate filters on) and `watches`;
+//! * an **auctions** document — `site/open_auctions/open_auction` with
+//!   bidders, `seller/@person` referencing person ids, and an `annotation`
+//!   whose `author` / `description` children the by-projection response
+//!   keeps while pruning everything else.
+//!
+//! The shape reproduces what makes the paper's experiments meaningful: the
+//! join keys (`person/@id` ↔ `seller/@person`) and the filter field
+//! (`descendant::age`) are tiny compared to the record payloads, so
+//! projection has something to prune; the reference distribution makes the
+//! semijoin selective.
+//!
+//! Documents are **byte-targeted**: [`XmarkConfig::with_target_bytes`] picks
+//! entity counts so a generated document lands near the requested size,
+//! standing in for XMark's scale factors (0.1 → ~10 MB etc.).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const WORDS: &[&str] = &[
+    "gold", "river", "quiet", "orchid", "lantern", "copper", "meadow", "harbor", "violet",
+    "summit", "ember", "willow", "falcon", "marble", "cinder", "breeze", "thicket", "aurora",
+    "granite", "juniper", "saffron", "tundra", "velvet", "zephyr", "bramble", "crystal",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Ying", "Nan", "Peter", "Maria", "Jan", "Sofia", "Henk", "Lucia", "Arjen", "Femke",
+    "Stefan", "Marta", "Niels", "Eva", "Milan", "Anna",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Zhang", "Tang", "Boncz", "Kersten", "Manegold", "Nes", "Mullender", "Vries", "Groffen",
+    "Rijke",
+];
+
+const CITIES: &[&str] =
+    &["Amsterdam", "Utrecht", "Rotterdam", "Delft", "Leiden", "Groningen", "Eindhoven"];
+
+const COUNTRIES: &[&str] = &["Netherlands", "Germany", "France", "Belgium", "Denmark"];
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    pub people: usize,
+    pub open_auctions: usize,
+    pub seed: u64,
+    /// Number of sentence words in fat text fields (profile/business,
+    /// annotation/description); scales the payload-to-key ratio.
+    pub payload_words: usize,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig { people: 100, open_auctions: 100, seed: 42, payload_words: 30 }
+    }
+}
+
+/// Empirical bytes per person with default payload (see `sizing` test).
+const BYTES_PER_PERSON: usize = 1250;
+/// Empirical bytes per open auction with default payload.
+const BYTES_PER_AUCTION: usize = 650;
+
+impl XmarkConfig {
+    /// Picks entity counts so each generated document is roughly
+    /// `target_bytes` long.
+    pub fn with_target_bytes(target_bytes: usize, seed: u64) -> Self {
+        XmarkConfig {
+            people: (target_bytes / BYTES_PER_PERSON).max(1),
+            open_auctions: (target_bytes / BYTES_PER_AUCTION).max(1),
+            seed,
+            payload_words: 30,
+        }
+    }
+}
+
+fn words(rng: &mut SmallRng, n: usize, out: &mut String) {
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+}
+
+/// Generates the people document (`site/people/person*`).
+pub fn people_document(cfg: &XmarkConfig) -> String {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(cfg.people * BYTES_PER_PERSON + 64);
+    out.push_str("<site><people>");
+    for i in 0..cfg.people {
+        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        let age = rng.gen_range(18..80);
+        let income = rng.gen_range(20_000..180_000);
+        out.push_str(&format!("<person id=\"person{i}\">"));
+        out.push_str(&format!("<name>{first} {last}</name>"));
+        out.push_str(&format!(
+            "<emailaddress>mailto:{}.{}@example.org</emailaddress>",
+            first.to_lowercase(),
+            last.to_lowercase()
+        ));
+        out.push_str(&format!(
+            "<phone>+31 {} {}</phone>",
+            rng.gen_range(10..99),
+            rng.gen_range(1_000_000..9_999_999)
+        ));
+        out.push_str(&format!(
+            "<address><street>{} {}</street><city>{}</city><country>{}</country><zipcode>{}</zipcode></address>",
+            rng.gen_range(1..400),
+            WORDS[rng.gen_range(0..WORDS.len())],
+            CITIES[rng.gen_range(0..CITIES.len())],
+            COUNTRIES[rng.gen_range(0..COUNTRIES.len())],
+            rng.gen_range(1000..9999),
+        ));
+        out.push_str(&format!(
+            "<creditcard>{} {} {} {}</creditcard>",
+            rng.gen_range(1000..9999),
+            rng.gen_range(1000..9999),
+            rng.gen_range(1000..9999),
+            rng.gen_range(1000..9999)
+        ));
+        out.push_str(&format!("<profile income=\"{income}\">"));
+        for _ in 0..rng.gen_range(1..4) {
+            out.push_str(&format!(
+                "<interest category=\"category{}\"/>",
+                rng.gen_range(0..50)
+            ));
+        }
+        out.push_str("<education>");
+        words(&mut rng, 3, &mut out);
+        out.push_str("</education>");
+        out.push_str(&format!(
+            "<gender>{}</gender>",
+            if rng.gen_bool(0.5) { "male" } else { "female" }
+        ));
+        out.push_str("<business>");
+        words(&mut rng, cfg.payload_words, &mut out);
+        out.push_str("</business>");
+        out.push_str(&format!("<age>{age}</age>"));
+        out.push_str("</profile>");
+        out.push_str("<watches>");
+        for _ in 0..rng.gen_range(0..3) {
+            out.push_str(&format!(
+                "<watch open_auction=\"open_auction{}\"/>",
+                rng.gen_range(0..cfg.open_auctions.max(1))
+            ));
+        }
+        out.push_str("</watches>");
+        out.push_str("</person>");
+    }
+    out.push_str("</people>");
+    // the rest of an XMark site: regions with items — content the benchmark
+    // query never touches, which is exactly what function shipping prunes
+    out.push_str("<regions><europe>");
+    for i in 0..cfg.people {
+        out.push_str(&format!("<item id=\"item{i}\">"));
+        out.push_str(&format!("<location>{}</location>", COUNTRIES[rng.gen_range(0..COUNTRIES.len())]));
+        out.push_str(&format!("<quantity>{}</quantity>", rng.gen_range(1..9)));
+        out.push_str("<name>");
+        words(&mut rng, 2, &mut out);
+        out.push_str("</name><payment>Creditcard</payment><description><text>");
+        words(&mut rng, cfg.payload_words, &mut out);
+        out.push_str("</text></description><shipping>Will ship internationally</shipping>");
+        out.push_str(&format!("<mailbox><mail><from>person{}</from><date>{:02}/{:02}/2008</date></mail></mailbox>",
+            rng.gen_range(0..cfg.people.max(1)),
+            rng.gen_range(1..29),
+            rng.gen_range(1..13),
+        ));
+        out.push_str("</item>");
+    }
+    out.push_str("</europe></regions></site>");
+    out
+}
+
+/// Generates the auctions document (`site/open_auctions/open_auction*`);
+/// `seller/@person` references ids of the people document generated with
+/// the same config.
+pub fn auctions_document(cfg: &XmarkConfig) -> String {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let mut out = String::with_capacity(cfg.open_auctions * BYTES_PER_AUCTION + 64);
+    out.push_str("<site><open_auctions>");
+    for i in 0..cfg.open_auctions {
+        let seller = rng.gen_range(0..cfg.people.max(1));
+        let author = rng.gen_range(0..cfg.people.max(1));
+        out.push_str(&format!("<open_auction id=\"open_auction{i}\">"));
+        out.push_str(&format!(
+            "<initial>{}.{:02}</initial>",
+            rng.gen_range(1..300),
+            rng.gen_range(0..100)
+        ));
+        for _ in 0..rng.gen_range(0..4) {
+            out.push_str(&format!(
+                "<bidder><date>{:02}/{:02}/2008</date><personref person=\"person{}\"/><increase>{}.00</increase></bidder>",
+                rng.gen_range(1..29),
+                rng.gen_range(1..13),
+                rng.gen_range(0..cfg.people.max(1)),
+                rng.gen_range(1..50),
+            ));
+        }
+        out.push_str(&format!("<current>{}.00</current>", rng.gen_range(1..500)));
+        out.push_str(&format!(
+            "<itemref item=\"item{}\"/>",
+            rng.gen_range(0..cfg.open_auctions.max(1))
+        ));
+        out.push_str(&format!("<seller person=\"person{seller}\"/>"));
+        out.push_str("<annotation>");
+        out.push_str(&format!("<author person=\"person{author}\"/>"));
+        out.push_str("<description><text>");
+        words(&mut rng, cfg.payload_words, &mut out);
+        out.push_str("</text></description>");
+        out.push_str("<happiness>");
+        out.push_str(&rng.gen_range(1..10).to_string());
+        out.push_str("</happiness>");
+        out.push_str("</annotation>");
+        out.push_str(&format!("<quantity>{}</quantity>", rng.gen_range(1..5)));
+        out.push_str("<type>Regular</type>");
+        out.push_str(&format!(
+            "<interval><start>{:02}/{:02}/2008</start><end>{:02}/{:02}/2009</end></interval>",
+            rng.gen_range(1..29),
+            rng.gen_range(1..13),
+            rng.gen_range(1..29),
+            rng.gen_range(1..13),
+        ));
+        out.push_str("</open_auction>");
+    }
+    out.push_str("</open_auctions></site>");
+    out
+}
+
+/// Generates both documents of one benchmark scale point.
+pub fn document_pair(cfg: &XmarkConfig) -> (String, String) {
+    (people_document(cfg), auctions_document(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = XmarkConfig::default();
+        assert_eq!(people_document(&cfg), people_document(&cfg));
+        assert_eq!(auctions_document(&cfg), auctions_document(&cfg));
+        let other = XmarkConfig { seed: 7, ..XmarkConfig::default() };
+        assert_ne!(people_document(&cfg), people_document(&other));
+    }
+
+    #[test]
+    fn documents_parse_and_have_the_benchmark_shape() {
+        let cfg = XmarkConfig { people: 20, open_auctions: 15, ..XmarkConfig::default() };
+        let mut store = xqd_xml::Store::new();
+        let people =
+            xqd_xml::parse_document(&mut store, &people_document(&cfg), Some("p.xml")).unwrap();
+        let auctions =
+            xqd_xml::parse_document(&mut store, &auctions_document(&cfg), Some("a.xml")).unwrap();
+
+        // site/people/person with @id and descendant age
+        let pdoc = store.doc(people);
+        let site = pdoc.children(0).next().unwrap();
+        assert_eq!(store.names.resolve(pdoc.name(site)), "site");
+        let mut persons = 0;
+        let mut ages = 0;
+        for i in 0..pdoc.len() as u32 {
+            let name = store.names.resolve(pdoc.name(i));
+            if name == "person" {
+                persons += 1;
+            }
+            if name == "age" {
+                ages += 1;
+            }
+        }
+        assert_eq!(persons, 20);
+        assert_eq!(ages, 20);
+
+        // open_auction with seller/@person and annotation/author
+        let adoc = store.doc(auctions);
+        let mut auctions_n = 0;
+        let mut sellers = 0;
+        let mut authors = 0;
+        for i in 0..adoc.len() as u32 {
+            match store.names.resolve(adoc.name(i)) {
+                "open_auction" => auctions_n += 1,
+                "seller" => sellers += 1,
+                "author" => authors += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(auctions_n, 15);
+        assert_eq!(sellers, 15);
+        assert_eq!(authors, 15);
+    }
+
+    #[test]
+    fn seller_references_resolve_to_people() {
+        let cfg = XmarkConfig { people: 10, open_auctions: 30, ..XmarkConfig::default() };
+        let auctions = auctions_document(&cfg);
+        for part in auctions.split("<seller person=\"person").skip(1) {
+            let n: usize = part[..part.find('"').unwrap()].parse().unwrap();
+            assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn sizing_targets_are_roughly_met() {
+        for target in [50_000usize, 200_000] {
+            let cfg = XmarkConfig::with_target_bytes(target, 1);
+            let p = people_document(&cfg);
+            let a = auctions_document(&cfg);
+            let tolerance = 0.5;
+            assert!(
+                (p.len() as f64) > target as f64 * (1.0 - tolerance)
+                    && (p.len() as f64) < target as f64 * (1.0 + tolerance),
+                "people: {} vs target {target}",
+                p.len()
+            );
+            assert!(
+                (a.len() as f64) > target as f64 * (1.0 - tolerance)
+                    && (a.len() as f64) < target as f64 * (1.0 + tolerance),
+                "auctions: {} vs target {target}",
+                a.len()
+            );
+        }
+    }
+
+    #[test]
+    fn age_distribution_gives_selective_predicate() {
+        let cfg = XmarkConfig { people: 200, ..XmarkConfig::default() };
+        let doc = people_document(&cfg);
+        let young = doc
+            .split("<age>")
+            .skip(1)
+            .filter(|s| s[..s.find('<').unwrap()].parse::<u32>().unwrap() < 40)
+            .count();
+        // ages uniform in 18..80 → roughly 35% under 40
+        assert!(young > 40 && young < 120, "{young}/200 under 40");
+    }
+}

@@ -1,0 +1,370 @@
+//! The twelve XPath axes over the preorder arena.
+//!
+//! Axis results are always produced in **document order** (reverse axes
+//! included); the evaluator layers XPath's reverse-axis ordering semantics on
+//! top where needed. Attributes appear only on the `attribute` axis (plus
+//! `self`/`parent`/`ancestor*` when the context node is itself an attribute),
+//! matching XDM — note the paper's footnote 2 relies on
+//! `descendant::node()` *not* returning attributes.
+
+use crate::name::NameId;
+use crate::store::{Document, NodeKind};
+
+/// Axis identifiers, one per grammar alternative of XCore rules 22–24.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    Parent,
+    Ancestor,
+    AncestorOrSelf,
+    SelfAxis,
+    Attribute,
+    Following,
+    FollowingSibling,
+    Preceding,
+    PrecedingSibling,
+}
+
+impl Axis {
+    /// Reverse axes per XCore rule 22 (`RevAxis`).
+    pub fn is_reverse(self) -> bool {
+        matches!(self, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf)
+    }
+
+    /// Horizontal axes per XCore rule 24 (`HorAxis`).
+    pub fn is_horizontal(self) -> bool {
+        matches!(
+            self,
+            Axis::Following | Axis::FollowingSibling | Axis::Preceding | Axis::PrecedingSibling
+        )
+    }
+
+    /// Forward (downward or self) axes per XCore rule 23 (`FwdAxis`).
+    pub fn is_downward(self) -> bool {
+        matches!(
+            self,
+            Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::SelfAxis | Axis::Attribute
+        )
+    }
+
+    /// The "non-overlapping kind" of axis singled out by by-value insertion
+    /// condition iii: parent, preceding-sibling, following-sibling, self,
+    /// child, attribute.
+    pub fn is_non_overlapping(self) -> bool {
+        matches!(
+            self,
+            Axis::Parent
+                | Axis::PrecedingSibling
+                | Axis::FollowingSibling
+                | Axis::SelfAxis
+                | Axis::Child
+                | Axis::Attribute
+        )
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "attribute",
+            Axis::Following => "following",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::Preceding => "preceding",
+            Axis::PrecedingSibling => "preceding-sibling",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Axis> {
+        Some(match s {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "self" => Axis::SelfAxis,
+            "attribute" => Axis::Attribute,
+            "following" => Axis::Following,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding" => Axis::Preceding,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            _ => return None,
+        })
+    }
+}
+
+/// Node test with the name already resolved to a `NameId` (or not present in
+/// the store, in which case nothing can match).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeTest {
+    /// `QName` — matches the principal node kind with this name.
+    Name(NameId),
+    /// A QName that is not interned in the target store: matches nothing.
+    UnknownName,
+    /// `*`
+    Wildcard,
+    /// `node()`
+    AnyKind,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+}
+
+/// Appends the nodes reachable from `idx` via `axis`, in document order.
+pub fn axis_nodes(doc: &Document, idx: u32, axis: Axis, out: &mut Vec<u32>) {
+    match axis {
+        Axis::SelfAxis => out.push(idx),
+        Axis::Child => out.extend(doc.children(idx)),
+        Axis::Attribute => out.extend(doc.attributes(idx)),
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            if axis == Axis::DescendantOrSelf {
+                out.push(idx);
+            }
+            let end = doc.subtree_end(idx);
+            let mut i = idx + 1;
+            while i <= end {
+                if doc.kind(i) == NodeKind::Attribute {
+                    i += 1;
+                    continue;
+                }
+                out.push(i);
+                i += 1;
+            }
+        }
+        Axis::Parent => {
+            if let Some(p) = doc.parent(idx) {
+                out.push(p);
+            }
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            let start = out.len();
+            if axis == Axis::AncestorOrSelf {
+                out.push(idx);
+            }
+            let mut cur = doc.parent(idx);
+            while let Some(p) = cur {
+                out.push(p);
+                cur = doc.parent(p);
+            }
+            out[start..].reverse(); // document order: root first
+        }
+        Axis::FollowingSibling => {
+            let mut cur = doc.next_sibling(idx);
+            while let Some(s) = cur {
+                out.push(s);
+                cur = doc.next_sibling(s);
+            }
+        }
+        Axis::PrecedingSibling => {
+            if let Some(parent) = doc.parent(idx) {
+                if doc.kind(idx) != NodeKind::Attribute {
+                    for c in doc.children(parent) {
+                        if c == idx {
+                            break;
+                        }
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        Axis::Following => {
+            // Everything after this subtree, minus attributes. For an
+            // attribute context node, following starts after the owner
+            // element's attribute block but includes the element's subtree
+            // content? XDM: following of an attribute is the following of its
+            // parent element plus that element's descendants... we use the
+            // common simplification: following(attr) = following nodes in
+            // document order after the attribute, excluding its parent's
+            // attributes and excluding descendants-of-parent is NOT applied —
+            // attributes follow their element, so descendants of the owner
+            // element *do* come after the attribute and are included.
+            let start = if doc.kind(idx) == NodeKind::Attribute {
+                idx + 1
+            } else {
+                doc.subtree_end(idx) + 1
+            };
+            for i in start..doc.len() as u32 {
+                if doc.kind(i) != NodeKind::Attribute {
+                    out.push(i);
+                }
+            }
+        }
+        Axis::Preceding => {
+            // Everything before the node, excluding ancestors and attributes.
+            for i in 0..idx {
+                if doc.kind(i) == NodeKind::Attribute || doc.kind(i) == NodeKind::Document {
+                    continue;
+                }
+                if doc.is_ancestor(i, idx) {
+                    continue;
+                }
+                out.push(i);
+            }
+        }
+    }
+}
+
+/// Does node `idx` match `test`, given the axis it was reached through?
+/// The principal node kind is Attribute for the attribute axis, Element
+/// otherwise (XPath 2.0 §3.2.1.1).
+pub fn node_test_matches(doc: &Document, idx: u32, axis: Axis, test: &NodeTest) -> bool {
+    let kind = doc.kind(idx);
+    match test {
+        NodeTest::AnyKind => true,
+        NodeTest::Text => kind == NodeKind::Text,
+        NodeTest::Comment => kind == NodeKind::Comment,
+        NodeTest::UnknownName => false,
+        NodeTest::Wildcard | NodeTest::Name(_) => {
+            let principal = if axis == Axis::Attribute {
+                NodeKind::Attribute
+            } else {
+                NodeKind::Element
+            };
+            if kind != principal {
+                return false;
+            }
+            match test {
+                NodeTest::Wildcard => true,
+                NodeTest::Name(n) => doc.name(idx) == *n,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{build_into, Store};
+
+    /// <a><b id="1"><c/><e>t</e></b><d/></a>
+    /// 0=doc 1=a 2=b 3=@id 4=c 5=e 6=text 7=d
+    fn sample(store: &mut Store) -> crate::store::DocId {
+        build_into(store, Some("s.xml"), |b| {
+            b.start_element("a");
+            b.start_element("b");
+            b.attribute("id", "1");
+            b.start_element("c");
+            b.end_element();
+            b.start_element("e");
+            b.text("t");
+            b.end_element();
+            b.end_element();
+            b.start_element("d");
+            b.end_element();
+            b.end_element();
+        })
+    }
+
+    fn nodes(doc: &Document, idx: u32, axis: Axis) -> Vec<u32> {
+        let mut v = Vec::new();
+        axis_nodes(doc, idx, axis, &mut v);
+        v
+    }
+
+    #[test]
+    fn descendant_skips_attributes() {
+        let mut s = Store::new();
+        let d = sample(&mut s);
+        let doc = s.doc(d);
+        assert_eq!(nodes(doc, 1, Axis::Descendant), vec![2, 4, 5, 6, 7]);
+        assert_eq!(nodes(doc, 1, Axis::DescendantOrSelf), vec![1, 2, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn ancestor_in_document_order() {
+        let mut s = Store::new();
+        let d = sample(&mut s);
+        let doc = s.doc(d);
+        assert_eq!(nodes(doc, 6, Axis::Ancestor), vec![0, 1, 2, 5]);
+        assert_eq!(nodes(doc, 6, Axis::AncestorOrSelf), vec![0, 1, 2, 5, 6]);
+        assert_eq!(nodes(doc, 3, Axis::Parent), vec![2]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let mut s = Store::new();
+        let d = sample(&mut s);
+        let doc = s.doc(d);
+        assert_eq!(nodes(doc, 2, Axis::FollowingSibling), vec![7]);
+        assert_eq!(nodes(doc, 7, Axis::PrecedingSibling), vec![2]);
+        assert_eq!(nodes(doc, 4, Axis::FollowingSibling), vec![5]);
+        assert_eq!(nodes(doc, 5, Axis::PrecedingSibling), vec![4]);
+        assert_eq!(nodes(doc, 3, Axis::FollowingSibling), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn following_and_preceding() {
+        let mut s = Store::new();
+        let d = sample(&mut s);
+        let doc = s.doc(d);
+        assert_eq!(nodes(doc, 4, Axis::Following), vec![5, 6, 7]);
+        assert_eq!(nodes(doc, 7, Axis::Preceding), vec![2, 4, 5, 6]);
+        // ancestors excluded from preceding
+        assert!(!nodes(doc, 6, Axis::Preceding).contains(&2));
+        assert_eq!(nodes(doc, 6, Axis::Preceding), vec![4]);
+    }
+
+    #[test]
+    fn attribute_axis_and_principal_kind() {
+        let mut s = Store::new();
+        let d = sample(&mut s);
+        let doc = s.doc(d);
+        assert_eq!(nodes(doc, 2, Axis::Attribute), vec![3]);
+        let id = s.names.get("id").unwrap();
+        assert!(node_test_matches(doc, 3, Axis::Attribute, &NodeTest::Name(id)));
+        // name test on child axis never matches an attribute
+        assert!(!node_test_matches(doc, 3, Axis::Child, &NodeTest::Name(id)));
+        assert!(node_test_matches(doc, 3, Axis::Attribute, &NodeTest::Wildcard));
+    }
+
+    #[test]
+    fn text_and_kind_tests() {
+        let mut s = Store::new();
+        let d = sample(&mut s);
+        let doc = s.doc(d);
+        assert!(node_test_matches(doc, 6, Axis::Child, &NodeTest::Text));
+        assert!(node_test_matches(doc, 6, Axis::Child, &NodeTest::AnyKind));
+        assert!(!node_test_matches(doc, 6, Axis::Child, &NodeTest::Wildcard));
+        assert!(!node_test_matches(doc, 4, Axis::Child, &NodeTest::Text));
+    }
+
+    #[test]
+    fn axis_classification_matches_paper() {
+        assert!(Axis::Parent.is_reverse());
+        assert!(Axis::Ancestor.is_reverse());
+        assert!(Axis::Following.is_horizontal());
+        assert!(Axis::PrecedingSibling.is_horizontal());
+        assert!(Axis::Child.is_downward());
+        assert!(Axis::Attribute.is_downward());
+        // condition iii whitelist
+        for ax in [
+            Axis::Parent,
+            Axis::PrecedingSibling,
+            Axis::FollowingSibling,
+            Axis::SelfAxis,
+            Axis::Child,
+            Axis::Attribute,
+        ] {
+            assert!(ax.is_non_overlapping(), "{ax:?}");
+        }
+        assert!(!Axis::Descendant.is_non_overlapping());
+        assert!(!Axis::Following.is_non_overlapping());
+    }
+
+    #[test]
+    fn unknown_name_matches_nothing() {
+        let mut s = Store::new();
+        let d = sample(&mut s);
+        let doc = s.doc(d);
+        assert!(!node_test_matches(doc, 4, Axis::Child, &NodeTest::UnknownName));
+    }
+}

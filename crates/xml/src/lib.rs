@@ -1,0 +1,33 @@
+//! # xqd-xml — XML data model substrate
+//!
+//! Arena-based XML document store with the properties the distributed-XQuery
+//! framework of *"Efficient Distribution of Full-Fledged XQuery"* (ICDE 2009)
+//! depends on:
+//!
+//! * **Node identity**: every node is a `(DocId, NodeIdx)` pair; two nodes are
+//!   the same node iff the pairs are equal (`is` comparison).
+//! * **Document order**: node indices are preorder ranks, so order inside a
+//!   document is an integer comparison; order across documents follows the
+//!   (stable, implementation-defined) `DocId` order — this is exactly what
+//!   makes the paper's Problems 3–4 observable.
+//! * **O(1) structural tests**: each node stores the preorder rank of its last
+//!   descendant (`subtree_end`), giving constant-time ancestor/descendant
+//!   checks and constant-time "skip subtree" in Algorithm 1.
+//!
+//! The crate also provides the XML parser ("shredder"), the serializer, all
+//! twelve XPath axes, `deep-equal`, and the paper's **runtime XML projection**
+//! (Algorithm 1) together with the compile-time projection baseline.
+
+pub mod axes;
+pub mod name;
+pub mod parser;
+pub mod project;
+pub mod serialize;
+pub mod store;
+
+pub use axes::Axis;
+pub use name::{NameId, NameTable};
+pub use parser::{parse_document, ParseError};
+pub use project::{project_document, ProjectionInput};
+pub use serialize::{serialize_document, serialize_node};
+pub use store::{DocBuilder, DocId, Document, NodeId, NodeKind, NodeMeta, NodeRef, Store};

@@ -1,0 +1,818 @@
+//! Tree-walking evaluator for normalized XCore expressions.
+//!
+//! The evaluator is **network-agnostic**: remote execution (`Execute` nodes)
+//! and non-local `fn:doc` URIs are delegated to the [`RemoteHandler`] and
+//! [`DocResolver`] hooks, which `xqd-xrpc` implements with the three message
+//! passing semantics. Everything else — node identity, document order,
+//! duplicate elimination, constructor copy semantics — is evaluated against
+//! the local [`Store`], which is exactly what makes the paper's semantic
+//! Problems 1–5 reproducible: a shipped fragment is just another document in
+//! the receiving store.
+
+use xqd_xml::axes::{axis_nodes, node_test_matches, NodeTest};
+use xqd_xml::{DocBuilder, DocId, NodeId, NodeKind, Store};
+
+use crate::ast::*;
+use crate::builtins;
+use crate::value::*;
+
+/// Static context attributes shipped in XRPC message headers (Problem 5
+/// class 1: `static-base-uri`, `default-collation`, `current-dateTime`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticContext {
+    pub base_uri: String,
+    pub default_collation: String,
+    pub current_datetime: String,
+}
+
+impl Default for StaticContext {
+    fn default() -> Self {
+        StaticContext {
+            base_uri: "local:/".to_string(),
+            default_collation: "http://www.w3.org/2005/xpath-functions/collation/codepoint"
+                .to_string(),
+            // fixed for reproducibility; XRPC ships it so both sides agree
+            current_datetime: "2009-03-29T12:00:00Z".to_string(),
+        }
+    }
+}
+
+/// Resolves `fn:doc` URIs to documents, loading/fetching if necessary.
+pub trait DocResolver {
+    fn resolve(&mut self, store: &mut Store, uri: &str) -> EvalResult<DocId>;
+}
+
+/// Resolver that only finds documents already in the store.
+#[derive(Debug, Default)]
+pub struct LocalResolver;
+
+impl DocResolver for LocalResolver {
+    fn resolve(&mut self, store: &mut Store, uri: &str) -> EvalResult<DocId> {
+        store
+            .doc_by_uri(uri)
+            .ok_or_else(|| EvalError::new(format!("document not found: {uri}")))
+    }
+}
+
+/// Executes an `Execute` (XRPCExpr) remotely and shreds the response into
+/// the local store.
+pub trait RemoteHandler {
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        local: &mut Store,
+        static_ctx: &StaticContext,
+        peer: &str,
+        params: &[(String, Sequence)],
+        body: &Expr,
+        projection: Option<&ExecProjection>,
+    ) -> EvalResult<Sequence>;
+
+    /// **Bulk RPC**: executes the same body once per parameter binding in a
+    /// single network interaction. The evaluator batches a remote call
+    /// nested directly in a `for`-loop through this method; under
+    /// pass-by-fragment all iterations then share one fragments preamble,
+    /// which is what lets Section V drop `ForExpr` from condition iii.
+    ///
+    /// The default implementation degrades to one interaction per call.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_bulk(
+        &mut self,
+        local: &mut Store,
+        static_ctx: &StaticContext,
+        peer: &str,
+        calls: &[Vec<(String, Sequence)>],
+        body: &Expr,
+        projection: Option<&ExecProjection>,
+    ) -> EvalResult<Vec<Sequence>> {
+        calls
+            .iter()
+            .map(|params| self.execute(local, static_ctx, peer, params, body, projection))
+            .collect()
+    }
+}
+
+const MAX_CALL_DEPTH: usize = 128;
+
+/// The evaluator. Owns no data; borrows the store and hooks.
+pub struct Evaluator<'a> {
+    pub store: &'a mut Store,
+    pub functions: &'a [FunctionDef],
+    pub resolver: &'a mut dyn DocResolver,
+    pub remote: Option<&'a mut dyn RemoteHandler>,
+    pub static_ctx: StaticContext,
+    env: Vec<(String, Sequence)>,
+    context: Vec<Item>,
+    call_depth: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(
+        store: &'a mut Store,
+        functions: &'a [FunctionDef],
+        resolver: &'a mut dyn DocResolver,
+    ) -> Self {
+        Evaluator {
+            store,
+            functions,
+            resolver,
+            remote: None,
+            static_ctx: StaticContext::default(),
+            env: Vec::new(),
+            context: Vec::new(),
+            call_depth: 0,
+        }
+    }
+
+    pub fn with_remote(mut self, remote: &'a mut dyn RemoteHandler) -> Self {
+        self.remote = Some(remote);
+        self
+    }
+
+    pub fn with_static_context(mut self, ctx: StaticContext) -> Self {
+        self.static_ctx = ctx;
+        self
+    }
+
+    /// Pre-binds a variable (used for shipped XRPC parameters).
+    pub fn bind(&mut self, name: &str, value: Sequence) {
+        self.env.push((name.to_string(), value));
+    }
+
+    pub(crate) fn lookup(&self, name: &str) -> EvalResult<Sequence> {
+        self.env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| EvalError::new(format!("unbound variable ${name}")))
+    }
+
+    pub(crate) fn context_item(&self) -> EvalResult<Item> {
+        self.context
+            .last()
+            .cloned()
+            .ok_or_else(|| EvalError::new("context item is undefined"))
+    }
+
+    /// Evaluates an expression to a sequence.
+    pub fn eval(&mut self, e: &Expr) -> EvalResult {
+        match e {
+            Expr::Literal(a) => Ok(vec![Item::Atom(a.clone())]),
+            Expr::Empty => Ok(vec![]),
+            Expr::Sequence(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    out.extend(self.eval(e)?);
+                }
+                Ok(out)
+            }
+            Expr::VarRef(v) => self.lookup(v),
+            Expr::ContextItem => Ok(vec![self.context_item()?]),
+            Expr::For { var, seq, ret } => {
+                let input = self.eval(seq)?;
+                // Bulk RPC: a remote call directly in the return clause
+                // (possibly under local lets) is batched into one message
+                if self.remote.is_some() {
+                    if let Some(plan) = bulk_pattern(ret) {
+                        return self.eval_bulk_for(var, input, plan);
+                    }
+                }
+                let mut out = Vec::new();
+                for item in input {
+                    self.env.push((var.clone(), vec![item]));
+                    let r = self.eval(ret);
+                    self.env.pop();
+                    out.extend(r?);
+                }
+                Ok(out)
+            }
+            Expr::Let { var, value, ret } => {
+                let v = self.eval(value)?;
+                self.env.push((var.clone(), v));
+                let r = self.eval(ret);
+                self.env.pop();
+                r
+            }
+            Expr::If { cond, then, els } => {
+                let c = self.eval(cond)?;
+                if effective_boolean_value(&c)? {
+                    self.eval(then)
+                } else {
+                    self.eval(els)
+                }
+            }
+            Expr::Typeswitch { input, cases, default_var, default } => {
+                let v = self.eval(input)?;
+                for case in cases {
+                    if matches_seq_type(self.store, &v, &case.seq_type) {
+                        self.env.push((case.var.clone(), v));
+                        let r = self.eval(&case.body);
+                        self.env.pop();
+                        return r;
+                    }
+                }
+                self.env.push((default_var.clone(), v));
+                let r = self.eval(default);
+                self.env.pop();
+                r
+            }
+            Expr::Comparison { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                let b = general_compare(self.store, *op, &l, &r)?;
+                Ok(vec![Item::Atom(Atomic::Bool(b))])
+            }
+            Expr::NodeComparison { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                if l.is_empty() || r.is_empty() {
+                    return Ok(vec![]);
+                }
+                let ln = single_node(&l, "node comparison")?;
+                let rn = single_node(&r, "node comparison")?;
+                let b = match op {
+                    NodeCompOp::Is => ln == rn,
+                    NodeCompOp::Before => ln < rn,
+                    NodeCompOp::After => ln > rn,
+                };
+                Ok(vec![Item::Atom(Atomic::Bool(b))])
+            }
+            Expr::OrderBy { input, specs } => self.eval_order_by(input, specs),
+            Expr::NodeSet { op, lhs, rhs } => {
+                let mut l = self.eval(lhs)?;
+                let mut r = self.eval(rhs)?;
+                sort_document_order(&mut l)?;
+                sort_document_order(&mut r)?;
+                let rset: std::collections::HashSet<NodeId> = r
+                    .iter()
+                    .map(|i| match i {
+                        Item::Node(n) => *n,
+                        Item::Atom(_) => unreachable!(),
+                    })
+                    .collect();
+                let mut out = Vec::new();
+                match op {
+                    NodeSetOp::Union => {
+                        out = l;
+                        out.extend(r);
+                        sort_document_order(&mut out)?;
+                    }
+                    NodeSetOp::Intersect => {
+                        for i in l {
+                            if matches!(&i, Item::Node(n) if rset.contains(n)) {
+                                out.push(i);
+                            }
+                        }
+                    }
+                    NodeSetOp::Except => {
+                        for i in l {
+                            if matches!(&i, Item::Node(n) if !rset.contains(n)) {
+                                out.push(i);
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Construct(c) => self.eval_constructor(c),
+            Expr::Path { start, steps } => self.eval_path(start.as_deref(), steps),
+            Expr::Filter { input, predicate } => {
+                let input = self.eval(input)?;
+                self.apply_predicate(input, predicate)
+            }
+            Expr::FunCall { name, args } => self.eval_funcall(name, args),
+            Expr::And(l, r) => {
+                let lv = self.eval(l)?;
+                if !effective_boolean_value(&lv)? {
+                    return Ok(vec![Item::Atom(Atomic::Bool(false))]);
+                }
+                let rv = self.eval(r)?;
+                Ok(vec![Item::Atom(Atomic::Bool(effective_boolean_value(&rv)?))])
+            }
+            Expr::Or(l, r) => {
+                let lv = self.eval(l)?;
+                if effective_boolean_value(&lv)? {
+                    return Ok(vec![Item::Atom(Atomic::Bool(true))]);
+                }
+                let rv = self.eval(r)?;
+                Ok(vec![Item::Atom(Atomic::Bool(effective_boolean_value(&rv)?))])
+            }
+            Expr::Arith { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                if l.is_empty() || r.is_empty() {
+                    return Ok(vec![]);
+                }
+                let la = atomize(self.store, &l);
+                let ra = atomize(self.store, &r);
+                if la.len() != 1 || ra.len() != 1 {
+                    return Err(EvalError::new("arithmetic on a multi-item sequence"));
+                }
+                let a = to_number(&la[0])
+                    .ok_or_else(|| EvalError::new("left operand is not numeric"))?;
+                let b = to_number(&ra[0])
+                    .ok_or_else(|| EvalError::new("right operand is not numeric"))?;
+                let result = match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => {
+                        if b == 0.0 {
+                            return Err(EvalError::new("division by zero"));
+                        }
+                        a / b
+                    }
+                    ArithOp::Mod => {
+                        if b == 0.0 {
+                            return Err(EvalError::new("modulo by zero"));
+                        }
+                        a % b
+                    }
+                };
+                // integer-preserving when both inputs were integers
+                let int_inputs = matches!(
+                    (&la[0], &ra[0]),
+                    (Atomic::Int(_), Atomic::Int(_))
+                ) && *op != ArithOp::Div;
+                Ok(vec![Item::Atom(if int_inputs && result.fract() == 0.0 {
+                    Atomic::Int(result as i64)
+                } else {
+                    Atomic::Dbl(result)
+                })])
+            }
+            Expr::Execute { peer, params, body, projection } => {
+                let peer_seq = self.eval(peer)?;
+                let peer_uri = match peer_seq.as_slice() {
+                    [item] => string_value(self.store, item),
+                    _ => return Err(EvalError::new("execute at peer must be a single item")),
+                };
+                let mut bound = Vec::with_capacity(params.len());
+                for p in params {
+                    bound.push((p.var.clone(), self.lookup(&p.outer)?));
+                }
+                match &mut self.remote {
+                    Some(handler) => handler.execute(
+                        self.store,
+                        &self.static_ctx,
+                        &peer_uri,
+                        &bound,
+                        body,
+                        projection.as_deref(),
+                    ),
+                    None => Err(EvalError::new(
+                        "execute at: no remote handler configured (local-only evaluator)",
+                    )),
+                }
+            }
+        }
+    }
+
+    fn eval_order_by(&mut self, input: &Expr, specs: &[OrderSpec]) -> EvalResult {
+        let items = self.eval(input)?;
+        // evaluate keys with each item as context item
+        let mut keyed: Vec<(Vec<Option<Atomic>>, usize, Item)> = Vec::with_capacity(items.len());
+        for (i, item) in items.into_iter().enumerate() {
+            let mut keys = Vec::with_capacity(specs.len());
+            self.context.push(item.clone());
+            for spec in specs {
+                let k = self.eval(&spec.key);
+                match k {
+                    Ok(seq) => {
+                        let atoms = atomize(self.store, &seq);
+                        keys.push(atoms.into_iter().next());
+                    }
+                    Err(e) => {
+                        self.context.pop();
+                        return Err(e);
+                    }
+                }
+            }
+            self.context.pop();
+            keyed.push((keys, i, item));
+        }
+        keyed.sort_by(|(ka, ia, _), (kb, ib, _)| {
+            for (idx, spec) in specs.iter().enumerate() {
+                let ord = compare_order_keys(&ka[idx], &kb[idx]);
+                let ord = if spec.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            ia.cmp(ib) // stable
+        });
+        Ok(keyed.into_iter().map(|(_, _, item)| item).collect())
+    }
+
+    fn eval_path(&mut self, start: Option<&Expr>, steps: &[Step]) -> EvalResult {
+        let mut current: Sequence = match start {
+            Some(e) => self.eval(e)?,
+            None => {
+                // leading "/": root of the context item's document
+                let ctx = self.context_item()?;
+                match ctx {
+                    Item::Node(n) => vec![Item::Node(NodeId::new(n.doc, 0))],
+                    Item::Atom(_) => {
+                        return Err(EvalError::new("leading / requires a node context item"))
+                    }
+                }
+            }
+        };
+        for step in steps {
+            let mut result: Sequence = Vec::new();
+            for item in &current {
+                let node = match item {
+                    Item::Node(n) => *n,
+                    Item::Atom(_) => {
+                        return Err(EvalError::new("axis step applied to an atomic value"))
+                    }
+                };
+                let candidates = self.step_candidates(node, step)?;
+                result.extend(candidates);
+            }
+            sort_document_order(&mut result)?;
+            current = result;
+        }
+        Ok(current)
+    }
+
+    /// Applies one step (axis + test + predicates) to one context node.
+    fn step_candidates(&mut self, node: NodeId, step: &Step) -> EvalResult {
+        let test = {
+            let names = &self.store.names;
+            match &step.test {
+                NameTest::Name(n) => {
+                    names.get(n).map(NodeTest::Name).unwrap_or(NodeTest::UnknownName)
+                }
+                NameTest::Wildcard => NodeTest::Wildcard,
+                NameTest::AnyKind => NodeTest::AnyKind,
+                NameTest::Text => NodeTest::Text,
+                NameTest::Comment => NodeTest::Comment,
+            }
+        };
+        let mut raw = Vec::new();
+        {
+            let doc = self.store.doc(node.doc);
+            let mut reached = Vec::new();
+            axis_nodes(doc, node.idx, step.axis, &mut reached);
+            for r in reached {
+                if node_test_matches(doc, r, step.axis, &test) {
+                    raw.push(Item::Node(NodeId::new(node.doc, r)));
+                }
+            }
+        }
+        let mut filtered = raw;
+        for pred in &step.predicates {
+            filtered = self.apply_predicate(filtered, pred)?;
+        }
+        Ok(filtered)
+    }
+
+    /// XPath predicate semantics: a numeric predicate selects by position
+    /// (1-based, in the order of the input sequence); anything else filters
+    /// by effective boolean value with the item as context item.
+    fn apply_predicate(&mut self, input: Sequence, pred: &Expr) -> EvalResult {
+        let mut out = Vec::new();
+        let len = input.len();
+        for (i, item) in input.into_iter().enumerate() {
+            self.context.push(item.clone());
+            let v = self.eval(pred);
+            self.context.pop();
+            let v = v?;
+            let keep = match v.as_slice() {
+                [Item::Atom(a @ (Atomic::Int(_) | Atomic::Dbl(_)))] => {
+                    let pos = to_number(a).unwrap();
+                    (i + 1) as f64 == pos
+                }
+                _ => effective_boolean_value(&v)?,
+            };
+            if keep {
+                out.push(item);
+            }
+        }
+        let _ = len;
+        Ok(out)
+    }
+
+    fn eval_funcall(&mut self, name: &str, args: &[Expr]) -> EvalResult {
+        // builtins first
+        let mut arg_values = Vec::with_capacity(args.len());
+        for a in args {
+            arg_values.push(self.eval(a)?);
+        }
+        if let Some(result) = builtins::eval_builtin(self, name, &arg_values)? {
+            return Ok(result);
+        }
+        // user-defined function
+        let func = self
+            .functions
+            .iter()
+            .find(|f| f.name == name)
+            .cloned()
+            .ok_or_else(|| EvalError::new(format!("unknown function {name}()")))?;
+        if func.params.len() != arg_values.len() {
+            return Err(EvalError::new(format!(
+                "{name}() expects {} arguments, got {}",
+                func.params.len(),
+                arg_values.len()
+            )));
+        }
+        if self.call_depth >= MAX_CALL_DEPTH {
+            return Err(EvalError::new(format!("call depth exceeded in {name}()")));
+        }
+        // function bodies see only their parameters (fresh scope)
+        let saved_env = std::mem::take(&mut self.env);
+        let saved_ctx = std::mem::take(&mut self.context);
+        for ((p, _), v) in func.params.iter().zip(arg_values) {
+            self.env.push((p.clone(), v));
+        }
+        self.call_depth += 1;
+        let result = self.eval(&func.body);
+        self.call_depth -= 1;
+        self.env = saved_env;
+        self.context = saved_ctx;
+        result
+    }
+
+    fn eval_constructor(&mut self, c: &Constructor) -> EvalResult {
+        match c {
+            Constructor::Element { name, content } => {
+                let name = self.constructor_name(name)?;
+                let content = self.eval(content)?;
+                let mut b = DocBuilder::new(None);
+                b.start_element(&name);
+                self.append_content(&mut b, &content)?;
+                b.end_element();
+                let doc = self.store.attach(b.finish());
+                Ok(vec![Item::Node(NodeId::new(doc, 1))])
+            }
+            Constructor::Document { content } => {
+                let content = self.eval(content)?;
+                let mut b = DocBuilder::new(None);
+                self.append_content(&mut b, &content)?;
+                let doc = self.store.attach(b.finish());
+                Ok(vec![Item::Node(NodeId::new(doc, 0))])
+            }
+            Constructor::Text { content } => {
+                let content = self.eval(content)?;
+                if content.is_empty() {
+                    return Ok(vec![]);
+                }
+                let text = content
+                    .iter()
+                    .map(|i| string_value(self.store, i))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let mut b = DocBuilder::new(None);
+                b.text(&text);
+                let doc = self.store.attach(b.finish());
+                Ok(vec![Item::Node(NodeId::new(doc, 1))])
+            }
+            Constructor::Attribute { name, content } => {
+                let name = self.constructor_name(name)?;
+                let content = self.eval(content)?;
+                let value = content
+                    .iter()
+                    .map(|i| string_value(self.store, i))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                // standalone attribute nodes live under a holder element
+                let mut b = DocBuilder::new(None);
+                b.start_element("attribute-holder");
+                b.attribute(&name, &value);
+                b.end_element();
+                let doc = self.store.attach(b.finish());
+                Ok(vec![Item::Node(NodeId::new(doc, 2))])
+            }
+        }
+    }
+
+    fn constructor_name(&mut self, name: &ElemName) -> EvalResult<String> {
+        match name {
+            ElemName::Static(n) => Ok(n.clone()),
+            ElemName::Computed(e) => {
+                let v = self.eval(e)?;
+                match v.as_slice() {
+                    [item] => Ok(string_value(self.store, item)),
+                    _ => Err(EvalError::new("computed constructor name must be a single item")),
+                }
+            }
+        }
+    }
+
+    /// XQuery content semantics: attribute items first (become attributes of
+    /// the enclosing element), nodes are deep-copied, adjacent atomics join
+    /// with single spaces into one text node.
+    fn append_content(&mut self, b: &mut DocBuilder, content: &[Item]) -> EvalResult<()> {
+        let mut pending_text: Option<String> = None;
+        let mut seen_child = false;
+        for item in content {
+            match item {
+                Item::Atom(a) => {
+                    let lex = a.to_lexical();
+                    match &mut pending_text {
+                        Some(t) => {
+                            t.push(' ');
+                            t.push_str(&lex);
+                        }
+                        None => pending_text = Some(lex),
+                    }
+                }
+                Item::Node(n) => {
+                    let is_attr =
+                        self.store.doc(n.doc).kind(n.idx) == NodeKind::Attribute;
+                    if is_attr {
+                        if seen_child || pending_text.is_some() {
+                            return Err(EvalError::new(
+                                "attribute node after non-attribute content (err:XQTY0024)",
+                            ));
+                        }
+                        let doc = self.store.doc(n.doc);
+                        b.copy_subtree(doc, &self.store.names, n.idx);
+                        continue;
+                    }
+                    if let Some(t) = pending_text.take() {
+                        b.text(&t);
+                    }
+                    seen_child = true;
+                    let doc = self.store.doc(n.doc);
+                    b.copy_subtree(doc, &self.store.names, n.idx);
+                }
+            }
+        }
+        if let Some(t) = pending_text {
+            b.text(&t);
+        }
+        Ok(())
+    }
+}
+
+/// A `for`-return clause amenable to Bulk RPC: a chain of local `let`s
+/// ending in an `Execute` with a literal peer.
+struct BulkPlan<'a> {
+    lets: Vec<(&'a str, &'a Expr)>,
+    peer: String,
+    params: &'a [XrpcParam],
+    body: &'a Expr,
+    projection: Option<&'a ExecProjection>,
+}
+
+fn bulk_pattern(ret: &Expr) -> Option<BulkPlan<'_>> {
+    let mut lets = Vec::new();
+    let mut cur = ret;
+    loop {
+        match cur {
+            Expr::Let { var, value, ret } => {
+                lets.push((var.as_str(), value.as_ref()));
+                cur = ret;
+            }
+            Expr::Execute { peer, params, body, projection } => {
+                let Expr::Literal(a) = peer.as_ref() else {
+                    return None; // peer could vary per iteration
+                };
+                return Some(BulkPlan {
+                    lets,
+                    peer: a.to_lexical(),
+                    params,
+                    body,
+                    projection: projection.as_deref(),
+                });
+            }
+            _ => return None,
+        }
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    fn eval_bulk_for(&mut self, var: &str, input: Sequence, plan: BulkPlan<'_>) -> EvalResult {
+        let mut calls: Vec<Vec<(String, Sequence)>> = Vec::with_capacity(input.len());
+        for item in input {
+            self.env.push((var.to_string(), vec![item]));
+            let mut pushed = 1usize;
+            let mut bound: EvalResult<Vec<(String, Sequence)>> = Ok(Vec::new());
+            for (lv, lval) in &plan.lets {
+                match self.eval(lval) {
+                    Ok(v) => {
+                        self.env.push((lv.to_string(), v));
+                        pushed += 1;
+                    }
+                    Err(e) => {
+                        bound = Err(e);
+                        break;
+                    }
+                }
+            }
+            if bound.is_ok() {
+                let mut params = Vec::with_capacity(plan.params.len());
+                for p in plan.params {
+                    match self.lookup(&p.outer) {
+                        Ok(v) => params.push((p.var.clone(), v)),
+                        Err(e) => {
+                            bound = Err(e);
+                            break;
+                        }
+                    }
+                }
+                if bound.is_ok() {
+                    bound = Ok(params);
+                }
+            }
+            for _ in 0..pushed {
+                self.env.pop();
+            }
+            calls.push(bound?);
+        }
+        let handler = self.remote.as_mut().expect("bulk path requires a handler");
+        let results = handler.execute_bulk(
+            self.store,
+            &self.static_ctx,
+            &plan.peer,
+            &calls,
+            plan.body,
+            plan.projection,
+        )?;
+        Ok(results.into_iter().flatten().collect())
+    }
+}
+
+fn single_node(seq: &[Item], what: &str) -> EvalResult<NodeId> {
+    match seq {
+        [Item::Node(n)] => Ok(*n),
+        _ => Err(EvalError::new(format!("{what} requires a single node operand"))),
+    }
+}
+
+fn compare_order_keys(a: &Option<Atomic>, b: &Option<Atomic>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less, // empty least
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => {
+            // numeric if both castable, else string
+            if let (Some(nx), Some(ny)) = (to_number(x), to_number(y)) {
+                nx.partial_cmp(&ny).unwrap_or(Ordering::Equal)
+            } else {
+                x.to_lexical().cmp(&y.to_lexical())
+            }
+        }
+    }
+}
+
+/// Does `seq` match the sequence type? (typeswitch dispatch).
+pub fn matches_seq_type(store: &Store, seq: &[Item], t: &SeqType) -> bool {
+    if t.item == ItemType::EmptySequence {
+        return seq.is_empty();
+    }
+    let len_ok = match t.occurrence {
+        Occurrence::One => seq.len() == 1,
+        Occurrence::Optional => seq.len() <= 1,
+        Occurrence::ZeroOrMore => true,
+        Occurrence::OneOrMore => !seq.is_empty(),
+    };
+    if !len_ok {
+        return false;
+    }
+    seq.iter().all(|item| matches_item_type(store, item, &t.item))
+}
+
+fn matches_item_type(store: &Store, item: &Item, t: &ItemType) -> bool {
+    match (t, item) {
+        (ItemType::AnyItem, _) => true,
+        (ItemType::AnyNode, Item::Node(_)) => true,
+        (ItemType::Element(name), Item::Node(n)) => {
+            let doc = store.doc(n.doc);
+            doc.kind(n.idx) == NodeKind::Element
+                && name
+                    .as_ref()
+                    .map(|nm| store.names.resolve(doc.name(n.idx)) == nm)
+                    .unwrap_or(true)
+        }
+        (ItemType::Attribute(name), Item::Node(n)) => {
+            let doc = store.doc(n.doc);
+            doc.kind(n.idx) == NodeKind::Attribute
+                && name
+                    .as_ref()
+                    .map(|nm| store.names.resolve(doc.name(n.idx)) == nm)
+                    .unwrap_or(true)
+        }
+        (ItemType::TextNode, Item::Node(n)) => store.doc(n.doc).kind(n.idx) == NodeKind::Text,
+        (ItemType::DocumentNode, Item::Node(n)) => {
+            store.doc(n.doc).kind(n.idx) == NodeKind::Document
+        }
+        (ItemType::AtomicStr, Item::Atom(Atomic::Str(_))) => true,
+        (ItemType::AtomicInt, Item::Atom(Atomic::Int(_))) => true,
+        (ItemType::AtomicDbl, Item::Atom(Atomic::Dbl(_))) => true,
+        (ItemType::AtomicBool, Item::Atom(Atomic::Bool(_))) => true,
+        (ItemType::AtomicUntyped, Item::Atom(Atomic::Untyped(_))) => true,
+        _ => false,
+    }
+}
+
+/// Evaluates a whole module against a store with local-only resolution.
+/// The main entry point for single-peer ("local execution") semantics.
+pub fn eval_query(store: &mut Store, module: &QueryModule) -> EvalResult {
+    let mut resolver = LocalResolver;
+    let mut ev = Evaluator::new(store, &module.functions, &mut resolver);
+    ev.eval(&module.body)
+}

@@ -1,0 +1,486 @@
+//! Tokenizer for the XQuery surface syntax.
+//!
+//! Keywords are not distinguished here — XQuery keywords are contextual, so
+//! the parser matches them against [`Token::Name`] as needed. QNames may
+//! contain a single prefix colon (`xs:string`, `xrpc:base-uri`); the axis
+//! separator `::` is its own token.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// NCName or prefixed QName.
+    Name(String),
+    StringLit(String),
+    IntLit(i64),
+    DblLit(f64),
+    /// `$`
+    Dollar,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    /// `:=`
+    Assign,
+    /// `::`
+    AxisSep,
+    Slash,
+    DoubleSlash,
+    Dot,
+    DotDot,
+    At,
+    Star,
+    Pipe,
+    Plus,
+    Minus,
+    Question,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `<<`
+    Before,
+    /// `>>`
+    After,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Name(n) => write!(f, "{n}"),
+            Token::StringLit(s) => write!(f, "\"{s}\""),
+            Token::IntLit(i) => write!(f, "{i}"),
+            Token::DblLit(d) => write!(f, "{d}"),
+            Token::Dollar => write!(f, "$"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Assign => write!(f, ":="),
+            Token::AxisSep => write!(f, "::"),
+            Token::Slash => write!(f, "/"),
+            Token::DoubleSlash => write!(f, "//"),
+            Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
+            Token::At => write!(f, "@"),
+            Token::Star => write!(f, "*"),
+            Token::Pipe => write!(f, "|"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Question => write!(f, "?"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Before => write!(f, "<<"),
+            Token::After => write!(f, ">>"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexical error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+/// Tokenizes `input`, appending a final [`Token::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    // byte offsets for error messages
+    let byte_offset: Vec<usize> = {
+        let mut v = Vec::with_capacity(chars.len() + 1);
+        let mut b = 0;
+        for c in &chars {
+            v.push(b);
+            b += c.len_utf8();
+        }
+        v.push(b);
+        v
+    };
+    macro_rules! err {
+        ($pos:expr, $($msg:tt)*) => {
+            return Err(LexError { offset: byte_offset[$pos], message: format!($($msg)*) })
+        };
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+                continue;
+            }
+            '(' => {
+                if chars.get(i + 1) == Some(&':') {
+                    // nested comment (: ... :)
+                    let mut depth = 1;
+                    i += 2;
+                    while depth > 0 {
+                        match (chars.get(i), chars.get(i + 1)) {
+                            (Some('('), Some(':')) => {
+                                depth += 1;
+                                i += 2;
+                            }
+                            (Some(':'), Some(')')) => {
+                                depth -= 1;
+                                i += 2;
+                            }
+                            (Some(_), _) => i += 1,
+                            (None, _) => err!(start, "unterminated comment"),
+                        }
+                    }
+                    continue;
+                }
+                out.push((Token::LParen, byte_offset[i]));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::RParen, byte_offset[i]));
+                i += 1;
+            }
+            '{' => {
+                out.push((Token::LBrace, byte_offset[i]));
+                i += 1;
+            }
+            '}' => {
+                out.push((Token::RBrace, byte_offset[i]));
+                i += 1;
+            }
+            '[' => {
+                out.push((Token::LBracket, byte_offset[i]));
+                i += 1;
+            }
+            ']' => {
+                out.push((Token::RBracket, byte_offset[i]));
+                i += 1;
+            }
+            ',' => {
+                out.push((Token::Comma, byte_offset[i]));
+                i += 1;
+            }
+            ';' => {
+                out.push((Token::Semicolon, byte_offset[i]));
+                i += 1;
+            }
+            '$' => {
+                out.push((Token::Dollar, byte_offset[i]));
+                i += 1;
+            }
+            '@' => {
+                out.push((Token::At, byte_offset[i]));
+                i += 1;
+            }
+            '*' => {
+                out.push((Token::Star, byte_offset[i]));
+                i += 1;
+            }
+            '|' => {
+                out.push((Token::Pipe, byte_offset[i]));
+                i += 1;
+            }
+            '+' => {
+                out.push((Token::Plus, byte_offset[i]));
+                i += 1;
+            }
+            '-' => {
+                out.push((Token::Minus, byte_offset[i]));
+                i += 1;
+            }
+            '?' => {
+                out.push((Token::Question, byte_offset[i]));
+                i += 1;
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push((Token::Assign, byte_offset[i]));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&':') {
+                    out.push((Token::AxisSep, byte_offset[i]));
+                    i += 2;
+                } else {
+                    err!(i, "unexpected ':'");
+                }
+            }
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    out.push((Token::DoubleSlash, byte_offset[i]));
+                    i += 2;
+                } else {
+                    out.push((Token::Slash, byte_offset[i]));
+                    i += 1;
+                }
+            }
+            '.' => {
+                if chars.get(i + 1) == Some(&'.') {
+                    out.push((Token::DotDot, byte_offset[i]));
+                    i += 2;
+                } else {
+                    out.push((Token::Dot, byte_offset[i]));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push((Token::Eq, byte_offset[i]));
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push((Token::Ne, byte_offset[i]));
+                    i += 2;
+                } else {
+                    err!(i, "unexpected '!'");
+                }
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push((Token::Le, byte_offset[i]));
+                    i += 2;
+                }
+                Some('<') => {
+                    out.push((Token::Before, byte_offset[i]));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Token::Lt, byte_offset[i]));
+                    i += 1;
+                }
+            },
+            '>' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push((Token::Ge, byte_offset[i]));
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push((Token::After, byte_offset[i]));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Token::Gt, byte_offset[i]));
+                    i += 1;
+                }
+            },
+            '"' | '\'' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => err!(start, "unterminated string literal"),
+                        Some(&q) if q == quote => {
+                            // doubled quote is an escape
+                            if chars.get(i + 1) == Some(&quote) {
+                                s.push(quote);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((Token::StringLit(s), byte_offset[start]));
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while matches!(chars.get(j), Some(d) if d.is_ascii_digit()) {
+                    j += 1;
+                }
+                let is_dbl = chars.get(j) == Some(&'.')
+                    && matches!(chars.get(j + 1), Some(d) if d.is_ascii_digit());
+                if is_dbl {
+                    j += 1;
+                    while matches!(chars.get(j), Some(d) if d.is_ascii_digit()) {
+                        j += 1;
+                    }
+                }
+                if matches!(chars.get(j), Some('e' | 'E')) {
+                    let mut k = j + 1;
+                    if matches!(chars.get(k), Some('+' | '-')) {
+                        k += 1;
+                    }
+                    if matches!(chars.get(k), Some(d) if d.is_ascii_digit()) {
+                        let mut m = k;
+                        while matches!(chars.get(m), Some(d) if d.is_ascii_digit()) {
+                            m += 1;
+                        }
+                        let text: String = chars[i..m].iter().collect();
+                        let v: f64 = text.parse().map_err(|_| LexError {
+                            offset: byte_offset[i],
+                            message: format!("bad number {text}"),
+                        })?;
+                        out.push((Token::DblLit(v), byte_offset[i]));
+                        i = m;
+                        continue;
+                    }
+                }
+                let text: String = chars[i..j].iter().collect();
+                if is_dbl {
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        offset: byte_offset[i],
+                        message: format!("bad number {text}"),
+                    })?;
+                    out.push((Token::DblLit(v), byte_offset[i]));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        offset: byte_offset[i],
+                        message: format!("bad integer {text}"),
+                    })?;
+                    out.push((Token::IntLit(v), byte_offset[i]));
+                }
+                i = j;
+            }
+            c if is_name_start(c) => {
+                let mut j = i + 1;
+                while matches!(chars.get(j), Some(&ch) if is_name_char(ch)) {
+                    j += 1;
+                }
+                // optional single prefix colon, not an axis separator
+                if chars.get(j) == Some(&':')
+                    && chars.get(j + 1) != Some(&':')
+                    && chars.get(j + 1) != Some(&'=')
+                    && matches!(chars.get(j + 1), Some(&ch) if is_name_start(ch))
+                {
+                    j += 1;
+                    while matches!(chars.get(j), Some(&ch) if is_name_char(ch)) {
+                        j += 1;
+                    }
+                }
+                let name: String = chars[i..j].iter().collect();
+                out.push((Token::Name(name), byte_offset[i]));
+                i = j;
+            }
+            other => err!(i, "unexpected character {other:?}"),
+        }
+    }
+    out.push((Token::Eof, byte_offset[chars.len()]));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn names_and_axes() {
+        assert_eq!(
+            toks("child::a"),
+            vec![Token::Name("child".into()), Token::AxisSep, Token::Name("a".into()), Token::Eof]
+        );
+        assert_eq!(
+            toks("xs:string"),
+            vec![Token::Name("xs:string".into()), Token::Eof]
+        );
+        // ':=' after a name must not be folded into a QName
+        assert_eq!(
+            toks("x:= 1"),
+            vec![Token::Name("x".into()), Token::Assign, Token::IntLit(1), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a << b >> c <= d >= e != f"),
+            vec![
+                Token::Name("a".into()),
+                Token::Before,
+                Token::Name("b".into()),
+                Token::After,
+                Token::Name("c".into()),
+                Token::Le,
+                Token::Name("d".into()),
+                Token::Ge,
+                Token::Name("e".into()),
+                Token::Ne,
+                Token::Name("f".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("\"a\"\"b\""), vec![Token::StringLit("a\"b".into()), Token::Eof]);
+        assert_eq!(toks("'it''s'"), vec![Token::StringLit("it's".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Token::IntLit(42), Token::Eof]);
+        assert_eq!(toks("4.5"), vec![Token::DblLit(4.5), Token::Eof]);
+        assert_eq!(toks("1e3"), vec![Token::DblLit(1000.0), Token::Eof]);
+        // "1." followed by ".." is a dot-dot, not a decimal
+        assert_eq!(toks("1 .."), vec![Token::IntLit(1), Token::DotDot, Token::Eof]);
+    }
+
+    #[test]
+    fn slashes_and_dots() {
+        assert_eq!(
+            toks("//a/.."),
+            vec![
+                Token::DoubleSlash,
+                Token::Name("a".into()),
+                Token::Slash,
+                Token::DotDot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("1 (: comment (: nested :) done :) 2"), vec![
+            Token::IntLit(1),
+            Token::IntLit(2),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"abc").is_err());
+        assert!(tokenize("(: abc").is_err());
+    }
+}

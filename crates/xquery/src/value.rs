@@ -1,0 +1,382 @@
+//! XDM values: items, sequences, atomization, effective boolean value,
+//! comparison semantics and `fn:deep-equal`.
+
+use std::fmt;
+
+use xqd_xml::{NodeId, NodeKind, Store};
+
+use crate::ast::{Atomic, CompOp};
+
+/// One XDM item: a node reference or an atomic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Node(NodeId),
+    Atom(Atomic),
+}
+
+/// An XDM sequence. Flat by construction (nesting is impossible in XDM).
+pub type Sequence = Vec<Item>;
+
+/// Evaluation errors (dynamic errors per XQuery, with err:-style codes
+/// collapsed into a message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    pub message: String,
+}
+
+impl EvalError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        EvalError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+pub type EvalResult<T = Sequence> = Result<T, EvalError>;
+
+/// Atomizes one item (node → untyped atomic of its string value).
+pub fn atomize_item(store: &Store, item: &Item) -> Atomic {
+    match item {
+        Item::Atom(a) => a.clone(),
+        Item::Node(n) => Atomic::Untyped(store.doc(n.doc).string_value(n.idx)),
+    }
+}
+
+/// Atomizes a sequence.
+pub fn atomize(store: &Store, seq: &[Item]) -> Vec<Atomic> {
+    seq.iter().map(|i| atomize_item(store, i)).collect()
+}
+
+/// String value of one item (`fn:string`).
+pub fn string_value(store: &Store, item: &Item) -> String {
+    match item {
+        Item::Atom(a) => a.to_lexical(),
+        Item::Node(n) => store.doc(n.doc).string_value(n.idx),
+    }
+}
+
+/// Numeric promotion of an atomic, if possible.
+pub fn to_number(a: &Atomic) -> Option<f64> {
+    match a {
+        Atomic::Int(i) => Some(*i as f64),
+        Atomic::Dbl(d) => Some(*d),
+        Atomic::Str(s) | Atomic::Untyped(s) => s.trim().parse::<f64>().ok(),
+        Atomic::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+    }
+}
+
+/// Effective boolean value (XPath 2.0 §2.4.3).
+pub fn effective_boolean_value(seq: &[Item]) -> EvalResult<bool> {
+    match seq {
+        [] => Ok(false),
+        [Item::Node(_), ..] => Ok(true),
+        [Item::Atom(a)] => Ok(match a {
+            Atomic::Bool(b) => *b,
+            Atomic::Str(s) | Atomic::Untyped(s) => !s.is_empty(),
+            Atomic::Int(i) => *i != 0,
+            Atomic::Dbl(d) => *d != 0.0 && !d.is_nan(),
+        }),
+        _ => Err(EvalError::new("effective boolean value of a multi-atom sequence")),
+    }
+}
+
+/// Compares two atomics under general-comparison casting rules:
+/// untyped vs numeric → numeric, untyped vs string/untyped → string,
+/// untyped vs boolean → boolean.
+pub fn compare_atomics(op: CompOp, l: &Atomic, r: &Atomic) -> EvalResult<bool> {
+    use Atomic::*;
+    let ord = match (l, r) {
+        (Int(a), Int(b)) => a.partial_cmp(b),
+        (Int(_) | Dbl(_), Int(_) | Dbl(_)) => {
+            to_number(l).unwrap().partial_cmp(&to_number(r).unwrap())
+        }
+        (Untyped(_), Int(_) | Dbl(_)) | (Int(_) | Dbl(_), Untyped(_)) => {
+            let a = to_number(l)
+                .ok_or_else(|| EvalError::new(format!("cannot cast {l:?} to number")))?;
+            let b = to_number(r)
+                .ok_or_else(|| EvalError::new(format!("cannot cast {r:?} to number")))?;
+            a.partial_cmp(&b)
+        }
+        (Bool(a), Bool(b)) => a.partial_cmp(b),
+        (Untyped(s), Bool(b)) | (Bool(b), Untyped(s)) => {
+            let parsed = match s.trim() {
+                "true" | "1" => true,
+                "false" | "0" => false,
+                _ => return Err(EvalError::new(format!("cannot cast {s:?} to boolean"))),
+            };
+            if matches!(l, Bool(_)) {
+                b.partial_cmp(&parsed)
+            } else {
+                parsed.partial_cmp(b)
+            }
+        }
+        (Str(a) | Untyped(a), Str(b) | Untyped(b)) => a.partial_cmp(b),
+        (Str(_), Int(_) | Dbl(_)) | (Int(_) | Dbl(_), Str(_)) => {
+            return Err(EvalError::new("cannot compare xs:string with a number"))
+        }
+        (Str(_), Bool(_)) | (Bool(_), Str(_)) => {
+            return Err(EvalError::new("cannot compare xs:string with xs:boolean"))
+        }
+        (Bool(_), Int(_) | Dbl(_)) | (Int(_) | Dbl(_), Bool(_)) => {
+            return Err(EvalError::new("cannot compare xs:boolean with a number"))
+        }
+    };
+    let Some(ord) = ord else {
+        return Ok(false); // NaN comparisons are false
+    };
+    Ok(match op {
+        CompOp::Eq => ord == std::cmp::Ordering::Equal,
+        CompOp::Ne => ord != std::cmp::Ordering::Equal,
+        CompOp::Lt => ord == std::cmp::Ordering::Less,
+        CompOp::Le => ord != std::cmp::Ordering::Greater,
+        CompOp::Gt => ord == std::cmp::Ordering::Greater,
+        CompOp::Ge => ord != std::cmp::Ordering::Less,
+    })
+}
+
+/// General comparison: existential over the atomized operand sequences.
+pub fn general_compare(
+    store: &Store,
+    op: CompOp,
+    lhs: &[Item],
+    rhs: &[Item],
+) -> EvalResult<bool> {
+    let l = atomize(store, lhs);
+    let r = atomize(store, rhs);
+    for a in &l {
+        for b in &r {
+            if compare_atomics(op, a, b)? {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Sorts a node sequence into document order and removes duplicates.
+/// Errors if the sequence contains atomic items.
+pub fn sort_document_order(seq: &mut Sequence) -> EvalResult<()> {
+    for item in seq.iter() {
+        if matches!(item, Item::Atom(_)) {
+            return Err(EvalError::new("document-order sort of a non-node sequence"));
+        }
+    }
+    seq.sort_by_key(|i| match i {
+        Item::Node(n) => *n,
+        Item::Atom(_) => unreachable!(),
+    });
+    seq.dedup();
+    Ok(())
+}
+
+/// `fn:deep-equal` over two sequences (default collation, no NaN-equals
+/// subtleties: our atomics compare with general `Eq` semantics).
+pub fn deep_equal(store: &Store, lhs: &[Item], rhs: &[Item]) -> bool {
+    if lhs.len() != rhs.len() {
+        return false;
+    }
+    lhs.iter().zip(rhs).all(|(l, r)| deep_equal_item(store, l, r))
+}
+
+fn deep_equal_item(store: &Store, l: &Item, r: &Item) -> bool {
+    match (l, r) {
+        (Item::Atom(a), Item::Atom(b)) => {
+            compare_atomics(CompOp::Eq, a, b).unwrap_or(false)
+        }
+        (Item::Node(a), Item::Node(b)) => deep_equal_node(store, *a, *b),
+        _ => false,
+    }
+}
+
+fn deep_equal_node(store: &Store, a: NodeId, b: NodeId) -> bool {
+    let da = store.doc(a.doc);
+    let db = store.doc(b.doc);
+    let (ka, kb) = (da.kind(a.idx), db.kind(b.idx));
+    if ka != kb {
+        return false;
+    }
+    match ka {
+        NodeKind::Text | NodeKind::Comment => da.value(a.idx) == db.value(b.idx),
+        NodeKind::Pi => da.name(a.idx) == db.name(b.idx) && da.value(a.idx) == db.value(b.idx),
+        NodeKind::Attribute => {
+            store.names.resolve(da.name(a.idx)) == store.names.resolve(db.name(b.idx))
+                && da.value(a.idx) == db.value(b.idx)
+        }
+        NodeKind::Element => {
+            if store.names.resolve(da.name(a.idx)) != store.names.resolve(db.name(b.idx)) {
+                return false;
+            }
+            // attribute sets must match (order-insensitive)
+            let attrs_a: Vec<(String, String)> = da
+                .attributes(a.idx)
+                .map(|x| {
+                    (
+                        store.names.resolve(da.name(x)).to_string(),
+                        da.value(x).unwrap_or("").to_string(),
+                    )
+                })
+                .collect();
+            let attrs_b: Vec<(String, String)> = db
+                .attributes(b.idx)
+                .map(|x| {
+                    (
+                        store.names.resolve(db.name(x)).to_string(),
+                        db.value(x).unwrap_or("").to_string(),
+                    )
+                })
+                .collect();
+            if attrs_a.len() != attrs_b.len() {
+                return false;
+            }
+            for pair in &attrs_a {
+                if !attrs_b.contains(pair) {
+                    return false;
+                }
+            }
+            deep_equal_children(store, a, b)
+        }
+        NodeKind::Document => deep_equal_children(store, a, b),
+    }
+}
+
+fn deep_equal_children(store: &Store, a: NodeId, b: NodeId) -> bool {
+    // comparable children: elements and text (XQuery F&O deep-equal ignores
+    // comments and PIs)
+    let da = store.doc(a.doc);
+    let db = store.doc(b.doc);
+    let ca: Vec<u32> = da
+        .children(a.idx)
+        .filter(|&c| matches!(da.kind(c), NodeKind::Element | NodeKind::Text))
+        .collect();
+    let cb: Vec<u32> = db
+        .children(b.idx)
+        .filter(|&c| matches!(db.kind(c), NodeKind::Element | NodeKind::Text))
+        .collect();
+    if ca.len() != cb.len() {
+        return false;
+    }
+    ca.iter().zip(&cb).all(|(&x, &y)| {
+        deep_equal_node(store, NodeId::new(a.doc, x), NodeId::new(b.doc, y))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqd_xml::parse_document;
+
+    #[test]
+    fn ebv_rules() {
+        assert!(!effective_boolean_value(&[]).unwrap());
+        assert!(effective_boolean_value(&[Item::Atom(Atomic::Bool(true))]).unwrap());
+        assert!(!effective_boolean_value(&[Item::Atom(Atomic::Str("".into()))]).unwrap());
+        assert!(effective_boolean_value(&[Item::Atom(Atomic::Str("x".into()))]).unwrap());
+        assert!(!effective_boolean_value(&[Item::Atom(Atomic::Int(0))]).unwrap());
+        assert!(effective_boolean_value(&[Item::Atom(Atomic::Dbl(0.5))]).unwrap());
+        assert!(effective_boolean_value(&[
+            Item::Atom(Atomic::Int(1)),
+            Item::Atom(Atomic::Int(2))
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn untyped_casting_in_comparisons() {
+        // untyped vs number → numeric
+        assert!(compare_atomics(CompOp::Lt, &Atomic::Untyped("39".into()), &Atomic::Int(40))
+            .unwrap());
+        assert!(!compare_atomics(CompOp::Lt, &Atomic::Untyped("41".into()), &Atomic::Int(40))
+            .unwrap());
+        // untyped vs untyped → string
+        assert!(compare_atomics(
+            CompOp::Eq,
+            &Atomic::Untyped("abc".into()),
+            &Atomic::Untyped("abc".into())
+        )
+        .unwrap());
+        // "10" < "9" as strings
+        assert!(compare_atomics(
+            CompOp::Lt,
+            &Atomic::Untyped("10".into()),
+            &Atomic::Untyped("9".into())
+        )
+        .unwrap());
+        // string vs number is a type error
+        assert!(compare_atomics(CompOp::Eq, &Atomic::Str("1".into()), &Atomic::Int(1)).is_err());
+    }
+
+    #[test]
+    fn general_comparison_is_existential() {
+        let store = Store::new();
+        let lhs = vec![Item::Atom(Atomic::Int(1)), Item::Atom(Atomic::Int(5))];
+        let rhs = vec![Item::Atom(Atomic::Int(5))];
+        assert!(general_compare(&store, CompOp::Eq, &lhs, &rhs).unwrap());
+        assert!(general_compare(&store, CompOp::Lt, &lhs, &rhs).unwrap());
+        assert!(!general_compare(&store, CompOp::Gt, &lhs, &rhs).unwrap());
+        assert!(!general_compare(&store, CompOp::Eq, &[], &rhs).unwrap());
+    }
+
+    #[test]
+    fn deep_equal_structural() {
+        let mut s = Store::new();
+        let d1 = parse_document(&mut s, "<a x=\"1\" y=\"2\"><b>t</b></a>", None).unwrap();
+        let d2 = parse_document(&mut s, "<a y=\"2\" x=\"1\"><b>t</b></a>", None).unwrap();
+        let d3 = parse_document(&mut s, "<a x=\"1\"><b>t</b></a>", None).unwrap();
+        let n1 = Item::Node(NodeId::new(d1, 1));
+        let n2 = Item::Node(NodeId::new(d2, 1));
+        let n3 = Item::Node(NodeId::new(d3, 1));
+        assert!(deep_equal(&s, std::slice::from_ref(&n1), std::slice::from_ref(&n2)));
+        assert!(!deep_equal(&s, std::slice::from_ref(&n1), std::slice::from_ref(&n3)));
+        assert!(!deep_equal(&s, std::slice::from_ref(&n1), &[n1.clone(), n2.clone()]));
+    }
+
+    #[test]
+    fn deep_equal_ignores_comments() {
+        let mut s = Store::new();
+        let d1 = parse_document(&mut s, "<a><!--x--><b/></a>", None).unwrap();
+        let d2 = parse_document(&mut s, "<a><b/></a>", None).unwrap();
+        assert!(deep_equal(
+            &s,
+            &[Item::Node(NodeId::new(d1, 1))],
+            &[Item::Node(NodeId::new(d2, 1))]
+        ));
+    }
+
+    #[test]
+    fn deep_equal_atom_vs_node_is_false() {
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<a>1</a>", None).unwrap();
+        assert!(!deep_equal(
+            &s,
+            &[Item::Node(NodeId::new(d, 1))],
+            &[Item::Atom(Atomic::Int(1))]
+        ));
+    }
+
+    #[test]
+    fn sort_document_order_dedups() {
+        let mut s = Store::new();
+        let d = parse_document(&mut s, "<a><b/><c/></a>", None).unwrap();
+        let mut seq = vec![
+            Item::Node(NodeId::new(d, 3)),
+            Item::Node(NodeId::new(d, 2)),
+            Item::Node(NodeId::new(d, 3)),
+        ];
+        sort_document_order(&mut seq).unwrap();
+        assert_eq!(seq, vec![Item::Node(NodeId::new(d, 2)), Item::Node(NodeId::new(d, 3))]);
+        let mut bad = vec![Item::Atom(Atomic::Int(1))];
+        assert!(sort_document_order(&mut bad).is_err());
+    }
+
+    #[test]
+    fn nan_comparisons_are_false() {
+        assert!(!compare_atomics(CompOp::Eq, &Atomic::Dbl(f64::NAN), &Atomic::Dbl(1.0)).unwrap());
+        assert!(!compare_atomics(CompOp::Lt, &Atomic::Dbl(f64::NAN), &Atomic::Dbl(1.0)).unwrap());
+    }
+}

@@ -1,0 +1,110 @@
+//! Printer⇄parser roundtrip property: every expression the generator can
+//! produce prints to text that re-parses to a structurally identical
+//! expression. This is load-bearing — XRPC ships decomposed function bodies
+//! as printed XQuery source.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PStrategy;
+
+use xqd_xquery::{parse_expr_str, Expr};
+
+/// Random query text built compositionally from parseable pieces.
+fn arb_query() -> impl PStrategy<Value = String> {
+    let atom = prop::sample::select(vec![
+        "1".to_string(),
+        "2.5".to_string(),
+        "\"str\"".to_string(),
+        "\"qu\"\"ote\"".to_string(),
+        "$v".to_string(),
+        "()".to_string(),
+        "doc(\"d.xml\")".to_string(),
+        "true()".to_string(),
+    ]);
+    atom.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            // paths
+            (inner.clone(), prop::sample::select(vec![
+                "/child::a", "//b", "/parent::c", "/@id", "/descendant::d",
+                "/following-sibling::e", "/child::text()", "/child::node()",
+            ]))
+                .prop_map(|(base, step)| format!("({base}){step}")),
+            // binary operators
+            (inner.clone(), prop::sample::select(vec![
+                "=", "!=", "<", ">=", "is", "<<", ">>", "union", "intersect",
+                "except", "+", "*", "and", "or",
+            ]), inner.clone())
+                .prop_map(|(l, op, r)| format!("({l}) {op} ({r})")),
+            // control flow
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| format!("if ({c}) then ({t}) else ({e})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(s, r)| format!("for $x in ({s}) return ({r})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(v, r)| format!("let $y := ({v}) return ({r})")),
+            // constructors and functions
+            inner.clone().prop_map(|c| format!("element w {{ {c} }}")),
+            inner.clone().prop_map(|c| format!("count({c})")),
+            inner.clone().prop_map(|c| format!("concat(\"p\", string({c}))")),
+            // order by and sequences
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("(({a}), ({b}))")),
+            inner.clone().prop_map(|c| format!("($v) order by ({c}) descending")),
+            // execute-at (the shipped-body shape)
+            (inner.clone())
+                .prop_map(|b| format!("execute at {{ \"p\" }} params ($q := $outer) {{ {b} }}")),
+            // typeswitch
+            (inner.clone(), inner)
+                .prop_map(|(i, b)| format!(
+                    "typeswitch ({i}) case $n as node() return ({b}) default $d return ()"
+                )),
+        ]
+    })
+}
+
+/// Structural normalization for comparison: drop projections and flatten
+/// nested path spines (`(E/a)/b` ≡ `E/a/b` — the printer always emits the
+/// flat form).
+fn canon(e: &Expr) -> Expr {
+    let rebuilt = xqd_xquery::normalize::map_children_infallible(e, &mut canon);
+    match rebuilt {
+        Expr::Execute { peer, params, body, .. } => Expr::Execute {
+            peer,
+            params,
+            body,
+            projection: None,
+        },
+        Expr::Path { start: Some(start), steps } => match *start {
+            Expr::Path { start: inner_start, steps: mut inner_steps } => {
+                inner_steps.extend(steps);
+                Expr::Path { start: inner_start, steps: inner_steps }
+            }
+            other => Expr::Path { start: Some(other.boxed()), steps },
+        },
+        other => other,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_roundtrip(q in arb_query()) {
+        let Ok(parsed) = parse_expr_str(&q) else {
+            // generator composes only parseable pieces; a parse failure is a bug
+            return Err(TestCaseError::fail(format!("generated query failed to parse: {q}")));
+        };
+        let printed = parsed.to_string();
+        let reparsed = parse_expr_str(&printed).map_err(|e| {
+            TestCaseError::fail(format!("printed form does not reparse: {printed}\n{e}"))
+        })?;
+        prop_assert_eq!(
+            canon(&reparsed),
+            canon(&parsed),
+            "roundtrip changed structure:\n  input: {}\n  printed: {}",
+            q,
+            printed
+        );
+        // printing is idempotent
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+}

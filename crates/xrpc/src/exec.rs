@@ -1,0 +1,430 @@
+//! The distributed execution fabric: simulated peers plus the
+//! [`xqd_xquery::RemoteHandler`] / [`xqd_xquery::DocResolver`]
+//! implementations wiring the decomposed query to the message codecs.
+//!
+//! A [`Federation`] owns one [`Peer`] per `xrpc://host/…` host; `run()`
+//! spins up a fresh coordinator store (the query originator), decomposes the
+//! query under the chosen [`Strategy`] and evaluates it. Remote `execute
+//! at` calls serialize a real request message, "transfer" it under the
+//! [`NetworkModel`], shred it into the target peer's store, evaluate the
+//! body there with the *same* evaluator, and ship the response back the
+//! same way. `fn:doc("xrpc://…")` on the coordinator performs data
+//! shipping: the remote peer serializes the whole document, bytes are
+//! accounted, and the coordinator shreds and caches it.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use xqd_core::Strategy;
+use xqd_xml::{NodeId, NodeKind, Store};
+use xqd_xquery::ast::ExecProjection;
+use xqd_xquery::eval::{DocResolver, Evaluator, RemoteHandler, StaticContext};
+use xqd_xquery::value::{EvalError, EvalResult, Item, Sequence};
+use xqd_xquery::{parse_query, QueryModule};
+
+use crate::message::{
+    decode_request, decode_response, encode_request, encode_response, WireSemantics,
+};
+use crate::net::{Metrics, NetworkModel};
+
+/// One simulated peer: a named document store.
+#[derive(Debug)]
+pub struct Peer {
+    pub name: String,
+    pub store: Store,
+}
+
+impl Peer {
+    pub fn new(name: &str) -> Self {
+        Peer { name: name.to_string(), store: Store::new() }
+    }
+
+    /// Loads a document from XML text under `doc_name`. The document is
+    /// registered under its canonical `xrpc://<peer>/<doc_name>` URI so
+    /// `fn:base-uri` / `fn:document-uri` agree between peer-local access and
+    /// data-shipped copies at the coordinator.
+    pub fn load_document(&mut self, doc_name: &str, xml: &str) -> Result<(), EvalError> {
+        let uri = format!("xrpc://{}/{}", self.name, doc_name);
+        xqd_xml::parse_document(&mut self.store, xml, Some(&uri))
+            .map_err(|e| EvalError::new(format!("loading {doc_name}: {e}")))?;
+        Ok(())
+    }
+}
+
+struct FedCore {
+    peers: HashMap<String, Option<Peer>>,
+    model: NetworkModel,
+    metrics: Metrics,
+    wire: WireSemantics,
+}
+
+/// A federation of peers plus the coordinator.
+pub struct Federation {
+    core: Rc<RefCell<FedCore>>,
+}
+
+/// Outcome of one distributed run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The result sequence, canonically serialized item by item (attributes
+    /// sorted, comments dropped) — directly comparable across strategies.
+    pub result: Vec<String>,
+    pub metrics: Metrics,
+    /// The decomposition that was executed (for explain output).
+    pub plan: xqd_core::Decomposition,
+}
+
+impl Federation {
+    pub fn new(model: NetworkModel) -> Self {
+        Federation {
+            core: Rc::new(RefCell::new(FedCore {
+                peers: HashMap::new(),
+                model,
+                metrics: Metrics::default(),
+                wire: WireSemantics::Value,
+            })),
+        }
+    }
+
+    /// Adds an empty peer.
+    pub fn add_peer(&mut self, name: &str) {
+        self.core
+            .borrow_mut()
+            .peers
+            .insert(name.to_string(), Some(Peer::new(name)));
+    }
+
+    /// Loads `xml` as document `doc_name` on `peer` (added if absent).
+    pub fn load_document(&mut self, peer: &str, doc_name: &str, xml: &str) -> Result<(), EvalError> {
+        let mut core = self.core.borrow_mut();
+        let entry = core
+            .peers
+            .entry(peer.to_string())
+            .or_insert_with(|| Some(Peer::new(peer)));
+        entry
+            .as_mut()
+            .ok_or_else(|| EvalError::new(format!("peer {peer} is busy")))?
+            .load_document(doc_name, xml)
+    }
+
+    /// Parses, decomposes and executes `query` under `strategy`.
+    pub fn run(&mut self, query: &str, strategy: Strategy) -> EvalResult<RunOutcome> {
+        self.run_with(query, strategy, xqd_core::DecomposeOptions::default())
+    }
+
+    /// Like [`Self::run`] with explicit decomposition pipeline options
+    /// (used by the ablation benches).
+    pub fn run_with(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+        options: xqd_core::DecomposeOptions,
+    ) -> EvalResult<RunOutcome> {
+        let module =
+            parse_query(query).map_err(|e| EvalError::new(format!("parse error: {e}")))?;
+        self.run_module_with(&module, strategy, options)
+    }
+
+    /// Like [`Self::run`] for an already-parsed module.
+    pub fn run_module(&mut self, module: &QueryModule, strategy: Strategy) -> EvalResult<RunOutcome> {
+        self.run_module_with(module, strategy, xqd_core::DecomposeOptions::default())
+    }
+
+    /// Full-control entry point: parsed module + pipeline options.
+    pub fn run_module_with(
+        &mut self,
+        module: &QueryModule,
+        strategy: Strategy,
+        options: xqd_core::DecomposeOptions,
+    ) -> EvalResult<RunOutcome> {
+        let plan = xqd_core::decompose_with(module, strategy, options)?;
+        {
+            let mut core = self.core.borrow_mut();
+            core.metrics = Metrics::default();
+            core.wire = match strategy {
+                Strategy::ByFragment => WireSemantics::Fragment,
+                Strategy::ByProjection => WireSemantics::Projection,
+                _ => WireSemantics::Value,
+            };
+        }
+        let started = Instant::now();
+        // fresh coordinator store per run
+        let mut local = Store::new();
+        let mut link = FedLink { core: Rc::clone(&self.core), peer: String::new() };
+        let mut handler = FedLink { core: Rc::clone(&self.core), peer: String::new() };
+        let functions: Vec<xqd_xquery::FunctionDef> = Vec::new();
+        let mut ev = Evaluator::new(&mut local, &functions, &mut link).with_remote(&mut handler);
+        let result = ev.eval(&plan.rewritten)?;
+        let total = started.elapsed();
+        let canonical = result.iter().map(|i| canonical_item(&local, i)).collect();
+        let mut metrics = self.core.borrow().metrics;
+        metrics.total = total;
+        Ok(RunOutcome { result: canonical, metrics, plan })
+    }
+
+    /// Metrics of the last run (also returned in [`RunOutcome`]).
+    pub fn metrics(&self) -> Metrics {
+        self.core.borrow().metrics
+    }
+
+    /// Total serialized size in bytes of every document stored on peers —
+    /// the Figure 7 x-axis.
+    pub fn total_document_bytes(&self) -> u64 {
+        let core = self.core.borrow();
+        let mut total = 0u64;
+        for peer in core.peers.values().flatten() {
+            for (_, doc) in peer.store.docs() {
+                if doc.uri.is_some() {
+                    total += xqd_xml::serialize_document(doc, &peer.store.names).len() as u64;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// The resolver/handler link of one executing peer (empty name =
+/// coordinator).
+struct FedLink {
+    core: Rc<RefCell<FedCore>>,
+    peer: String,
+}
+
+impl DocResolver for FedLink {
+    fn resolve(&mut self, store: &mut Store, uri: &str) -> EvalResult<xqd_xml::DocId> {
+        if let Some(d) = store.doc_by_uri(uri) {
+            return Ok(d);
+        }
+        if let Some((host, name)) = xqd_core::uris::split_xrpc_uri(uri) {
+            if host == self.peer {
+                // our own document, referenced through its xrpc URI (the
+                // canonical registration; plain names accepted as fallback)
+                return store
+                    .doc_by_uri(uri)
+                    .or_else(|| store.doc_by_uri(name))
+                    .ok_or_else(|| EvalError::new(format!("document not found on {host}: {name}")));
+            }
+            // data shipping: fetch the whole document
+            let xml = {
+                let mut core = self.core.borrow_mut();
+                let peer_obj = core
+                    .peers
+                    .get_mut(host)
+                    .and_then(Option::take)
+                    .ok_or_else(|| EvalError::new(format!("unknown or busy peer {host}")))?;
+                let t0 = Instant::now();
+                let result = peer_obj
+                    .store
+                    .doc_by_uri(uri)
+                    .or_else(|| peer_obj.store.doc_by_uri(name))
+                    .map(|d| xqd_xml::serialize_document(peer_obj.store.doc(d), &peer_obj.store.names))
+                    .ok_or_else(|| EvalError::new(format!("document not found on {host}: {name}")));
+                core.metrics.serialize += t0.elapsed();
+                core.peers.insert(host.to_string(), Some(peer_obj));
+                let xml = result?;
+                let bytes = xml.len() as u64;
+                core.metrics.document_bytes += bytes;
+                core.metrics.transfers += 1;
+                let wire = core.model.transfer_time(bytes);
+                core.metrics.network += wire;
+                xml
+            };
+            let t0 = Instant::now();
+            let d = xqd_xml::parse_document(store, &xml, Some(uri))
+                .map_err(|e| EvalError::new(format!("shredding {uri}: {e}")))?;
+            self.core.borrow_mut().metrics.shred += t0.elapsed();
+            return Ok(d);
+        }
+        // a plain name on a peer refers to that peer's own document (the
+        // paper's remote functions use local names, e.g. doc("depts.xml"))
+        if !self.peer.is_empty() && !uri.contains("://") {
+            let canonical = format!("xrpc://{}/{}", self.peer, uri);
+            if let Some(d) = store.doc_by_uri(&canonical) {
+                return Ok(d);
+            }
+        }
+        Err(EvalError::new(format!("document not found: {uri}")))
+    }
+}
+
+impl RemoteHandler for FedLink {
+    fn execute(
+        &mut self,
+        local: &mut Store,
+        static_ctx: &StaticContext,
+        peer: &str,
+        params: &[(String, Sequence)],
+        body: &xqd_xquery::Expr,
+        projection: Option<&ExecProjection>,
+    ) -> EvalResult<Sequence> {
+        let one_call = vec![params.to_vec()];
+        let mut results =
+            self.execute_bulk(local, static_ctx, peer, &one_call, body, projection)?;
+        Ok(results.pop().unwrap_or_default())
+    }
+
+    fn execute_bulk(
+        &mut self,
+        local: &mut Store,
+        static_ctx: &StaticContext,
+        peer: &str,
+        calls: &[Vec<(String, Sequence)>],
+        body: &xqd_xquery::Expr,
+        projection: Option<&ExecProjection>,
+    ) -> EvalResult<Vec<Sequence>> {
+        let wire = self.core.borrow().wire;
+        // ---- encode request (caller side) ----
+        let t0 = Instant::now();
+        let body_src = body.to_string();
+        let request = encode_request(
+            local,
+            wire,
+            static_ctx,
+            &body_src,
+            calls,
+            projection.map(|p| p.params.as_slice()),
+            projection.map(|p| &p.result),
+        )?;
+        {
+            let mut core = self.core.borrow_mut();
+            core.metrics.serialize += t0.elapsed();
+            core.metrics.message_bytes += request.len() as u64;
+            core.metrics.transfers += 1;
+            core.metrics.remote_calls += calls.len() as u64;
+            let wire_time = core.model.transfer_time(request.len() as u64);
+            core.metrics.network += wire_time;
+        }
+
+        // ---- take the remote peer out and execute there ----
+        let mut remote = {
+            let mut core = self.core.borrow_mut();
+            core.peers
+                .get_mut(peer)
+                .and_then(Option::take)
+                .ok_or_else(|| EvalError::new(format!("unknown or busy peer {peer}")))?
+        };
+        let outcome = (|| -> EvalResult<String> {
+            let t0 = Instant::now();
+            let decoded = decode_request(&mut remote.store, &request)?;
+            self.core.borrow_mut().metrics.shred += t0.elapsed();
+
+            let remote_module = parse_query(&decoded.query)
+                .map_err(|e| EvalError::new(format!("remote parse error: {e}")))?;
+            let mut results = Vec::with_capacity(decoded.calls.len());
+            let t_exec = Instant::now();
+            for call_params in decoded.calls {
+                let mut resolver = FedLink { core: Rc::clone(&self.core), peer: peer.to_string() };
+                let mut nested = FedLink { core: Rc::clone(&self.core), peer: peer.to_string() };
+                let mut ev = Evaluator::new(&mut remote.store, &remote_module.functions, &mut resolver)
+                    .with_remote(&mut nested)
+                    .with_static_context(decoded.static_ctx.clone());
+                for (name, value) in call_params {
+                    ev.bind(&name, value);
+                }
+                results.push(ev.eval(&remote_module.body)?);
+            }
+            self.core.borrow_mut().metrics.remote_exec += t_exec.elapsed();
+
+            let t_ser = Instant::now();
+            let response = encode_response(
+                &remote.store,
+                decoded.semantics,
+                &results,
+                decoded.result_spec.as_ref(),
+            )?;
+            self.core.borrow_mut().metrics.serialize += t_ser.elapsed();
+            Ok(response)
+        })();
+        // put the peer back regardless of the outcome
+        self.core.borrow_mut().peers.insert(peer.to_string(), Some(remote));
+        let response = outcome?;
+
+        {
+            let mut core = self.core.borrow_mut();
+            core.metrics.message_bytes += response.len() as u64;
+            core.metrics.transfers += 1;
+            let wire_time = core.model.transfer_time(response.len() as u64);
+            core.metrics.network += wire_time;
+        }
+
+        // ---- decode response (caller side) ----
+        let t0 = Instant::now();
+        let sequences = decode_response(local, &response)?;
+        self.core.borrow_mut().metrics.shred += t0.elapsed();
+        if sequences.len() != calls.len() {
+            return Err(EvalError::new(format!(
+                "response carries {} sequences for {} calls",
+                sequences.len(),
+                calls.len()
+            )));
+        }
+        Ok(sequences)
+    }
+}
+
+/// Canonical serialization of one item: stable across stores, attribute
+/// order insensitive, comment/PI free — string equality on canonical items
+/// coincides with `fn:deep-equal` for comment-free data.
+pub fn canonical_item(store: &Store, item: &Item) -> String {
+    match item {
+        Item::Atom(a) => format!("atom:{}", a.to_lexical()),
+        Item::Node(n) => {
+            let mut out = String::new();
+            canonical_node(store, *n, &mut out);
+            out
+        }
+    }
+}
+
+fn canonical_node(store: &Store, n: NodeId, out: &mut String) {
+    let doc = store.doc(n.doc);
+    match doc.kind(n.idx) {
+        NodeKind::Document => {
+            out.push_str("doc()[");
+            for c in doc.children(n.idx) {
+                canonical_node(store, NodeId::new(n.doc, c), out);
+            }
+            out.push(']');
+        }
+        NodeKind::Element => {
+            out.push('<');
+            out.push_str(store.names.resolve(doc.name(n.idx)));
+            let mut attrs: Vec<(String, String)> = doc
+                .attributes(n.idx)
+                .map(|a| {
+                    (
+                        store.names.resolve(doc.name(a)).to_string(),
+                        doc.value(a).unwrap_or("").to_string(),
+                    )
+                })
+                .collect();
+            attrs.sort();
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(&k);
+                out.push_str("=\"");
+                xqd_xml::serialize::escape_attr(&v, out);
+                out.push('"');
+            }
+            out.push('>');
+            for c in doc.children(n.idx) {
+                canonical_node(store, NodeId::new(n.doc, c), out);
+            }
+            out.push_str("</");
+            out.push_str(store.names.resolve(doc.name(n.idx)));
+            out.push('>');
+        }
+        NodeKind::Attribute => {
+            out.push_str("attr:");
+            out.push_str(store.names.resolve(doc.name(n.idx)));
+            out.push('=');
+            out.push_str(doc.value(n.idx).unwrap_or(""));
+        }
+        NodeKind::Text => {
+            xqd_xml::serialize::escape_text(doc.value(n.idx).unwrap_or(""), out)
+        }
+        NodeKind::Comment | NodeKind::Pi => {}
+    }
+}

@@ -1,0 +1,34 @@
+//! # xqd-xrpc — XRPC messages, simulated peers and the distributed executor
+//!
+//! Implements the network-facing half of *"Efficient Distribution of
+//! Full-Fledged XQuery"* (ICDE 2009):
+//!
+//! * [`message`] — the pass-by-value / pass-by-fragment / pass-by-projection
+//!   request and response codecs (Figures 1, 4, 5), serialized to real XML
+//!   bytes and shredded back;
+//! * [`wire`] — `fragid`/`nodeid` addressing, fragment deduplication and
+//!   relative projection-path evaluation;
+//! * [`net`] — the link cost model replacing the paper's 1 Gb/s testbed and
+//!   the Figure-8 metric categories;
+//! * [`exec`] — the [`Federation`] of peers, the `RemoteHandler` /
+//!   `DocResolver` implementations (including Bulk RPC and data-shipping
+//!   document fetches), and canonical result serialization.
+//!
+//! ```no_run
+//! use xqd_xrpc::{Federation, NetworkModel};
+//! use xqd_core::Strategy;
+//!
+//! let mut fed = Federation::new(NetworkModel::lan());
+//! fed.load_document("A", "d.xml", "<people><p/></people>").unwrap();
+//! let out = fed.run("count(doc(\"xrpc://A/d.xml\")//p)", Strategy::ByFragment).unwrap();
+//! assert_eq!(out.result, vec!["atom:1"]);
+//! ```
+
+pub mod exec;
+pub mod message;
+pub mod net;
+pub mod wire;
+
+pub use exec::{canonical_item, Federation, Peer, RunOutcome};
+pub use message::{decode_request, decode_response, encode_request, encode_response, WireSemantics};
+pub use net::{Metrics, NetworkModel};

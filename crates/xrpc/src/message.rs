@@ -1,0 +1,1035 @@
+//! XRPC message codecs: pass-by-value, pass-by-fragment and
+//! pass-by-projection request/response encoding (Figures 1, 4 and 5).
+//!
+//! Messages are **real XML bytes**: the sender serializes into the SOAP-like
+//! vocabulary below and the receiver re-parses ("shreds") it, so every
+//! semantic property the paper derives from copying — lost parents under
+//! by-value, preserved ancestry under by-fragment, projected context under
+//! by-projection — emerges from the data representation, not from special
+//! cases in the engine.
+//!
+//! ```text
+//! <env><request semantics=".." static-base-uri=".." default-collation=".."
+//!               current-dateTime="..">
+//!   <query>…XQuery source…</query>
+//!   <response-paths><used-path>…</used-path><returned-path>…</returned-path></response-paths>?
+//!   <fragments><fragment uri=".." base-uri="..">…</fragment>*</fragments>?
+//!   <call><param name="..."><sequence>…items…</sequence></param>*</call>+   (Bulk RPC: one <call> per iteration)
+//! </request></env>
+//!
+//! items: <atom type="…">lexical</atom>
+//!      | <copy kind="element|document|attribute|text|comment|pi" name=".."
+//!              base-uri=".." document-uri="..">content</copy>     (by-value)
+//!      | <element fragid=".." nodeid=".."/>                       (by-fragment/-projection)
+//!      | <attribute fragid=".." nodeid=".." name=".."/>
+//! ```
+
+use xqd_xml::project::{compute_projection, build_projected, Projection, ProjectionInput};
+use xqd_xml::serialize::{escape_attr, escape_text, serialize_node_into};
+use xqd_xml::{DocBuilder, DocId, NodeId, NodeKind, NodeMeta, Store};
+use xqd_xquery::ast::{Atomic, PathSpec};
+use xqd_xquery::eval::StaticContext;
+use xqd_xquery::value::{EvalError, EvalResult, Item, Sequence};
+
+use crate::wire::{eval_rel_paths, node_at_nodeid, parse_rel_path, FragmentPlan};
+
+/// Message-level passing semantics (the codec in use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireSemantics {
+    Value,
+    Fragment,
+    Projection,
+}
+
+impl WireSemantics {
+    fn tag(self) -> &'static str {
+        match self {
+            WireSemantics::Value => "value",
+            WireSemantics::Fragment => "fragment",
+            WireSemantics::Projection => "projection",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<Self> {
+        Some(match s {
+            "value" => WireSemantics::Value,
+            "fragment" => WireSemantics::Fragment,
+            "projection" => WireSemantics::Projection,
+            _ => return None,
+        })
+    }
+}
+
+/// How a message carries its node-valued items.
+enum NodeCodec {
+    Value,
+    /// Shared fragments preamble over the original documents.
+    Fragment(FragmentPlan),
+    /// Per-document runtime projections: `(source doc, projected doc
+    /// serialization, projection)` in fragid order.
+    Projected(Vec<ProjectedFragment>),
+}
+
+struct ProjectedFragment {
+    source: DocId,
+    serialized: String,
+    uri: Option<String>,
+    base_uri: Option<String>,
+    projection: Projection,
+}
+
+/// All node items of a set of sequences.
+fn collect_nodes(seqs: &[&Sequence]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for seq in seqs {
+        for item in seq.iter() {
+            if let Item::Node(n) = item {
+                out.push(*n);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Builds the projection-based codec: per document, run Algorithm 1 on the
+/// union of used/returned node sets derived from the per-sequence path
+/// specs, then serialize the projected document as the fragment.
+fn build_projected_codec(
+    store: &Store,
+    groups: &[(&Sequence, Option<&PathSpec>)],
+) -> NodeCodec {
+    use std::collections::BTreeMap;
+    // per-doc used/returned sets
+    let mut used: BTreeMap<DocId, Vec<u32>> = BTreeMap::new();
+    let mut returned: BTreeMap<DocId, Vec<u32>> = BTreeMap::new();
+    for (seq, spec) in groups {
+        let nodes: Vec<NodeId> = seq
+            .iter()
+            .filter_map(|i| match i {
+                Item::Node(n) => Some(*n),
+                Item::Atom(_) => None,
+            })
+            .collect();
+        match spec {
+            Some(spec) if !spec.returned.iter().any(|r| r.0.is_empty()) => {
+                // the items themselves are always referenced → used
+                for n in &nodes {
+                    used.entry(n.doc).or_default().push(n.idx);
+                }
+                for n in eval_rel_paths(store, &nodes, &spec.used) {
+                    used.entry(n.doc).or_default().push(n.idx);
+                }
+                for n in eval_rel_paths(store, &nodes, &spec.returned) {
+                    returned.entry(n.doc).or_default().push(n.idx);
+                }
+            }
+            _ => {
+                // no spec (or whole-value spec): ship full subtrees
+                for n in &nodes {
+                    returned.entry(n.doc).or_default().push(n.idx);
+                }
+            }
+        }
+    }
+    let mut docs: Vec<DocId> = used.keys().chain(returned.keys()).copied().collect();
+    docs.sort_unstable();
+    docs.dedup();
+    let mut frags = Vec::new();
+    for d in docs {
+        let doc = store.doc(d);
+        let input = ProjectionInput::new(
+            used.remove(&d).unwrap_or_default(),
+            returned.remove(&d).unwrap_or_default(),
+        );
+        let projection = compute_projection(doc, &input);
+        let builder = build_projected(doc, &store.names, &projection, None);
+        // serialize via a scratch store (the builder is standalone)
+        let mut scratch = Store::new();
+        let pd = scratch.attach(builder);
+        let serialized = xqd_xml::serialize_document(scratch.doc(pd), &scratch.names);
+        frags.push(ProjectedFragment {
+            source: d,
+            serialized,
+            uri: doc.uri.clone(),
+            base_uri: doc.base_uri.clone(),
+            projection,
+        });
+    }
+    NodeCodec::Projected(frags)
+}
+
+fn write_fragments(store: &Store, codec: &NodeCodec, out: &mut String) {
+    match codec {
+        NodeCodec::Value => {}
+        NodeCodec::Fragment(plan) => {
+            if plan.roots.is_empty() {
+                return;
+            }
+            out.push_str("<fragments>");
+            for &(d, r) in &plan.roots {
+                let doc = store.doc(d);
+                out.push_str("<fragment");
+                if let Some(u) = &doc.uri {
+                    out.push_str(" uri=\"");
+                    escape_attr(u, out);
+                    out.push('"');
+                }
+                if let Some(b) = &doc.base_uri {
+                    out.push_str(" base-uri=\"");
+                    escape_attr(b, out);
+                    out.push('"');
+                }
+                out.push('>');
+                if doc.kind(r) == NodeKind::Document {
+                    for c in doc.children(r) {
+                        serialize_node_into(doc, &store.names, c, out);
+                    }
+                } else {
+                    serialize_node_into(doc, &store.names, r, out);
+                }
+                out.push_str("</fragment>");
+            }
+            out.push_str("</fragments>");
+        }
+        NodeCodec::Projected(frags) => {
+            if frags.is_empty() {
+                return;
+            }
+            out.push_str("<fragments>");
+            for f in frags {
+                out.push_str("<fragment");
+                if let Some(u) = &f.uri {
+                    out.push_str(" uri=\"");
+                    escape_attr(u, out);
+                    out.push('"');
+                }
+                if let Some(b) = &f.base_uri {
+                    out.push_str(" base-uri=\"");
+                    escape_attr(b, out);
+                    out.push('"');
+                }
+                out.push('>');
+                out.push_str(&f.serialized);
+                out.push_str("</fragment>");
+            }
+            out.push_str("</fragments>");
+        }
+    }
+}
+
+/// Locates a node under the projected codec: `(fragid, nodeid)`.
+fn locate_projected(
+    store: &Store,
+    frags: &[ProjectedFragment],
+    node: NodeId,
+) -> Option<(u32, u32, Option<String>)> {
+    let doc = store.doc(node.doc);
+    let (target, attr_name) = if doc.kind(node.idx) == NodeKind::Attribute {
+        (
+            doc.parent(node.idx)?,
+            Some(store.names.resolve(doc.name(node.idx)).to_string()),
+        )
+    } else {
+        (node.idx, None)
+    };
+    for (i, f) in frags.iter().enumerate() {
+        if f.source != node.doc {
+            continue;
+        }
+        if doc.kind(target) == NodeKind::Document {
+            // the projected output's own document node stands in for the
+            // source document node (`nodeid 0` convention)
+            return Some((i as u32 + 1, 0, attr_name));
+        }
+        let dst = f.projection.projected_index(target)?;
+        // nodeid relative to the projected document's content: we compute it
+        // on the projected doc via a scratch parse-free rank over kept nodes
+        let nodeid = projected_nodeid(store, f, dst)?;
+        return Some((i as u32 + 1, nodeid, attr_name));
+    }
+    None
+}
+
+/// 1-based rank among non-attribute nodes of the projected document for
+/// projected index `dst` (index 0 is the projected document node).
+fn projected_nodeid(store: &Store, f: &ProjectedFragment, dst: u32) -> Option<u32> {
+    // kept[i] ↦ projected index i+1; rank = count of non-attribute kept
+    // nodes with projected index <= dst
+    let src_doc = store.doc(f.source);
+    let mut rank = 0u32;
+    for (i, &src) in f.projection.kept.iter().enumerate() {
+        if src_doc.kind(src) != NodeKind::Attribute {
+            rank += 1;
+        }
+        if (i as u32 + 1) == dst {
+            if src_doc.kind(src) == NodeKind::Attribute {
+                return None;
+            }
+            return Some(rank);
+        }
+    }
+    None
+}
+
+fn write_atom(a: &Atomic, out: &mut String) {
+    let ty = match a {
+        Atomic::Str(_) => "string",
+        Atomic::Int(_) => "integer",
+        Atomic::Dbl(_) => "double",
+        Atomic::Bool(_) => "boolean",
+        Atomic::Untyped(_) => "untyped",
+    };
+    out.push_str("<atom type=\"");
+    out.push_str(ty);
+    out.push_str("\">");
+    escape_text(&a.to_lexical(), out);
+    out.push_str("</atom>");
+}
+
+fn write_item(store: &Store, codec: &NodeCodec, item: &Item, out: &mut String) -> EvalResult<()> {
+    match item {
+        Item::Atom(a) => {
+            write_atom(a, out);
+            Ok(())
+        }
+        Item::Node(n) => {
+            let doc = store.doc(n.doc);
+            match codec {
+                NodeCodec::Value => {
+                    let kind = match doc.kind(n.idx) {
+                        NodeKind::Document => "document",
+                        NodeKind::Element => "element",
+                        NodeKind::Attribute => "attribute",
+                        NodeKind::Text => "text",
+                        NodeKind::Comment => "comment",
+                        NodeKind::Pi => "pi",
+                    };
+                    out.push_str("<copy kind=\"");
+                    out.push_str(kind);
+                    out.push('"');
+                    if matches!(doc.kind(n.idx), NodeKind::Attribute | NodeKind::Pi) {
+                        out.push_str(" name=\"");
+                        escape_attr(store.names.resolve(doc.name(n.idx)), out);
+                        out.push('"');
+                    }
+                    // class-2 context properties (Problem 5)
+                    let base = doc
+                        .meta
+                        .get(&n.idx)
+                        .and_then(|m| m.base_uri.clone())
+                        .or_else(|| doc.base_uri.clone());
+                    if let Some(b) = base {
+                        out.push_str(" base-uri=\"");
+                        escape_attr(&b, out);
+                        out.push('"');
+                    }
+                    if let Some(u) = &doc.uri {
+                        out.push_str(" document-uri=\"");
+                        escape_attr(u, out);
+                        out.push('"');
+                    }
+                    out.push('>');
+                    match doc.kind(n.idx) {
+                        NodeKind::Document => {
+                            for c in doc.children(n.idx) {
+                                serialize_node_into(doc, &store.names, c, out);
+                            }
+                        }
+                        NodeKind::Element => serialize_node_into(doc, &store.names, n.idx, out),
+                        _ => escape_text(doc.value(n.idx).unwrap_or(""), out),
+                    }
+                    out.push_str("</copy>");
+                    Ok(())
+                }
+                NodeCodec::Fragment(plan) => {
+                    let (fragid, nodeid) = plan.locate(store, *n).ok_or_else(|| {
+                        EvalError::new("internal: shipped node missing from fragment plan")
+                    })?;
+                    if doc.kind(n.idx) == NodeKind::Attribute {
+                        out.push_str(&format!(
+                            "<attribute fragid=\"{fragid}\" nodeid=\"{nodeid}\" name=\"{}\"/>",
+                            store.names.resolve(doc.name(n.idx))
+                        ));
+                    } else {
+                        out.push_str(&format!(
+                            "<element fragid=\"{fragid}\" nodeid=\"{nodeid}\"/>"
+                        ));
+                    }
+                    Ok(())
+                }
+                NodeCodec::Projected(frags) => {
+                    let (fragid, nodeid, attr) =
+                        locate_projected(store, frags, *n).ok_or_else(|| {
+                            EvalError::new("internal: shipped node missing from projection")
+                        })?;
+                    match attr {
+                        Some(name) => out.push_str(&format!(
+                            "<attribute fragid=\"{fragid}\" nodeid=\"{nodeid}\" name=\"{name}\"/>"
+                        )),
+                        None => out.push_str(&format!(
+                            "<element fragid=\"{fragid}\" nodeid=\"{nodeid}\"/>"
+                        )),
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn write_sequence(
+    store: &Store,
+    codec: &NodeCodec,
+    seq: &Sequence,
+    out: &mut String,
+) -> EvalResult<()> {
+    out.push_str("<sequence>");
+    for item in seq {
+        write_item(store, codec, item, out)?;
+    }
+    out.push_str("</sequence>");
+    Ok(())
+}
+
+/// Encodes a request message.
+///
+/// `calls` is one entry per Bulk-RPC iteration, each a parameter list in
+/// declaration order; `param_specs` (pass-by-projection only) are aligned
+/// with the parameter list; `result_spec` is shipped as `response-paths`.
+pub fn encode_request(
+    store: &Store,
+    semantics: WireSemantics,
+    static_ctx: &StaticContext,
+    body_src: &str,
+    calls: &[Vec<(String, Sequence)>],
+    param_specs: Option<&[PathSpec]>,
+    result_spec: Option<&PathSpec>,
+) -> EvalResult<String> {
+    let codec = match semantics {
+        WireSemantics::Value => NodeCodec::Value,
+        WireSemantics::Fragment => {
+            let seqs: Vec<&Sequence> =
+                calls.iter().flat_map(|c| c.iter().map(|(_, s)| s)).collect();
+            NodeCodec::Fragment(FragmentPlan::new(store, &collect_nodes(&seqs)))
+        }
+        WireSemantics::Projection => {
+            let groups: Vec<(&Sequence, Option<&PathSpec>)> = calls
+                .iter()
+                .flat_map(|c| {
+                    c.iter()
+                        .enumerate()
+                        .map(|(j, (_, s))| (s, param_specs.and_then(|ps| ps.get(j))))
+                })
+                .collect();
+            build_projected_codec(store, &groups)
+        }
+    };
+    let mut out = String::with_capacity(1024);
+    out.push_str("<env><request semantics=\"");
+    out.push_str(semantics.tag());
+    out.push_str("\" static-base-uri=\"");
+    escape_attr(&static_ctx.base_uri, &mut out);
+    out.push_str("\" default-collation=\"");
+    escape_attr(&static_ctx.default_collation, &mut out);
+    out.push_str("\" current-dateTime=\"");
+    escape_attr(&static_ctx.current_datetime, &mut out);
+    out.push_str("\"><query>");
+    escape_text(body_src, &mut out);
+    out.push_str("</query>");
+    if let Some(spec) = result_spec {
+        out.push_str("<response-paths>");
+        for p in &spec.used {
+            out.push_str("<used-path>");
+            escape_text(&p.to_string(), &mut out);
+            out.push_str("</used-path>");
+        }
+        for p in &spec.returned {
+            out.push_str("<returned-path>");
+            escape_text(&p.to_string(), &mut out);
+            out.push_str("</returned-path>");
+        }
+        out.push_str("</response-paths>");
+    }
+    write_fragments(store, &codec, &mut out);
+    for call in calls {
+        out.push_str("<call>");
+        for (name, seq) in call {
+            out.push_str("<param name=\"");
+            escape_attr(name, &mut out);
+            out.push_str("\">");
+            write_sequence(store, &codec, seq, &mut out)?;
+            out.push_str("</param>");
+        }
+        out.push_str("</call>");
+    }
+    out.push_str("</request></env>");
+    Ok(out)
+}
+
+/// Encodes a response message carrying one result sequence per call.
+pub fn encode_response(
+    store: &Store,
+    semantics: WireSemantics,
+    results: &[Sequence],
+    result_spec: Option<&PathSpec>,
+) -> EvalResult<String> {
+    let codec = match semantics {
+        WireSemantics::Value => NodeCodec::Value,
+        WireSemantics::Fragment => {
+            let seqs: Vec<&Sequence> = results.iter().collect();
+            NodeCodec::Fragment(FragmentPlan::new(store, &collect_nodes(&seqs)))
+        }
+        WireSemantics::Projection => {
+            let groups: Vec<(&Sequence, Option<&PathSpec>)> =
+                results.iter().map(|s| (s, result_spec)).collect();
+            build_projected_codec(store, &groups)
+        }
+    };
+    let mut out = String::with_capacity(1024);
+    out.push_str("<env><response semantics=\"");
+    out.push_str(semantics.tag());
+    out.push_str("\">");
+    write_fragments(store, &codec, &mut out);
+    for seq in results {
+        out.push_str("<call-result>");
+        write_sequence(store, &codec, seq, &mut out)?;
+        out.push_str("</call-result>");
+    }
+    out.push_str("</response></env>");
+    Ok(out)
+}
+
+/// A decoded request, with all node values shredded into the receiving
+/// store.
+#[derive(Debug)]
+pub struct DecodedRequest {
+    pub semantics: WireSemantics,
+    pub static_ctx: StaticContext,
+    pub query: String,
+    pub calls: Vec<Vec<(String, Sequence)>>,
+    pub result_spec: Option<PathSpec>,
+}
+
+/// Parses and shreds a request message.
+pub fn decode_request(store: &mut Store, message: &str) -> EvalResult<DecodedRequest> {
+    let msg_doc = xqd_xml::parse_document(store, message, None)
+        .map_err(|e| EvalError::new(format!("malformed request message: {e}")))?;
+    let root = find_child(store, NodeId::new(msg_doc, 0), "env")
+        .and_then(|env| find_child(store, env, "request"))
+        .ok_or_else(|| EvalError::new("request message lacks env/request"))?;
+    let semantics = attr(store, root, "semantics")
+        .and_then(|s| WireSemantics::from_tag(&s))
+        .ok_or_else(|| EvalError::new("request lacks semantics attribute"))?;
+    let static_ctx = StaticContext {
+        base_uri: attr(store, root, "static-base-uri").unwrap_or_default(),
+        default_collation: attr(store, root, "default-collation").unwrap_or_default(),
+        current_datetime: attr(store, root, "current-dateTime").unwrap_or_default(),
+    };
+    let query = find_child(store, root, "query")
+        .map(|q| store.doc(q.doc).string_value(q.idx))
+        .ok_or_else(|| EvalError::new("request lacks query"))?;
+
+    let result_spec = find_child(store, root, "response-paths").map(|rp| {
+        let mut spec = PathSpec::default();
+        for c in children_named(store, rp, "used-path") {
+            if let Some(p) = parse_rel_path(&store.doc(c.doc).string_value(c.idx)) {
+                spec.used.push(p);
+            }
+        }
+        for c in children_named(store, rp, "returned-path") {
+            if let Some(p) = parse_rel_path(&store.doc(c.doc).string_value(c.idx)) {
+                spec.returned.push(p);
+            }
+        }
+        spec
+    });
+
+    let fragment_docs = shred_fragments(store, root)?;
+
+    let mut calls = Vec::new();
+    for call in children_named(store, root, "call") {
+        let mut params = Vec::new();
+        for param in children_named(store, call, "param") {
+            let name = attr(store, param, "name")
+                .ok_or_else(|| EvalError::new("param lacks name"))?;
+            let seq_el = find_child(store, param, "sequence")
+                .ok_or_else(|| EvalError::new("param lacks sequence"))?;
+            let seq = decode_sequence(store, seq_el, &fragment_docs)?;
+            params.push((name, seq));
+        }
+        calls.push(params);
+    }
+    Ok(DecodedRequest { semantics, static_ctx, query, calls, result_spec })
+}
+
+/// Parses and shreds a response message, returning one sequence per call.
+pub fn decode_response(store: &mut Store, message: &str) -> EvalResult<Vec<Sequence>> {
+    let msg_doc = xqd_xml::parse_document(store, message, None)
+        .map_err(|e| EvalError::new(format!("malformed response message: {e}")))?;
+    let root = find_child(store, NodeId::new(msg_doc, 0), "env")
+        .and_then(|env| find_child(store, env, "response"))
+        .ok_or_else(|| EvalError::new("response message lacks env/response"))?;
+    let fragment_docs = shred_fragments(store, root)?;
+    let mut out = Vec::new();
+    for cr in children_named(store, root, "call-result") {
+        let seq_el = find_child(store, cr, "sequence")
+            .ok_or_else(|| EvalError::new("call-result lacks sequence"))?;
+        out.push(decode_sequence(store, seq_el, &fragment_docs)?);
+    }
+    Ok(out)
+}
+
+/// Copies each `<fragment>`'s content into a fresh document of `store`,
+/// recording class-2 context metadata.
+fn shred_fragments(store: &mut Store, root: NodeId) -> EvalResult<Vec<DocId>> {
+    let mut out = Vec::new();
+    let frags: Vec<NodeId> = match find_child(store, root, "fragments") {
+        Some(fs) => children_named(store, fs, "fragment"),
+        None => return Ok(out),
+    };
+    for f in frags {
+        let uri = attr(store, f, "uri");
+        let base = attr(store, f, "base-uri");
+        let mut b = DocBuilder::new(None);
+        if let Some(bu) = &base {
+            b.set_base_uri(bu);
+        }
+        {
+            let doc = store.doc(f.doc);
+            let kids: Vec<u32> = doc.children(f.idx).collect();
+            for c in kids {
+                b.copy_subtree(doc, &store.names, c);
+            }
+        }
+        let new_doc = store.attach(b.finish());
+        if let Some(u) = uri {
+            store
+                .doc_mut(new_doc)
+                .meta
+                .insert(0, NodeMeta { base_uri: base.clone(), document_uri: Some(u) });
+        }
+        out.push(new_doc);
+    }
+    Ok(out)
+}
+
+fn decode_sequence(
+    store: &mut Store,
+    seq_el: NodeId,
+    fragments: &[DocId],
+) -> EvalResult<Sequence> {
+    #[derive(Debug)]
+    enum Raw {
+        Atom(Atomic),
+        Ref { fragid: u32, nodeid: u32, attr: Option<String> },
+        Copy { kind: String, name: Option<String>, base: Option<String>, duri: Option<String>, idx: u32 },
+    }
+    let mut raws = Vec::new();
+    {
+        let doc = store.doc(seq_el.doc);
+        for c in doc.children(seq_el.idx) {
+            if doc.kind(c) != NodeKind::Element {
+                continue;
+            }
+            let name = store.names.resolve(doc.name(c));
+            let n = NodeId::new(seq_el.doc, c);
+            match name {
+                "atom" => {
+                    let ty = attr(store, n, "type").unwrap_or_default();
+                    let lex = doc.string_value(c);
+                    let a = match ty.as_str() {
+                        "integer" => Atomic::Int(lex.parse().map_err(|_| {
+                            EvalError::new(format!("bad integer atom {lex:?}"))
+                        })?),
+                        "double" => Atomic::Dbl(lex.parse().map_err(|_| {
+                            EvalError::new(format!("bad double atom {lex:?}"))
+                        })?),
+                        "boolean" => Atomic::Bool(lex == "true"),
+                        "untyped" => Atomic::Untyped(lex),
+                        _ => Atomic::Str(lex),
+                    };
+                    raws.push(Raw::Atom(a));
+                }
+                "element" | "attribute" => {
+                    let fragid: u32 = attr(store, n, "fragid")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| EvalError::new("ref lacks fragid"))?;
+                    let nodeid: u32 = attr(store, n, "nodeid")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| EvalError::new("ref lacks nodeid"))?;
+                    let attr_name =
+                        if name == "attribute" { attr(store, n, "name") } else { None };
+                    raws.push(Raw::Ref { fragid, nodeid, attr: attr_name });
+                }
+                "copy" => {
+                    raws.push(Raw::Copy {
+                        kind: attr(store, n, "kind").unwrap_or_default(),
+                        name: attr(store, n, "name"),
+                        base: attr(store, n, "base-uri"),
+                        duri: attr(store, n, "document-uri"),
+                        idx: c,
+                    });
+                }
+                other => {
+                    return Err(EvalError::new(format!("unknown sequence item <{other}>")))
+                }
+            }
+        }
+    }
+
+    let msg_doc_id = seq_el.doc;
+    let mut out: Sequence = Vec::new();
+    for raw in raws {
+        match raw {
+            Raw::Atom(a) => out.push(Item::Atom(a)),
+            Raw::Ref { fragid, nodeid, attr: attr_name } => {
+                let frag_doc = *fragments.get(fragid as usize - 1).ok_or_else(|| {
+                    EvalError::new(format!("fragid {fragid} out of range"))
+                })?;
+                let doc = store.doc(frag_doc);
+                let target = if nodeid == 0 {
+                    0
+                } else {
+                    node_at_nodeid(doc, 1, doc.len() as u32 - 1, nodeid).ok_or_else(|| {
+                        EvalError::new(format!("nodeid {nodeid} out of range"))
+                    })?
+                };
+                let node = match attr_name {
+                    None => target,
+                    Some(name) => {
+                        let name_id = store.names.get(&name);
+                        doc.attributes(target)
+                            .find(|&a| Some(doc.name(a)) == name_id)
+                            .ok_or_else(|| {
+                                EvalError::new(format!("attribute {name} not found on ref"))
+                            })?
+                    }
+                };
+                out.push(Item::Node(NodeId::new(frag_doc, node)));
+            }
+            Raw::Copy { kind, name, base, duri, idx } => {
+                // each by-value copy becomes its own fragment document —
+                // this separation is precisely what loses identity/order
+                let mut b = DocBuilder::new(None);
+                if let Some(bu) = &base {
+                    b.set_base_uri(bu);
+                }
+                let result_idx: u32;
+                {
+                    let doc = store.doc(msg_doc_id);
+                    match kind.as_str() {
+                        "element" => {
+                            let child = doc.first_child(idx).ok_or_else(|| {
+                                EvalError::new("element copy has no content")
+                            })?;
+                            b.copy_subtree(doc, &store.names, child);
+                            result_idx = 1;
+                        }
+                        "document" => {
+                            let kids: Vec<u32> = doc.children(idx).collect();
+                            for c in kids {
+                                b.copy_subtree(doc, &store.names, c);
+                            }
+                            result_idx = 0;
+                        }
+                        "attribute" => {
+                            b.start_element("attribute-holder");
+                            b.attribute(
+                                name.as_deref().unwrap_or("value"),
+                                &doc.string_value(idx),
+                            );
+                            b.end_element();
+                            result_idx = 2;
+                        }
+                        "text" => {
+                            b.text(&doc.string_value(idx));
+                            result_idx = 1;
+                        }
+                        "comment" => {
+                            b.comment(&doc.string_value(idx));
+                            result_idx = 1;
+                        }
+                        "pi" => {
+                            b.pi(name.as_deref().unwrap_or("pi"), &doc.string_value(idx));
+                            result_idx = 1;
+                        }
+                        other => {
+                            return Err(EvalError::new(format!("unknown copy kind {other:?}")))
+                        }
+                    }
+                }
+                let new_doc = store.attach(b.finish());
+                if duri.is_some() || base.is_some() {
+                    store.doc_mut(new_doc).meta.insert(
+                        result_idx,
+                        NodeMeta { base_uri: base, document_uri: duri },
+                    );
+                }
+                out.push(Item::Node(NodeId::new(new_doc, result_idx)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// -- tiny DOM helpers over the parsed message ------------------------------
+
+fn find_child(store: &Store, parent: NodeId, name: &str) -> Option<NodeId> {
+    let name_id = store.names.get(name)?;
+    let doc = store.doc(parent.doc);
+    doc.children(parent.idx)
+        .find(|&c| doc.kind(c) == NodeKind::Element && doc.name(c) == name_id)
+        .map(|c| NodeId::new(parent.doc, c))
+}
+
+fn children_named(store: &Store, parent: NodeId, name: &str) -> Vec<NodeId> {
+    let Some(name_id) = store.names.get(name) else {
+        return vec![];
+    };
+    let doc = store.doc(parent.doc);
+    doc.children(parent.idx)
+        .filter(|&c| doc.kind(c) == NodeKind::Element && doc.name(c) == name_id)
+        .map(|c| NodeId::new(parent.doc, c))
+        .collect()
+}
+
+fn attr(store: &Store, node: NodeId, name: &str) -> Option<String> {
+    store.node(node).attribute(name).map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqd_xquery::ast::RelPath;
+
+    fn ctx() -> StaticContext {
+        StaticContext::default()
+    }
+
+    fn sample_store() -> (Store, DocId) {
+        let mut s = Store::new();
+        let d = xqd_xml::parse_document(
+            &mut s,
+            "<r><p id=\"1\"><q>hello</q><big>payload</big></p><z/></r>",
+            Some("r.xml"),
+        )
+        .unwrap();
+        (s, d)
+    }
+
+    #[test]
+    fn atoms_roundtrip_all_types() {
+        let store = Store::new();
+        let calls = vec![vec![(
+            "x".to_string(),
+            vec![
+                Item::Atom(Atomic::Int(-7)),
+                Item::Atom(Atomic::Dbl(2.5)),
+                Item::Atom(Atomic::Bool(true)),
+                Item::Atom(Atomic::Str("a<b&c".into())),
+                Item::Atom(Atomic::Untyped("u".into())),
+            ],
+        )]];
+        let msg =
+            encode_request(&store, WireSemantics::Value, &ctx(), "$x", &calls, None, None)
+                .unwrap();
+        let mut remote = Store::new();
+        let decoded = decode_request(&mut remote, &msg).unwrap();
+        assert_eq!(decoded.calls[0][0].1, calls[0][0].1);
+        assert_eq!(decoded.query, "$x");
+        assert_eq!(decoded.semantics, WireSemantics::Value);
+        assert_eq!(decoded.static_ctx, ctx());
+    }
+
+    #[test]
+    fn bulk_request_carries_every_call() {
+        let store = Store::new();
+        let calls: Vec<Vec<(String, Sequence)>> = (0..5)
+            .map(|i| vec![("n".to_string(), vec![Item::Atom(Atomic::Int(i))])])
+            .collect();
+        let msg =
+            encode_request(&store, WireSemantics::Fragment, &ctx(), "$n", &calls, None, None)
+                .unwrap();
+        assert_eq!(msg.matches("<call>").count(), 5);
+        let mut remote = Store::new();
+        let decoded = decode_request(&mut remote, &msg).unwrap();
+        assert_eq!(decoded.calls.len(), 5);
+        for (i, c) in decoded.calls.iter().enumerate() {
+            assert_eq!(c[0].1, vec![Item::Atom(Atomic::Int(i as i64))]);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_fragment() {
+        let (store, d) = sample_store();
+        let results =
+            vec![vec![Item::Node(NodeId::new(d, 2))], vec![Item::Node(NodeId::new(d, 8))]];
+        let msg = encode_response(&store, WireSemantics::Fragment, &results, None).unwrap();
+        let mut local = Store::new();
+        let decoded = decode_response(&mut local, &msg).unwrap();
+        assert_eq!(decoded.len(), 2);
+        let Item::Node(p) = &decoded[0][0] else { panic!() };
+        assert_eq!(local.doc(p.doc).string_value(p.idx), "hellopayload");
+        let Item::Node(z) = &decoded[1][0] else { panic!() };
+        assert_eq!(local.node(*z).name(), "z");
+    }
+
+    #[test]
+    fn projection_request_prunes_payload() {
+        let (store, d) = sample_store();
+        // param = the <p> element, used via child::q (atomized: text
+        // descendants needed) and attribute::id — the suffixes the path
+        // analysis produces for "$p/q = … and $p/@id = …"
+        use xqd_xquery::ast::{NameTest, RelStep};
+        let q_step = RelStep::Axis { axis: xqd_xml::Axis::Child, test: NameTest::Name("q".into()) };
+        let text_step =
+            RelStep::Axis { axis: xqd_xml::Axis::DescendantOrSelf, test: NameTest::Text };
+        let id_step =
+            RelStep::Axis { axis: xqd_xml::Axis::Attribute, test: NameTest::Name("id".into()) };
+        let spec = PathSpec {
+            used: vec![
+                RelPath(vec![q_step.clone()]),
+                RelPath(vec![q_step, text_step]),
+                RelPath(vec![id_step]),
+            ],
+            returned: vec![],
+        };
+        let calls = vec![vec![("p".to_string(), vec![Item::Node(NodeId::new(d, 2))])]];
+        let msg = encode_request(
+            &store,
+            WireSemantics::Projection,
+            &ctx(),
+            "$p",
+            &calls,
+            Some(std::slice::from_ref(&spec)),
+            None,
+        )
+        .unwrap();
+        assert!(!msg.contains("payload"), "projected away: {msg}");
+        assert!(!msg.contains("<big"), "untouched sibling pruned: {msg}");
+        assert!(msg.contains("<q>hello</q>"), "{msg}");
+        // and the reference resolves on the remote side
+        let mut remote = Store::new();
+        let decoded = decode_request(&mut remote, &msg).unwrap();
+        let Item::Node(p) = &decoded.calls[0][0].1[0] else { panic!() };
+        assert_eq!(remote.node(*p).name(), "p");
+        assert_eq!(remote.node(*p).attribute("id"), Some("1"));
+    }
+
+    #[test]
+    fn projection_without_spec_ships_subtrees() {
+        let (store, d) = sample_store();
+        let calls = vec![vec![("p".to_string(), vec![Item::Node(NodeId::new(d, 2))])]];
+        let msg = encode_request(
+            &store,
+            WireSemantics::Projection,
+            &ctx(),
+            "$p",
+            &calls,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(msg.contains("payload"), "full subtree shipped: {msg}");
+    }
+
+    #[test]
+    fn response_paths_travel_in_request() {
+        let store = Store::new();
+        let spec = PathSpec {
+            used: vec![RelPath(vec![])],
+            returned: vec![RelPath(vec![xqd_xquery::ast::RelStep::Axis {
+                axis: xqd_xml::Axis::Parent,
+                test: xqd_xquery::ast::NameTest::Name("a".into()),
+            }])],
+        };
+        let msg = encode_request(
+            &store,
+            WireSemantics::Projection,
+            &ctx(),
+            "1",
+            &[vec![]],
+            None,
+            Some(&spec),
+        )
+        .unwrap();
+        assert!(msg.contains("<returned-path>parent::a</returned-path>"), "{msg}");
+        let mut remote = Store::new();
+        let decoded = decode_request(&mut remote, &msg).unwrap();
+        assert_eq!(decoded.result_spec, Some(spec));
+    }
+
+    #[test]
+    fn attribute_param_under_value_and_fragment() {
+        let (store, d) = sample_store();
+        let attr = Item::Node(NodeId::new(d, 3)); // @id of <p>
+        for wire in [WireSemantics::Value, WireSemantics::Fragment] {
+            let calls = vec![vec![("a".to_string(), vec![attr.clone()])]];
+            let msg = encode_request(&store, wire, &ctx(), "$a", &calls, None, None).unwrap();
+            let mut remote = Store::new();
+            let decoded = decode_request(&mut remote, &msg).unwrap();
+            let Item::Node(n) = &decoded.calls[0][0].1[0] else { panic!() };
+            assert_eq!(
+                remote.doc(n.doc).kind(n.idx),
+                xqd_xml::NodeKind::Attribute,
+                "{wire:?}"
+            );
+            assert_eq!(remote.doc(n.doc).string_value(n.idx), "1", "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn class2_metadata_on_fragments() {
+        let (store, d) = sample_store();
+        let calls = vec![vec![("p".to_string(), vec![Item::Node(NodeId::new(d, 0))])]];
+        let msg =
+            encode_request(&store, WireSemantics::Fragment, &ctx(), "$p", &calls, None, None)
+                .unwrap();
+        assert!(msg.contains("uri=\"r.xml\""), "{msg}");
+        let mut remote = Store::new();
+        let decoded = decode_request(&mut remote, &msg).unwrap();
+        let Item::Node(n) = &decoded.calls[0][0].1[0] else { panic!() };
+        assert_eq!(n.idx, 0, "document node shipped as nodeid 0");
+        let meta = remote.doc(n.doc).meta.get(&0).expect("class-2 metadata");
+        assert_eq!(meta.document_uri.as_deref(), Some("r.xml"));
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        let mut s = Store::new();
+        assert!(decode_request(&mut s, "<env><bogus/></env>").is_err());
+        assert!(decode_request(&mut s, "not xml").is_err());
+        assert!(decode_response(&mut s, "<env><request/></env>").is_err());
+        // a reference to a missing fragment
+        let msg = "<env><request semantics=\"fragment\" static-base-uri=\"\" \
+                   default-collation=\"\" current-dateTime=\"\"><query>1</query>\
+                   <call><param name=\"x\"><sequence>\
+                   <element fragid=\"3\" nodeid=\"1\"/>\
+                   </sequence></param></call></request></env>";
+        assert!(decode_request(&mut s, msg).is_err());
+    }
+
+    #[test]
+    fn text_and_comment_nodes_ship_by_value() {
+        let mut store = Store::new();
+        let d = xqd_xml::parse_document(&mut store, "<a>hi<!--note--></a>", None).unwrap();
+        // 0=doc 1=a 2=text 3=comment
+        let calls = vec![vec![(
+            "x".to_string(),
+            vec![Item::Node(NodeId::new(d, 2)), Item::Node(NodeId::new(d, 3))],
+        )]];
+        let msg =
+            encode_request(&store, WireSemantics::Value, &ctx(), "$x", &calls, None, None)
+                .unwrap();
+        let mut remote = Store::new();
+        let decoded = decode_request(&mut remote, &msg).unwrap();
+        let seq = &decoded.calls[0][0].1;
+        let Item::Node(t) = &seq[0] else { panic!() };
+        assert_eq!(remote.doc(t.doc).kind(t.idx), xqd_xml::NodeKind::Text);
+        assert_eq!(remote.doc(t.doc).string_value(t.idx), "hi");
+        let Item::Node(c) = &seq[1] else { panic!() };
+        assert_eq!(remote.doc(c.doc).kind(c.idx), xqd_xml::NodeKind::Comment);
+    }
+}

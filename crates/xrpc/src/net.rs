@@ -1,0 +1,140 @@
+//! Simulated network and execution metrics.
+//!
+//! The paper's testbed was three machines on 1 Gb/s Ethernet. We replace
+//! the wire with a cost model — `latency + bytes / bandwidth` per message —
+//! while keeping everything else real: messages are actually serialized to
+//! XML bytes and re-parsed on the other side, so the byte counts driving
+//! Figures 7 and 10 are exact, and the CPU portions of the Figure 8
+//! breakdown (shred / exec / (de)serialize) are measured wall-clock times.
+
+use std::time::Duration;
+
+/// Link cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    pub bandwidth_bytes_per_sec: f64,
+    pub latency: Duration,
+}
+
+impl NetworkModel {
+    /// 1 Gb/s, 0.1 ms — the paper's LAN.
+    pub fn lan() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: 1e9 / 8.0,
+            latency: Duration::from_micros(100),
+        }
+    }
+
+    /// 10 Mb/s, 20 ms — the WAN environment the paper argues favours the
+    /// enhanced semantics even more.
+    pub fn wan() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: 10e6 / 8.0,
+            latency: Duration::from_millis(20),
+        }
+    }
+
+    /// Simulated time for one transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
+}
+
+/// Per-run accounting, matching the Figure 8 breakdown categories.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Metrics {
+    /// Bytes of XRPC request/response messages.
+    pub message_bytes: u64,
+    /// Bytes of whole documents fetched (data shipping).
+    pub document_bytes: u64,
+    /// Network round trips (messages + document fetches).
+    pub transfers: u64,
+    /// Remote function invocations carried (Bulk RPC counts every call).
+    pub remote_calls: u64,
+    /// Time parsing/shredding received XML (messages and fetched docs).
+    pub shred: Duration,
+    /// Time serializing messages and documents.
+    pub serialize: Duration,
+    /// Time evaluating shipped bodies on remote peers.
+    pub remote_exec: Duration,
+    /// Simulated wire time.
+    pub network: Duration,
+    /// End-to-end wall-clock time of the run.
+    pub total: Duration,
+}
+
+impl Metrics {
+    /// Total bytes moved over the simulated wire.
+    pub fn transferred_bytes(&self) -> u64 {
+        self.message_bytes + self.document_bytes
+    }
+
+    /// The Figure 8 "local exec" residual: everything not attributed to a
+    /// specific category.
+    pub fn local_exec(&self) -> Duration {
+        self.total
+            .saturating_sub(self.shred)
+            .saturating_sub(self.serialize)
+            .saturating_sub(self.remote_exec)
+            .saturating_sub(self.network)
+    }
+
+    pub fn add(&mut self, other: &Metrics) {
+        self.message_bytes += other.message_bytes;
+        self.document_bytes += other.document_bytes;
+        self.transfers += other.transfers;
+        self.remote_calls += other.remote_calls;
+        self.shred += other.shred;
+        self.serialize += other.serialize;
+        self.remote_exec += other.remote_exec;
+        self.network += other.network;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = NetworkModel::lan();
+        let t1 = m.transfer_time(1_000_000);
+        let t2 = m.transfer_time(2_000_000);
+        assert!(t2 > t1);
+        // 1 MB at 125 MB/s = 8 ms + latency
+        assert!((t1.as_secs_f64() - 0.0081).abs() < 0.0005, "{t1:?}");
+    }
+
+    #[test]
+    fn wan_is_slower_than_lan() {
+        let bytes = 100_000;
+        assert!(NetworkModel::wan().transfer_time(bytes) > NetworkModel::lan().transfer_time(bytes));
+    }
+
+    #[test]
+    fn local_exec_is_residual() {
+        let m = Metrics {
+            total: Duration::from_millis(100),
+            shred: Duration::from_millis(10),
+            serialize: Duration::from_millis(20),
+            remote_exec: Duration::from_millis(30),
+            network: Duration::from_millis(15),
+            ..Default::default()
+        };
+        assert_eq!(m.local_exec(), Duration::from_millis(25));
+        // never negative
+        let m2 = Metrics { total: Duration::from_millis(1), shred: Duration::from_millis(10), ..Default::default() };
+        assert_eq!(m2.local_exec(), Duration::ZERO);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut a = Metrics { message_bytes: 10, transfers: 1, ..Default::default() };
+        let b = Metrics { message_bytes: 5, document_bytes: 7, transfers: 2, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.message_bytes, 15);
+        assert_eq!(a.transferred_bytes(), 22);
+        assert_eq!(a.transfers, 3);
+    }
+}

@@ -1,0 +1,358 @@
+//! Wire-level building blocks shared by the three message codecs:
+//!
+//! * `fragid`/`nodeid` arithmetic — the paper addresses a shipped node as
+//!   `$msg//fragment[$fragid]/descendant::node()[$nodeid]`, i.e. the
+//!   1-based rank among **non-attribute** nodes of the fragment (footnote 2:
+//!   `descendant::node()` does not return attributes; attribute references
+//!   carry the owner's `nodeid` plus the attribute name);
+//! * fragment planning for pass-by-fragment — deduplicate overlapping
+//!   shipped nodes into top-level subtree roots, sorted in document order;
+//! * evaluation of relative projection paths (`Urel`/`Rrel`) on
+//!   materialized context sequences, including the `root()` / `id()` /
+//!   `idref()` markers of the Table V grammar.
+
+use xqd_xml::axes::{axis_nodes, node_test_matches, NodeTest};
+use xqd_xml::{DocId, Document, NodeId, NodeKind, Store};
+use xqd_xquery::ast::{NameTest, RelPath, RelStep};
+
+/// 1-based rank of `target` among non-attribute nodes in `[start, end]`
+/// (preorder). Returns `None` when `target` is outside the range or is an
+/// attribute.
+pub fn nodeid_in_range(doc: &Document, start: u32, end: u32, target: u32) -> Option<u32> {
+    if target < start || target > end || doc.kind(target) == NodeKind::Attribute {
+        return None;
+    }
+    let mut rank = 0u32;
+    for i in start..=target {
+        if doc.kind(i) != NodeKind::Attribute {
+            rank += 1;
+        }
+    }
+    Some(rank)
+}
+
+/// Inverse of [`nodeid_in_range`].
+pub fn node_at_nodeid(doc: &Document, start: u32, end: u32, nodeid: u32) -> Option<u32> {
+    let mut rank = 0u32;
+    for i in start..=end.min(doc.len() as u32 - 1) {
+        if doc.kind(i) != NodeKind::Attribute {
+            rank += 1;
+            if rank == nodeid {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Fragment plan for pass-by-fragment: per source document (in `DocId`
+/// order), the top-level subtree roots to serialize — overlapping shipped
+/// nodes reuse their ancestor's fragment, in document order, which is
+/// exactly what preserves identity, order and ancestry (Section V).
+#[derive(Debug, Clone, Default)]
+pub struct FragmentPlan {
+    /// `(doc, root)` pairs; index + 1 = `fragid`.
+    pub roots: Vec<(DocId, u32)>,
+}
+
+impl FragmentPlan {
+    /// Builds the plan for a set of shipped nodes. Attribute nodes are
+    /// promoted to their owner element (an attribute cannot stand alone in
+    /// serialized XML; the owner's subtree covers it).
+    pub fn new(store: &Store, nodes: &[NodeId]) -> FragmentPlan {
+        let mut normalized: Vec<NodeId> = nodes
+            .iter()
+            .map(|n| {
+                let doc = store.doc(n.doc);
+                if doc.kind(n.idx) == NodeKind::Attribute {
+                    NodeId::new(n.doc, doc.parent(n.idx).expect("attribute has owner"))
+                } else {
+                    *n
+                }
+            })
+            .collect();
+        normalized.sort_unstable();
+        normalized.dedup();
+        let mut roots: Vec<(DocId, u32)> = Vec::new();
+        for n in normalized {
+            let covered = roots.iter().any(|&(d, r)| {
+                d == n.doc && {
+                    let doc = store.doc(d);
+                    r == n.idx || doc.is_ancestor(r, n.idx)
+                }
+            });
+            if !covered {
+                roots.push((n.doc, n.idx));
+            }
+        }
+        FragmentPlan { roots }
+    }
+
+    /// Locates `node` in the plan: `(fragid, nodeid)`, both 1-based.
+    /// Document-node fragments use the convention `nodeid == 0` for the
+    /// document node itself. Attributes resolve to their owner's nodeid
+    /// (the caller adds the attribute name).
+    pub fn locate(&self, store: &Store, node: NodeId) -> Option<(u32, u32)> {
+        let doc = store.doc(node.doc);
+        let target = if doc.kind(node.idx) == NodeKind::Attribute {
+            doc.parent(node.idx)?
+        } else {
+            node.idx
+        };
+        for (i, &(d, r)) in self.roots.iter().enumerate() {
+            if d != node.doc {
+                continue;
+            }
+            if r == target || doc.is_ancestor(r, target) {
+                let fragid = i as u32 + 1;
+                if doc.kind(r) == NodeKind::Document {
+                    // fragment is the whole document: ranks start below it
+                    if target == r {
+                        return Some((fragid, 0));
+                    }
+                    let nodeid = nodeid_in_range(doc, r + 1, doc.subtree_end(r), target)?;
+                    return Some((fragid, nodeid));
+                }
+                let nodeid = nodeid_in_range(doc, r, doc.subtree_end(r), target)?;
+                return Some((fragid, nodeid));
+            }
+        }
+        None
+    }
+}
+
+/// Evaluates a set of relative projection paths on a materialized context
+/// sequence, producing the node set (atoms in the context are skipped —
+/// paths apply to nodes only).
+pub fn eval_rel_paths(
+    store: &Store,
+    context: &[NodeId],
+    paths: &[RelPath],
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for path in paths {
+        let mut cur: Vec<NodeId> = context.to_vec();
+        for step in &path.0 {
+            cur = eval_rel_step(store, &cur, step);
+        }
+        out.extend(cur);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn eval_rel_step(store: &Store, context: &[NodeId], step: &RelStep) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    match step {
+        RelStep::Axis { axis, test } => {
+            for n in context {
+                let doc = store.doc(n.doc);
+                let resolved = match test {
+                    NameTest::Name(name) => store
+                        .names
+                        .get(name)
+                        .map(NodeTest::Name)
+                        .unwrap_or(NodeTest::UnknownName),
+                    NameTest::Wildcard => NodeTest::Wildcard,
+                    NameTest::AnyKind => NodeTest::AnyKind,
+                    NameTest::Text => NodeTest::Text,
+                    NameTest::Comment => NodeTest::Comment,
+                };
+                let mut reached = Vec::new();
+                axis_nodes(doc, n.idx, *axis, &mut reached);
+                for r in reached {
+                    if node_test_matches(doc, r, *axis, &resolved) {
+                        out.push(NodeId::new(n.doc, r));
+                    }
+                }
+            }
+        }
+        RelStep::Root => {
+            for n in context {
+                out.push(NodeId::new(n.doc, 0));
+            }
+        }
+        RelStep::Id => {
+            // conservative (Section VI-A): every element carrying an ID
+            // attribute in the context documents
+            let mut docs: Vec<DocId> = context.iter().map(|n| n.doc).collect();
+            docs.sort_unstable();
+            docs.dedup();
+            for d in docs {
+                let doc = store.doc(d);
+                let mut owners: Vec<u32> = doc.id_map_values();
+                owners.sort_unstable();
+                owners.dedup();
+                out.extend(owners.into_iter().map(|i| NodeId::new(d, i)));
+            }
+        }
+        RelStep::Idref => {
+            let mut docs: Vec<DocId> = context.iter().map(|n| n.doc).collect();
+            docs.sort_unstable();
+            docs.dedup();
+            for d in docs {
+                let doc = store.doc(d);
+                for (attr, _) in doc.idref_attributes(&store.names) {
+                    out.push(NodeId::new(d, attr));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Serializes a relative path to its message text (`used-path` /
+/// `returned-path` content) — the inverse of [`parse_rel_path`].
+pub fn rel_path_text(p: &RelPath) -> String {
+    p.to_string()
+}
+
+/// Parses a relative path from its message text.
+pub fn parse_rel_path(s: &str) -> Option<RelPath> {
+    let s = s.trim();
+    if s.is_empty() || s == "self::node()" {
+        return Some(RelPath(vec![]));
+    }
+    let mut steps = Vec::new();
+    for part in s.split('/') {
+        let part = part.trim();
+        match part {
+            "root()" => steps.push(RelStep::Root),
+            "id()" => steps.push(RelStep::Id),
+            "idref()" => steps.push(RelStep::Idref),
+            _ => {
+                let (axis_name, test_text) = part.split_once("::")?;
+                let axis = xqd_xml::Axis::from_name(axis_name)?;
+                let test = match test_text {
+                    "*" => NameTest::Wildcard,
+                    "node()" => NameTest::AnyKind,
+                    "text()" => NameTest::Text,
+                    "comment()" => NameTest::Comment,
+                    name => NameTest::Name(name.to_string()),
+                };
+                steps.push(RelStep::Axis { axis, test });
+            }
+        }
+    }
+    Some(RelPath(steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqd_xml::parse_document;
+
+    fn fixture(store: &mut Store) -> DocId {
+        // <a><b id="1"><c/>t</b><d><e/></d></a>
+        // 0=doc 1=a 2=b 3=@id 4=c 5=text 6=d 7=e
+        parse_document(store, "<a><b id=\"1\"><c/>t</b><d><e/></d></a>", Some("f.xml")).unwrap()
+    }
+
+    #[test]
+    fn nodeid_skips_attributes() {
+        let mut s = Store::new();
+        let d = fixture(&mut s);
+        let doc = s.doc(d);
+        // fragment rooted at <b> (idx 2): ranks are b=1, c=2, text=3 (@id skipped)
+        assert_eq!(nodeid_in_range(doc, 2, doc.subtree_end(2), 2), Some(1));
+        assert_eq!(nodeid_in_range(doc, 2, doc.subtree_end(2), 4), Some(2));
+        assert_eq!(nodeid_in_range(doc, 2, doc.subtree_end(2), 5), Some(3));
+        assert_eq!(nodeid_in_range(doc, 2, doc.subtree_end(2), 3), None, "attribute");
+        assert_eq!(node_at_nodeid(doc, 2, doc.subtree_end(2), 2), Some(4));
+        assert_eq!(node_at_nodeid(doc, 2, doc.subtree_end(2), 9), None);
+    }
+
+    #[test]
+    fn fragment_plan_dedups_overlap() {
+        // mirrors Example 5.1: $bc (inside) and $abc (ancestor) share one
+        // fragment
+        let mut s = Store::new();
+        let d = fixture(&mut s);
+        let bc = NodeId::new(d, 2); // <b>
+        let abc = NodeId::new(d, 1); // <a>, ancestor of <b>
+        let plan = FragmentPlan::new(&s, &[bc, abc]);
+        assert_eq!(plan.roots, vec![(d, 1)], "one fragment: the ancestor");
+        assert_eq!(plan.locate(&s, abc), Some((1, 1)));
+        assert_eq!(plan.locate(&s, bc), Some((1, 2)));
+    }
+
+    #[test]
+    fn fragment_plan_orders_by_document_order() {
+        let mut s = Store::new();
+        let d = fixture(&mut s);
+        let plan = FragmentPlan::new(&s, &[NodeId::new(d, 6), NodeId::new(d, 2)]);
+        assert_eq!(plan.roots, vec![(d, 2), (d, 6)]);
+        assert_eq!(plan.locate(&s, NodeId::new(d, 2)), Some((1, 1)));
+        assert_eq!(plan.locate(&s, NodeId::new(d, 6)), Some((2, 1)));
+        assert_eq!(plan.locate(&s, NodeId::new(d, 7)), Some((2, 2)));
+    }
+
+    #[test]
+    fn attribute_nodes_promote_owner() {
+        let mut s = Store::new();
+        let d = fixture(&mut s);
+        let attr = NodeId::new(d, 3);
+        let plan = FragmentPlan::new(&s, &[attr]);
+        assert_eq!(plan.roots, vec![(d, 2)], "owner element shipped");
+        assert_eq!(plan.locate(&s, attr), Some((1, 1)), "owner's nodeid");
+    }
+
+    #[test]
+    fn document_node_fragment_uses_nodeid_zero() {
+        let mut s = Store::new();
+        let d = fixture(&mut s);
+        let plan = FragmentPlan::new(&s, &[NodeId::new(d, 0)]);
+        assert_eq!(plan.locate(&s, NodeId::new(d, 0)), Some((1, 0)));
+        assert_eq!(plan.locate(&s, NodeId::new(d, 1)), Some((1, 1)));
+    }
+
+    #[test]
+    fn rel_path_roundtrip() {
+        for text in [
+            "child::a/attribute::id",
+            "descendant-or-self::text()",
+            "parent::a",
+            "root()/child::*",
+            "id()/child::name",
+            "self::node()",
+        ] {
+            let p = parse_rel_path(text).unwrap();
+            let back = rel_path_text(&p);
+            assert_eq!(parse_rel_path(&back).unwrap(), p, "{text}");
+        }
+        assert!(parse_rel_path("bogus").is_none());
+    }
+
+    #[test]
+    fn rel_path_evaluation() {
+        let mut s = Store::new();
+        let d = fixture(&mut s);
+        let ctx = [NodeId::new(d, 2)];
+        let p = parse_rel_path("child::c").unwrap();
+        assert_eq!(eval_rel_paths(&s, &ctx, &[p]), vec![NodeId::new(d, 4)]);
+        let p = parse_rel_path("parent::a").unwrap();
+        assert_eq!(eval_rel_paths(&s, &ctx, &[p]), vec![NodeId::new(d, 1)]);
+        let p = parse_rel_path("root()").unwrap();
+        assert_eq!(eval_rel_paths(&s, &ctx, &[p]), vec![NodeId::new(d, 0)]);
+        let p = parse_rel_path("id()").unwrap();
+        assert_eq!(eval_rel_paths(&s, &ctx, &[p]), vec![NodeId::new(d, 2)]);
+    }
+
+    #[test]
+    fn multiple_paths_union_in_document_order() {
+        let mut s = Store::new();
+        let d = fixture(&mut s);
+        let ctx = [NodeId::new(d, 1)];
+        let paths = [
+            parse_rel_path("child::d").unwrap(),
+            parse_rel_path("child::b").unwrap(),
+        ];
+        assert_eq!(
+            eval_rel_paths(&s, &ctx, &paths),
+            vec![NodeId::new(d, 2), NodeId::new(d, 6)]
+        );
+    }
+}

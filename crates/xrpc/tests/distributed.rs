@@ -1,0 +1,473 @@
+//! End-to-end distributed semantics tests.
+//!
+//! Reproduces the paper's Section II semantic Problems 1–4 under
+//! pass-by-value — the *wrong* results the paper documents — and verifies
+//! that pass-by-fragment / pass-by-projection restore local semantics
+//! exactly as Sections V–VI claim. The fixture queries are Q1 (Table I) and
+//! Q2 (Table III) with XRPC calls at the places the paper discusses.
+
+use xqd_core::Strategy;
+use xqd_xrpc::{Federation, NetworkModel};
+
+fn fed() -> Federation {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.add_peer("p");
+    f
+}
+
+/// Q1's function prolog (Table I), shipped bodies written with the real
+/// XRPC surface syntax.
+const Q1_PROLOG: &str = r#"
+    declare function makenodes() as node()
+    { element a { element b { element c {()} } }/b };
+    declare function overlap($l as node(), $r as node()) as xs:boolean
+    { not(empty($l//* intersect $r//*)) };
+    declare function earlier($l as node(), $r as node()) as node()
+    { if ($l << $r) then $l else $r };
+"#;
+
+// ---------------------------------------------------------------------------
+// Problem 1: non-downward XPath steps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn problem1_parent_step_empty_under_by_value() {
+    let q = format!(
+        "{Q1_PROLOG} let $bc := execute at {{\"p\"}} {{ makenodes() }} \
+         return count($bc/parent::a)"
+    );
+    let out = fed().run(&q, Strategy::ByValue).unwrap();
+    assert_eq!(out.result, vec!["atom:0"], "pass-by-value loses the parent");
+    // by-fragment ships only the node's subtree too: still empty
+    let out = fed().run(&q, Strategy::ByFragment).unwrap();
+    assert_eq!(out.result, vec!["atom:0"]);
+}
+
+#[test]
+fn problem1_fixed_by_projection() {
+    // Example 6.1 / Fig. 5: the projection ships the parent context
+    let q = format!(
+        "{Q1_PROLOG} let $bc := execute at {{\"p\"}} {{ makenodes() }} \
+         return name($bc/parent::a)"
+    );
+    let out = fed().run(&q, Strategy::ByProjection).unwrap();
+    assert_eq!(out.result, vec!["atom:a"], "projection preserves the ancestor");
+}
+
+// ---------------------------------------------------------------------------
+// Problem 2: node identity comparisons
+// ---------------------------------------------------------------------------
+
+#[test]
+fn problem2_overlap_false_under_by_value() {
+    // $l and $r overlap structurally, but two by-value copies do not
+    let q = format!(
+        "{Q1_PROLOG} \
+         let $bc := element a {{ element b {{ element c {{()}} }} }}/b, \
+             $abc := $bc/parent::a \
+         return execute at {{\"p\"}} {{ overlap($abc, $bc) }}"
+    );
+    let out = fed().run(&q, Strategy::ByValue).unwrap();
+    assert_eq!(out.result, vec!["atom:false"], "copies never intersect");
+    let out = fed().run(&q, Strategy::ByFragment).unwrap();
+    assert_eq!(out.result, vec!["atom:true"], "one fragment preserves identity");
+    let out = fed().run(&q, Strategy::ByProjection).unwrap();
+    assert_eq!(out.result, vec!["atom:true"]);
+}
+
+// ---------------------------------------------------------------------------
+// Problem 3: document order between parameters
+// ---------------------------------------------------------------------------
+
+#[test]
+fn problem3_parameter_order_under_by_value() {
+    // earlier($bc, $abc) must return $abc (the parent precedes); by-value
+    // serializes parameters in parameter order, so the copy of $bc comes
+    // first and wins
+    let q = format!(
+        "{Q1_PROLOG} \
+         let $bc := element a {{ element b {{ element c {{()}} }} }}/b, \
+             $abc := $bc/parent::a \
+         return name(execute at {{\"p\"}} {{ earlier($bc, $abc) }})"
+    );
+    let out = fed().run(&q, Strategy::ByValue).unwrap();
+    assert_eq!(out.result, vec!["atom:b"], "by-value picks the first-serialized copy");
+    let out = fed().run(&q, Strategy::ByFragment).unwrap();
+    assert_eq!(out.result, vec!["atom:a"], "fragments preserve document order (Fig. 4)");
+    let out = fed().run(&q, Strategy::ByProjection).unwrap();
+    assert_eq!(out.result, vec!["atom:a"]);
+}
+
+// ---------------------------------------------------------------------------
+// Problem 4: interaction between different calls
+// ---------------------------------------------------------------------------
+
+#[test]
+fn problem4_mixed_call_duplicates_under_by_value() {
+    // two loop iterations call the same function; //c over the union of
+    // their results must deduplicate — by-value yields two copies, bulk
+    // by-fragment shares one fragments preamble and yields one
+    let q = format!(
+        "{Q1_PROLOG} \
+         let $bc := element a {{ element b {{ element c {{()}} }} }}/b, \
+             $abc := $bc/parent::a \
+         return count((for $node in ($bc, $abc) \
+                       return execute at {{\"p\"}} {{ earlier($node, $abc) }})//c)"
+    );
+    let out = fed().run(&q, Strategy::ByValue).unwrap();
+    assert_eq!(out.result, vec!["atom:2"], "two separate copies of <c/>");
+    let out = fed().run(&q, Strategy::ByFragment).unwrap();
+    assert_eq!(out.result, vec!["atom:1"], "Bulk RPC + fragments restore identity");
+}
+
+#[test]
+fn problem4_bulk_rpc_single_message() {
+    let q = format!(
+        "{Q1_PROLOG} \
+         let $bc := element a {{ element b {{ element c {{()}} }} }}/b, \
+             $abc := $bc/parent::a \
+         return count((for $node in ($bc, $abc) \
+                       return execute at {{\"p\"}} {{ earlier($node, $abc) }})//c)"
+    );
+    let out = fed().run(&q, Strategy::ByFragment).unwrap();
+    assert_eq!(
+        out.metrics.transfers, 2,
+        "one request + one response despite two loop iterations"
+    );
+    assert_eq!(out.metrics.remote_calls, 2, "both calls carried in the message");
+}
+
+// ---------------------------------------------------------------------------
+// Q1 end-to-end: the full Table I query
+// ---------------------------------------------------------------------------
+
+fn q1_distributed() -> String {
+    format!(
+        "{Q1_PROLOG} \
+         let $bc := execute at {{\"p\"}} {{ makenodes() }}, \
+             $abc := $bc/parent::a \
+         return count((for $node in ($bc, $abc) \
+                       let $first := earlier($bc, $abc) \
+                       where overlap($first, $node) \
+                       return $node)//c)"
+    )
+}
+
+#[test]
+fn q1_local_ground_truth() {
+    // pure local execution returns exactly one <c/>
+    let q = format!(
+        "{Q1_PROLOG} \
+         let $bc := makenodes(), $abc := $bc/parent::a \
+         return count((for $node in ($bc, $abc) \
+                       let $first := earlier($bc, $abc) \
+                       where overlap($first, $node) \
+                       return $node)//c)"
+    );
+    let out = fed().run(&q, Strategy::DataShipping).unwrap();
+    assert_eq!(out.result, vec!["atom:1"]);
+}
+
+#[test]
+fn q1_projection_matches_local() {
+    let out = fed().run(&q1_distributed(), Strategy::ByProjection).unwrap();
+    assert_eq!(out.result, vec!["atom:1"], "by-projection restores local semantics");
+}
+
+#[test]
+fn q1_by_value_differs_from_local() {
+    // $abc is empty under by-value (Problem 1), so the loop runs over one
+    // node only and overlap($first, …) sees broken identity — the count is
+    // not the local 1
+    let out = fed().run(&q1_distributed(), Strategy::ByValue).unwrap();
+    assert_ne!(out.result, vec!["atom:1"], "by-value must expose Problems 1-3");
+}
+
+// ---------------------------------------------------------------------------
+// Q2 (Table III): every strategy returns the same result
+// ---------------------------------------------------------------------------
+
+fn students_xml() -> String {
+    // two students; sara tutors tom (sara is also a student)
+    "<people>\
+       <person><name>sara</name><tutor>ben</tutor><id>s1</id></person>\
+       <person><name>tom</name><tutor>sara</tutor><id>s2</id></person>\
+     </people>"
+        .to_string()
+}
+
+fn course_xml() -> String {
+    // the query navigates $c/enroll/exam from the document node, so the
+    // document root element is <enroll>
+    "<enroll><exam id=\"s2\"><grade>A</grade></exam>\
+             <exam id=\"s9\"><grade>F</grade></exam></enroll>"
+        .to_string()
+}
+
+fn q2_federation() -> Federation {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.load_document("A", "students.xml", &students_xml()).unwrap();
+    f.load_document("B", "course42.xml", &course_xml()).unwrap();
+    f
+}
+
+const Q2: &str = r#"(let $s := doc("xrpc://A/students.xml")/people/person,
+        $c := doc("xrpc://B/course42.xml"),
+        $t := $s[tutor = $s/name]
+    for $e in $c/enroll/exam
+    where $e/@id = $t/id
+    return $e)/grade"#;
+
+#[test]
+fn q2_equivalent_across_all_strategies() {
+    let baseline = q2_federation().run(Q2, Strategy::DataShipping).unwrap();
+    assert_eq!(baseline.result, vec!["<grade>A</grade>"]);
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let out = q2_federation().run(Q2, strategy).unwrap();
+        assert_eq!(out.result, baseline.result, "{strategy:?} must match local semantics");
+    }
+}
+
+#[test]
+fn q2_fragment_uses_less_bandwidth_than_data_shipping() {
+    let ship = q2_federation().run(Q2, Strategy::DataShipping).unwrap();
+    let frag = q2_federation().run(Q2, Strategy::ByFragment).unwrap();
+    let proj = q2_federation().run(Q2, Strategy::ByProjection).unwrap();
+    assert!(ship.metrics.document_bytes > 0);
+    assert_eq!(frag.metrics.document_bytes, 0, "no whole documents shipped");
+    assert_eq!(proj.metrics.document_bytes, 0);
+}
+
+/// With realistic payload-to-key ratios (fat <cv> blobs on each person),
+/// by-projection prunes the A-side response to person shells plus ids,
+/// beating by-fragment's full subtrees — the Figure 7 ordering.
+#[test]
+fn projection_beats_fragment_on_fat_payloads() {
+    let blob = "x".repeat(2000);
+    let students = format!(
+        "<people>\
+           <person><name>sara</name><tutor>ben</tutor><id>s1</id><cv>{blob}</cv></person>\
+           <person><name>tom</name><tutor>sara</tutor><id>s2</id><cv>{blob}</cv></person>\
+         </people>"
+    );
+    let run = |strategy| {
+        let mut f = Federation::new(NetworkModel::lan());
+        f.load_document("A", "students.xml", &students).unwrap();
+        f.load_document("B", "course42.xml", &course_xml()).unwrap();
+        f.run(Q2, strategy).unwrap()
+    };
+    let ship = run(Strategy::DataShipping);
+    let frag = run(Strategy::ByFragment);
+    let proj = run(Strategy::ByProjection);
+    assert_eq!(proj.result, ship.result);
+    assert_eq!(frag.result, ship.result);
+    assert!(
+        frag.metrics.transferred_bytes() < ship.metrics.transferred_bytes(),
+        "fragment {} vs shipping {}",
+        frag.metrics.transferred_bytes(),
+        ship.metrics.transferred_bytes()
+    );
+    assert!(
+        proj.metrics.transferred_bytes() < frag.metrics.transferred_bytes(),
+        "projection {} vs fragment {}",
+        proj.metrics.transferred_bytes(),
+        frag.metrics.transferred_bytes()
+    );
+}
+
+#[test]
+fn q2_data_shipping_fetches_documents_once() {
+    let mut f = q2_federation();
+    let out = f.run(Q2, Strategy::DataShipping).unwrap();
+    assert_eq!(out.metrics.transfers, 2, "both documents fetched once");
+    assert!(out.metrics.message_bytes == 0);
+}
+
+// ---------------------------------------------------------------------------
+// class 1/2 context properties (Problem 5)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn class1_static_context_shipped() {
+    let q = "execute at {\"p\"} params () { (static-base-uri(), current-dateTime()) }";
+    let out = fed().run(q, Strategy::ByValue).unwrap();
+    // defaults of the coordinator's static context travel with the request
+    assert_eq!(out.result.len(), 2);
+    assert_eq!(out.result[0], "atom:local:/");
+}
+
+#[test]
+fn class2_base_uri_preserved_for_shipped_nodes() {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.load_document("p", "d.xml", "<r><x/></r>").unwrap();
+    // the remote function returns a node of d.xml; its base-uri must
+    // survive the response message under every semantics
+    let q = "base-uri(execute at {\"p\"} params () { doc(\"xrpc://p/d.xml\")/r/x })";
+    // the local ground truth: fetch the document, take the node's base-uri
+    let local = f.run("base-uri(doc(\"xrpc://p/d.xml\")/r/x)", Strategy::DataShipping).unwrap();
+    assert_eq!(local.result, vec!["atom:xrpc://p/d.xml"]);
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let mut f2 = Federation::new(NetworkModel::lan());
+        f2.load_document("p", "d.xml", "<r><x/></r>").unwrap();
+        let out = f2.run(q, strategy).unwrap();
+        assert_eq!(out.result, local.result, "{strategy:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// atoms and error paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn atomic_parameters_and_results() {
+    let q = "declare function fcn($n as xs:string) as xs:boolean { $n = \"depts\" }; \
+             execute at { \"p\" } { fcn(\"depts\") }";
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let out = fed().run(q, strategy).unwrap();
+        assert_eq!(out.result, vec!["atom:true"], "{strategy:?}");
+    }
+}
+
+#[test]
+fn unknown_peer_is_an_error() {
+    let q = "execute at {\"nowhere\"} params () { 1 }";
+    let err = fed().run(q, Strategy::ByValue).unwrap_err();
+    assert!(err.message.contains("nowhere"), "{err}");
+}
+
+#[test]
+fn missing_remote_document_is_an_error() {
+    let q = "doc(\"xrpc://p/missing.xml\")";
+    let err = fed().run(q, Strategy::DataShipping).unwrap_err();
+    assert!(err.message.contains("missing.xml"), "{err}");
+}
+
+#[test]
+fn remote_execution_error_propagates() {
+    let q = "execute at {\"p\"} params () { 1 div 0 }";
+    let err = fed().run(q, Strategy::ByFragment).unwrap_err();
+    assert!(err.message.contains("division"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// the intro example: predicate pushed into a loop (Bulk RPC end-to-end)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn intro_example_all_strategies_agree() {
+    let employees = "<emps><emp dept=\"sales\"><n>joe</n></emp>\
+                     <emp dept=\"hr\"><n>amy</n></emp>\
+                     <emp dept=\"sales\"><n>bob</n></emp></emps>";
+    let depts = "<depts><dept name=\"sales\"/><dept name=\"dev\"/></depts>";
+    let q = "for $e in doc(\"xrpc://local/employees.xml\")//emp \
+             where $e/@dept = doc(\"xrpc://example.org/depts.xml\")//dept/@name \
+             return $e/n";
+    let mut results = Vec::new();
+    for strategy in Strategy::ALL {
+        let mut f = Federation::new(NetworkModel::lan());
+        f.load_document("local", "employees.xml", employees).unwrap();
+        f.load_document("example.org", "depts.xml", depts).unwrap();
+        let out = f.run(q, strategy).unwrap();
+        results.push((strategy, out.result));
+    }
+    let baseline = results[0].1.clone();
+    assert_eq!(baseline, vec!["<n>joe</n>", "<n>bob</n>"]);
+    for (s, r) in &results {
+        assert_eq!(r, &baseline, "{s:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-hop: a shipped body that itself calls another peer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nested_calls_between_different_peers() {
+    // the predicate over doc(B) sits INSIDE the A-class subgraph, so the
+    // decomposer nests a B call inside the body shipped to A — peer A
+    // becomes a caller itself
+    let q = r#"
+        doc("xrpc://A/a.xml")//item[@id = doc("xrpc://B/b.xml")//item/@id]/v
+    "#;
+    let load = || {
+        let mut f = Federation::new(NetworkModel::lan());
+        f.load_document(
+            "A",
+            "a.xml",
+            "<root><item id=\"k1\"><v>10</v></item><item id=\"k2\"><v>20</v></item></root>",
+        )
+        .unwrap();
+        f.load_document("B", "b.xml", "<root><item id=\"k2\"/></root>").unwrap();
+        f
+    };
+    let baseline = load().run(q, Strategy::DataShipping).unwrap();
+    assert_eq!(baseline.result, vec!["<v>20</v>"]);
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let out = load().run(q, strategy).unwrap();
+        assert_eq!(out.result, baseline.result, "{strategy:?}");
+    }
+    // and the plan really nests: the A call's body mentions peer B
+    let out = load().run(q, Strategy::ByFragment).unwrap();
+    let a_call = out.plan.calls.iter().find(|c| c.peer == "A");
+    if let Some(a_call) = a_call {
+        assert!(
+            a_call.body.contains("execute at { \"B\" }")
+                || out.plan.calls.iter().any(|c| c.peer == "B"),
+            "B participates: {:#?}",
+            out.plan.calls
+        );
+    }
+}
+
+/// The WAN model amplifies the gap between strategies (the paper's closing
+/// argument): projection's total time advantage over data shipping must be
+/// larger on the slow link.
+#[test]
+fn wan_widens_the_gap() {
+    let q = "count(doc(\"xrpc://p/d.xml\")//person[age < 40])";
+    // large enough that bandwidth dominates the two extra round-trip
+    // latencies of the decomposed plan
+    let doc = {
+        let mut s = String::from("<people>");
+        for i in 0..500 {
+            s.push_str(&format!(
+                "<person><age>{}</age><cv>{}</cv></person>",
+                20 + (i % 50),
+                "x".repeat(2000)
+            ));
+        }
+        s.push_str("</people>");
+        s
+    };
+    let run = |model: NetworkModel, strategy| {
+        let mut f = Federation::new(model);
+        f.load_document("p", "d.xml", &doc).unwrap();
+        let out = f.run(q, strategy).unwrap();
+        out.metrics.network
+    };
+    let lan_ship = run(NetworkModel::lan(), Strategy::DataShipping);
+    let lan_proj = run(NetworkModel::lan(), Strategy::ByProjection);
+    let wan_ship = run(NetworkModel::wan(), Strategy::DataShipping);
+    let wan_proj = run(NetworkModel::wan(), Strategy::ByProjection);
+    let lan_gap = lan_ship.as_secs_f64() - lan_proj.as_secs_f64();
+    let wan_gap = wan_ship.as_secs_f64() - wan_proj.as_secs_f64();
+    assert!(wan_gap > lan_gap * 10.0, "wan gap {wan_gap} vs lan gap {lan_gap}");
+}
+
+/// A remote body may open its peer's documents by plain local name — the
+/// paper's fcn1 uses `doc("depts.xml")` on example.org.
+#[test]
+fn plain_local_names_resolve_on_peers() {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.load_document("org", "depts.xml", "<depts><dept name=\"dev\"/></depts>").unwrap();
+    let q = "execute at {\"org\"} params () { count(doc(\"depts.xml\")//dept) }";
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let mut f2 = Federation::new(NetworkModel::lan());
+        f2.load_document("org", "depts.xml", "<depts><dept name=\"dev\"/></depts>").unwrap();
+        let out = f2.run(q, strategy).unwrap();
+        assert_eq!(out.result, vec!["atom:1"], "{strategy:?}");
+    }
+    // but the coordinator has no such document
+    let err = f.run("doc(\"depts.xml\")", Strategy::DataShipping).unwrap_err();
+    assert!(err.message.contains("depts.xml"), "{err}");
+}

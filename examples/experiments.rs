@@ -1,0 +1,135 @@
+//! Regenerates every figure of the paper's evaluation (Section VII) and
+//! prints the series in tabular form.
+//!
+//! ```sh
+//! cargo run --release --example experiments            # all figures
+//! cargo run --release --example experiments -- fig7    # one figure
+//! cargo run --release --example experiments -- --large # paper-scale sweep
+//! ```
+//!
+//! Document sizes default to 0.25–4 MB per document (the paper used
+//! 10–160 MB per document on a 3-machine testbed); pass `--large` for a
+//! 1–16 MB sweep. The reproduction target is the *shape* of each series.
+
+use std::time::Duration;
+
+use xqd_bench::{fig10_11_projection, fig7_bandwidth, fig8_breakdown, BENCHMARK_QUERY};
+use xqd_core::Strategy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let large = args.iter().any(|a| a == "--large");
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let all = which.is_empty();
+
+    let sizes: Vec<usize> = if large {
+        vec![1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000]
+    } else {
+        vec![250_000, 500_000, 1_000_000, 2_000_000, 4_000_000]
+    };
+    let breakdown_size = *sizes.last().unwrap();
+
+    println!("benchmark query (Section VII):{BENCHMARK_QUERY}");
+
+    if all || which.contains(&"fig7") || which.contains(&"fig9") {
+        println!("== Figures 7 & 9: bandwidth usage and execution time ==");
+        println!(
+            "{:>12} | {:>19} | {:>14} | {:>12} | {:>8}",
+            "total docs", "strategy", "transferred", "time", "result"
+        );
+        for (size, points) in fig7_bandwidth(&sizes) {
+            for p in points {
+                println!(
+                    "{:>12} | {:>19} | {:>14} | {:>12} | {:>8}",
+                    human(2 * size as u64),
+                    p.strategy.name(),
+                    human(p.metrics.transferred_bytes()),
+                    format!("{:.1?}", p.metrics.total + p.metrics.network),
+                    p.result_len,
+                );
+            }
+            println!("{}", "-".repeat(78));
+        }
+    }
+
+    if all || which.contains(&"fig8") {
+        println!("\n== Figure 8: query time breakdown ({} per doc) ==", human(breakdown_size as u64));
+        println!(
+            "{:>19} | {:>10} | {:>10} | {:>12} | {:>11} | {:>10}",
+            "strategy", "shred", "local exec", "(de)serialize", "remote exec", "network"
+        );
+        for p in fig8_breakdown(breakdown_size) {
+            println!(
+                "{:>19} | {:>10} | {:>10} | {:>12} | {:>11} | {:>10}",
+                p.strategy.name(),
+                fmt_dur(p.metrics.shred),
+                fmt_dur(p.metrics.local_exec()),
+                fmt_dur(p.metrics.serialize),
+                fmt_dur(p.metrics.remote_exec),
+                fmt_dur(p.metrics.network),
+            );
+        }
+    }
+
+    if all || which.contains(&"fig10") || which.contains(&"fig11") {
+        println!("\n== Figures 10 & 11: runtime vs compile-time projection ==");
+        println!(
+            "{:>12} | {:>16} | {:>14} | {:>9} | {:>13} | {:>11}",
+            "doc size", "compile-time", "runtime", "precision", "compile cost", "runtime cost"
+        );
+        for &s in &sizes {
+            let p = fig10_11_projection(s, 42);
+            println!(
+                "{:>12} | {:>16} | {:>14} | {:>8.1}x | {:>13} | {:>11}",
+                human(p.doc_bytes as u64),
+                human(p.compile_time_bytes as u64),
+                human(p.runtime_bytes as u64),
+                p.compile_time_bytes as f64 / p.runtime_bytes.max(1) as f64,
+                fmt_dur(p.compile_time_cost),
+                fmt_dur(p.runtime_cost),
+            );
+        }
+    }
+
+    if all || which.contains(&"plans") {
+        println!("\n== decomposition plans per strategy ==");
+        for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+            let module = xqd_xquery::parse_query(BENCHMARK_QUERY).unwrap();
+            let d = xqd_core::decompose(&module, strategy).unwrap();
+            println!("-- {} ({} remote calls)", strategy.name(), d.calls.len());
+            for c in &d.calls {
+                println!("   at {}: {}", c.peer, c.body);
+                if let Some(proj) = &c.projection {
+                    for (i, ps) in proj.params.iter().enumerate() {
+                        println!("     param {i}: used={:?} returned={:?}",
+                            ps.used.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                            ps.returned.iter().map(|p| p.to_string()).collect::<Vec<_>>());
+                    }
+                    println!("     result: used={:?} returned={:?}",
+                        proj.result.used.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                        proj.result.returned.iter().map(|p| p.to_string()).collect::<Vec<_>>());
+                }
+            }
+        }
+    }
+}
+
+fn human(bytes: u64) -> String {
+    if bytes >= 10_000_000 {
+        format!("{:.1} MB", bytes as f64 / 1e6)
+    } else if bytes >= 10_000 {
+        format!("{:.0} KB", bytes as f64 / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    if d >= Duration::from_secs(1) {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if d >= Duration::from_millis(1) {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.0} µs", d.as_secs_f64() * 1e6)
+    }
+}

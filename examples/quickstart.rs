@@ -1,0 +1,59 @@
+//! Quickstart: federate two peers, run one query under all four strategies,
+//! and compare results and network cost.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xqd::{Federation, NetworkModel, Strategy};
+
+fn main() {
+    // Two "remote" peers: a personnel service and a project registry.
+    let people = r#"<staff>
+        <person id="p1"><name>ada</name><skill>compilers</skill><bio>joined 2001, leads the backend team, twenty years of systems experience</bio></person>
+        <person id="p2"><name>grace</name><skill>databases</skill><bio>joined 2003, query optimization and distributed execution</bio></person>
+        <person id="p3"><name>edsger</name><skill>verification</skill><bio>joined 1999, formal methods, proofs and semantics</bio></person>
+    </staff>"#;
+    let projects = r#"<projects>
+        <project name="pathfinder"><lead ref="p2"/><topic>databases</topic></project>
+        <project name="spinoza"><lead ref="p3"/><topic>verification</topic></project>
+    </projects>"#;
+
+    // A federated query: which staff members lead a project on their own
+    // specialty? The two documents live on different hosts.
+    let query = r#"
+        for $p in doc("xrpc://hr.example.org/staff.xml")//person
+        for $j in doc("xrpc://lab.example.org/projects.xml")//project
+        where $j/lead/@ref = $p/@id and $j/topic = $p/skill
+        return element match { attribute project { $j/@name }, $p/name/text() }
+    "#;
+
+    println!("query:\n{query}");
+    for strategy in Strategy::ALL {
+        let mut fed = Federation::new(NetworkModel::lan());
+        fed.load_document("hr.example.org", "staff.xml", people).unwrap();
+        fed.load_document("lab.example.org", "projects.xml", projects).unwrap();
+        let out = fed.run(query, strategy).expect("query runs");
+        println!("== {:<19} result: {:?}", strategy.name(), out.result);
+        println!(
+            "   bytes: {:>6} (messages {} / documents {})   round trips: {}",
+            out.metrics.transferred_bytes(),
+            out.metrics.message_bytes,
+            out.metrics.document_bytes,
+            out.metrics.transfers,
+        );
+        if !out.plan.calls.is_empty() {
+            for c in &out.plan.calls {
+                println!("   pushed to {}: {}", c.peer, truncate(&c.body, 90));
+            }
+        }
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

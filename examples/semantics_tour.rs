@@ -1,0 +1,114 @@
+//! A guided tour of the paper's Section II: runs Q1's building blocks
+//! (Table I) remotely under each message-passing semantics and shows the
+//! five semantic problems of pass-by-value appearing — and disappearing
+//! under pass-by-fragment / pass-by-projection.
+//!
+//! ```sh
+//! cargo run --example semantics_tour
+//! ```
+
+use xqd::{Federation, NetworkModel, Strategy};
+
+const PROLOG: &str = r#"
+    declare function makenodes() as node()
+    { element a { element b { element c {()} } }/b };
+    declare function overlap($l as node(), $r as node()) as xs:boolean
+    { not(empty($l//* intersect $r//*)) };
+    declare function earlier($l as node(), $r as node()) as node()
+    { if ($l << $r) then $l else $r };
+"#;
+
+fn run_all(title: &str, local_query: &str, remote_query: &str) {
+    println!("\n── {title} ──");
+    let mut fed = Federation::new(NetworkModel::lan());
+    fed.add_peer("p");
+    let local = fed.run(local_query, Strategy::DataShipping).unwrap();
+    println!("  local ground truth:   {:?}", local.result);
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let mut fed = Federation::new(NetworkModel::lan());
+        fed.add_peer("p");
+        match fed.run(remote_query, strategy) {
+            Ok(out) => {
+                let verdict = if out.result == local.result { "✓ matches local" } else { "✗ DIFFERS" };
+                println!("  {:<19}  {:?}  {verdict}", strategy.name(), out.result);
+            }
+            Err(e) => println!("  {:<19}  error: {e}", strategy.name()),
+        }
+    }
+}
+
+fn main() {
+    println!("Semantic problems of remote XQuery execution (paper Section II, query Q1)");
+
+    run_all(
+        "Problem 1: reverse axis on a shipped result ($bc/parent::a)",
+        &format!("{PROLOG} let $bc := makenodes() return name($bc/parent::a)"),
+        &format!("{PROLOG} let $bc := execute at {{\"p\"}} {{ makenodes() }} return name($bc/parent::a)"),
+    );
+
+    run_all(
+        "Problem 2: node identity between shipped parameters (overlap)",
+        &format!(
+            "{PROLOG} let $bc := makenodes(), $abc := $bc/parent::a \
+             return overlap($abc, $bc)"
+        ),
+        &format!(
+            "{PROLOG} let $bc := makenodes(), $abc := $bc/parent::a \
+             return execute at {{\"p\"}} {{ overlap($abc, $bc) }}"
+        ),
+    );
+
+    run_all(
+        "Problem 3: document order between parameters (earlier)",
+        &format!(
+            "{PROLOG} let $bc := makenodes(), $abc := $bc/parent::a \
+             return name(earlier($bc, $abc))"
+        ),
+        &format!(
+            "{PROLOG} let $bc := makenodes(), $abc := $bc/parent::a \
+             return name(execute at {{\"p\"}} {{ earlier($bc, $abc) }})"
+        ),
+    );
+
+    run_all(
+        "Problem 4: steps over results of different calls (//c dedup)",
+        &format!(
+            "{PROLOG} let $bc := makenodes(), $abc := $bc/parent::a \
+             return count((for $n in ($bc, $abc) return earlier($n, $abc))//c)"
+        ),
+        &format!(
+            "{PROLOG} let $bc := makenodes(), $abc := $bc/parent::a \
+             return count((for $n in ($bc, $abc) \
+                           return execute at {{\"p\"}} {{ earlier($n, $abc) }})//c)"
+        ),
+    );
+
+    run_all(
+        "Problem 5: fn:root() on a shipped result (root($bc)/a)",
+        &format!("{PROLOG} let $bc := makenodes() return count(root($bc)/a)"),
+        &format!(
+            "{PROLOG} let $bc := execute at {{\"p\"}} {{ makenodes() }} \
+             return count(root($bc)/a)"
+        ),
+    );
+
+    println!("\nFull Q1 (Table I): local result is exactly one <c/> element");
+    run_all(
+        "Q1 end-to-end",
+        &format!(
+            "{PROLOG} let $bc := makenodes(), $abc := $bc/parent::a \
+             return count((for $node in ($bc, $abc) \
+                           let $first := earlier($bc, $abc) \
+                           where overlap($first, $node) \
+                           return $node)//c)"
+        ),
+        &format!(
+            "{PROLOG} let $bc := execute at {{\"p\"}} {{ makenodes() }}, \
+                 $abc := $bc/parent::a \
+             return count((for $node in ($bc, $abc) \
+                           let $first := earlier($bc, $abc) \
+                           where overlap($first, $node) \
+                           return $node)//c)"
+        ),
+    );
+}

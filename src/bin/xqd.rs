@@ -1,0 +1,287 @@
+//! `xqd` — the distributed XQuery shell.
+//!
+//! ```text
+//! xqd run   -e 'doc("xrpc://a/d.xml")//x' --peer a:d.xml=./d.xml [--strategy S] [--metrics]
+//! xqd run   query.xq --peer hr:staff.xml=staff.xml --strategy all
+//! xqd explain -e QUERY [--strategy S]        # print decomposition plans
+//! xqd gen-xmark --bytes 1000000 --seed 42 --people p.xml --auctions a.xml
+//! ```
+//!
+//! Strategies: `ship` (data shipping), `value`, `fragment`, `projection`,
+//! or `all` (run every strategy and compare). Network models: `lan`
+//! (1 Gb/s, default) or `wan` (10 Mb/s).
+
+use std::process::ExitCode;
+
+use xqd::{Federation, NetworkModel, Strategy};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..], false),
+        Some("explain") => cmd_run(&args[1..], true),
+        Some("gen-xmark") => cmd_gen(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+xqd — distributed XQuery (pass-by-value / -fragment / -projection)
+
+USAGE:
+  xqd run [QUERY-FILE] [-e QUERY] [OPTIONS]     execute a federated query
+  xqd explain [QUERY-FILE] [-e QUERY] [OPTIONS] print the decomposition plan
+  xqd gen-xmark --bytes N [--seed S] --people FILE --auctions FILE
+
+OPTIONS:
+  -e QUERY                 inline query text (alternative to QUERY-FILE)
+  --peer NAME:DOC=FILE     load FILE as document DOC on peer NAME (repeatable)
+  --strategy S             ship | value | fragment | projection | all
+                           (default: projection)
+  --network lan|wan        link model for simulated transfer times
+  --metrics                print byte/time accounting after the run
+";
+
+struct RunOptions {
+    query: Option<String>,
+    peers: Vec<(String, String, String)>, // (peer, doc, file)
+    strategies: Vec<Strategy>,
+    network: NetworkModel,
+    metrics: bool,
+}
+
+fn parse_strategy(s: &str) -> Option<Vec<Strategy>> {
+    Some(match s {
+        "ship" | "data-shipping" => vec![Strategy::DataShipping],
+        "value" => vec![Strategy::ByValue],
+        "fragment" => vec![Strategy::ByFragment],
+        "projection" => vec![Strategy::ByProjection],
+        "all" => Strategy::ALL.to_vec(),
+        _ => return None,
+    })
+}
+
+fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions {
+        query: None,
+        peers: Vec::new(),
+        strategies: vec![Strategy::ByProjection],
+        network: NetworkModel::lan(),
+        metrics: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-e" => {
+                let q = args.get(i + 1).ok_or("-e requires a query argument")?;
+                opts.query = Some(q.clone());
+                i += 2;
+            }
+            "--peer" => {
+                let spec = args.get(i + 1).ok_or("--peer requires NAME:DOC=FILE")?;
+                let (peer, rest) =
+                    spec.split_once(':').ok_or_else(|| format!("bad --peer spec {spec:?}"))?;
+                let (doc, file) =
+                    rest.split_once('=').ok_or_else(|| format!("bad --peer spec {spec:?}"))?;
+                opts.peers.push((peer.to_string(), doc.to_string(), file.to_string()));
+                i += 2;
+            }
+            "--strategy" => {
+                let s = args.get(i + 1).ok_or("--strategy requires a value")?;
+                opts.strategies =
+                    parse_strategy(s).ok_or_else(|| format!("unknown strategy {s:?}"))?;
+                i += 2;
+            }
+            "--network" => {
+                let s = args.get(i + 1).ok_or("--network requires lan|wan")?;
+                opts.network = match s.as_str() {
+                    "lan" => NetworkModel::lan(),
+                    "wan" => NetworkModel::wan(),
+                    other => return Err(format!("unknown network model {other:?}")),
+                };
+                i += 2;
+            }
+            "--metrics" => {
+                opts.metrics = true;
+                i += 1;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
+            file => {
+                if opts.query.is_some() {
+                    return Err(format!("query given twice (file {file:?} and -e)"));
+                }
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read query file {file:?}: {e}"))?;
+                opts.query = Some(text);
+                i += 1;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
+    let opts = match parse_run_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(query) = opts.query else {
+        eprintln!("error: no query given (use -e QUERY or a query file)\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    if explain_only {
+        let module = match xqd::parse_query(&query) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("parse error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for strategy in &opts.strategies {
+            match xqd::decompose(&module, *strategy) {
+                Ok(plan) => {
+                    println!("=== {} ===", strategy.name());
+                    println!("{}", plan.rewritten);
+                    for (i, c) in plan.calls.iter().enumerate() {
+                        println!("  call {} at {}: {}", i + 1, c.peer, c.body);
+                        if let Some(p) = &c.projection {
+                            println!(
+                                "    response projection: used={:?} returned={:?}",
+                                p.result.used.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                                p.result
+                                    .returned
+                                    .iter()
+                                    .map(ToString::to_string)
+                                    .collect::<Vec<_>>()
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("decomposition error under {}: {e}", strategy.name());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for strategy in &opts.strategies {
+        let mut fed = Federation::new(opts.network);
+        for (peer, doc, file) in &opts.peers {
+            let xml = match std::fs::read_to_string(file) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("cannot read {file:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = fed.load_document(peer, doc, &xml) {
+                eprintln!("loading {doc} on {peer}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match fed.run(&query, *strategy) {
+            Ok(out) => {
+                if opts.strategies.len() > 1 {
+                    println!("=== {} ===", strategy.name());
+                }
+                for item in &out.result {
+                    println!("{item}");
+                }
+                if opts.metrics {
+                    let m = &out.metrics;
+                    eprintln!(
+                        "# {}: {} bytes ({} msg / {} doc), {} transfers, \
+                         {} remote calls, wire {:?}, total {:?}",
+                        strategy.name(),
+                        m.transferred_bytes(),
+                        m.message_bytes,
+                        m.document_bytes,
+                        m.transfers,
+                        m.remote_calls,
+                        m.network,
+                        m.total + m.network,
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error under {}: {e}", strategy.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let mut bytes = 1_000_000usize;
+    let mut seed = 42u64;
+    let mut people_file = None;
+    let mut auctions_file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bytes" => {
+                bytes = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(b) => b,
+                    None => {
+                        eprintln!("--bytes requires a number");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                i += 2;
+            }
+            "--seed" => {
+                seed = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed requires a number");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                i += 2;
+            }
+            "--people" => {
+                people_file = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--auctions" => {
+                auctions_file = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cfg = xqd::xmark::XmarkConfig::with_target_bytes(bytes, seed);
+    let (people, auctions) = xqd::xmark::document_pair(&cfg);
+    for (file, content, label) in
+        [(people_file, people, "people"), (auctions_file, auctions, "auctions")]
+    {
+        match file {
+            Some(f) => {
+                if let Err(e) = std::fs::write(&f, &content) {
+                    eprintln!("writing {f:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("# wrote {label} document: {f} ({} bytes)", content.len());
+            }
+            None => eprintln!("# skipping {label} (no output file given)"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,177 @@
+//! Tables III & IV end-to-end: Q2 through normalization (Qc2 → Qn2),
+//! by-value decomposition (Qv2), by-fragment decomposition with distributed
+//! code motion (Qf2 + fcn2new), and by-projection — all via the public API,
+//! each plan executed and checked against local evaluation.
+
+use xqd::{decompose, parse_query, Federation, NetworkModel, Strategy};
+
+const Q2: &str = r#"
+(let $s := doc("xrpc://A/students.xml")/people/person,
+     $c := doc("xrpc://B/course42.xml"),
+     $t := $s[tutor = $s/name]
+ for $e in $c/enroll/exam
+ where $e/@id = $t/id
+ return $e)/grade
+"#;
+
+fn fed() -> Federation {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.load_document(
+        "A",
+        "students.xml",
+        "<people>\
+           <person><name>sara</name><tutor>ben</tutor><id>s1</id></person>\
+           <person><name>tom</name><tutor>sara</tutor><id>s2</id></person>\
+           <person><name>kim</name><tutor>tom</tutor><id>s3</id></person>\
+         </people>",
+    )
+    .unwrap();
+    f.load_document(
+        "B",
+        "course42.xml",
+        "<enroll>\
+           <exam id=\"s2\"><grade>A</grade></exam>\
+           <exam id=\"s3\"><grade>B</grade></exam>\
+           <exam id=\"s9\"><grade>F</grade></exam>\
+         </enroll>",
+    )
+    .unwrap();
+    f
+}
+
+#[test]
+fn normalization_produces_qn2() {
+    let module = parse_query(Q2).unwrap();
+    let plan = decompose(&module, Strategy::ByFragment).unwrap();
+    let qn2 = plan.normalized.to_string();
+    // lets moved down: doc(B) now parse-related to its /enroll/exam use
+    assert!(
+        qn2.contains("for $e in doc(\"xrpc://B/course42.xml\")/child::enroll/child::exam"),
+        "{qn2}"
+    );
+    // $t binding kept above the exam loop (evaluated once)
+    let t_pos = qn2.find("let $t :=").expect("$t binding");
+    let loop_pos = qn2.find("for $e in").expect("exam loop");
+    assert!(t_pos < loop_pos, "{qn2}");
+}
+
+#[test]
+fn qv2_structure_and_execution() {
+    let module = parse_query(Q2).unwrap();
+    let plan = decompose(&module, Strategy::ByValue).unwrap();
+    // fcn1 of Qv2: the bare students path, no loops, no parameters
+    let a = plan.calls.iter().find(|c| c.peer == "A").expect("fcn1");
+    assert_eq!(a.body, "doc(\"xrpc://A/students.xml\")/child::people/child::person");
+    assert!(a.params.is_empty());
+    // execution matches local
+    let baseline = fed().run(Q2, Strategy::DataShipping).unwrap();
+    let out = fed().run(Q2, Strategy::ByValue).unwrap();
+    assert_eq!(out.result, baseline.result);
+    assert_eq!(baseline.result, vec!["<grade>A</grade>", "<grade>B</grade>"]);
+}
+
+#[test]
+fn qf2_structure_and_execution() {
+    let module = parse_query(Q2).unwrap();
+    let plan = decompose(&module, Strategy::ByFragment).unwrap();
+    assert_eq!(plan.calls.len(), 2, "{:#?}", plan.calls);
+    // fcn1: the tutor-filter loop runs on A
+    let a = plan.calls.iter().find(|c| c.peer == "A").expect("fcn1");
+    assert!(a.body.contains("for $"), "{}", a.body);
+    assert!(a.body.contains("child::tutor"), "{}", a.body);
+    // fcn2new (Table IV code motion): only the extracted ids travel to B
+    let b = plan.calls.iter().find(|c| c.peer == "B").expect("fcn2");
+    assert_eq!(b.params.len(), 1);
+    assert!(
+        plan.rewritten.to_string().contains(":= data($t/child::id)"),
+        "{}",
+        plan.rewritten
+    );
+    // the distributed semijoin executes correctly
+    let baseline = fed().run(Q2, Strategy::DataShipping).unwrap();
+    let out = fed().run(Q2, Strategy::ByFragment).unwrap();
+    assert_eq!(out.result, baseline.result);
+    assert_eq!(out.metrics.document_bytes, 0, "no whole documents moved");
+}
+
+#[test]
+fn by_projection_adds_paths_and_executes() {
+    let module = parse_query(Q2).unwrap();
+    let plan = decompose(&module, Strategy::ByProjection).unwrap();
+    for call in &plan.calls {
+        assert!(call.projection.is_some(), "call to {} lacks projection", call.peer);
+    }
+    let b = plan.calls.iter().find(|c| c.peer == "B").unwrap();
+    let proj = b.projection.as_ref().unwrap();
+    let returned: Vec<String> = proj.result.returned.iter().map(ToString::to_string).collect();
+    assert!(returned.iter().any(|p| p.contains("grade")), "{returned:?}");
+    let baseline = fed().run(Q2, Strategy::DataShipping).unwrap();
+    let out = fed().run(Q2, Strategy::ByProjection).unwrap();
+    assert_eq!(out.result, baseline.result);
+}
+
+/// The ablation knobs are visible through the public API and preserve
+/// semantics.
+#[test]
+fn pipeline_options_preserve_semantics() {
+    use xqd::core::DecomposeOptions;
+    let baseline = fed().run(Q2, Strategy::DataShipping).unwrap();
+    for (let_motion, code_motion) in
+        [(true, true), (true, false), (false, true), (false, false)]
+    {
+        let opts = DecomposeOptions { let_motion, code_motion };
+        let mut f = fed();
+        let out = f.run_with(Q2, Strategy::ByFragment, opts).unwrap();
+        assert_eq!(
+            out.result, baseline.result,
+            "let_motion={let_motion} code_motion={code_motion}"
+        );
+    }
+}
+
+/// Let-motion changes the *quality* of the plan (Section IV): with it, the
+/// tutor filter runs on A and only extracted ids travel to B (the
+/// semijoin); without it, the B-side class root sits above the whole
+/// filter, so every `$s` person node is shipped to B as a parameter.
+#[test]
+fn let_motion_enables_the_semijoin() {
+    use xqd::core::DecomposeOptions;
+    let module = parse_query(Q2).unwrap();
+    let with = xqd::core::decompose_with(
+        &module,
+        Strategy::ByFragment,
+        DecomposeOptions::default(),
+    )
+    .unwrap();
+    let without = xqd::core::decompose_with(
+        &module,
+        Strategy::ByFragment,
+        DecomposeOptions { let_motion: false, ..Default::default() },
+    )
+    .unwrap();
+    let with_b = with.calls.iter().find(|c| c.peer == "B").expect("B call");
+    let without_b = without.calls.iter().find(|c| c.peer == "B").expect("B call");
+    // normalized plan: the filter stayed on A; B receives no person nodes
+    assert!(
+        with_b.params.iter().all(|p| p.outer != "s"),
+        "{:#?}",
+        with_b.params
+    );
+    // unnormalized plan: the full $s sequence is a parameter of the B call
+    assert!(
+        without_b.params.iter().any(|p| p.outer == "s"),
+        "{:#?}",
+        without_b.params
+    );
+    // and the wire cost shows it
+    let bytes = |opts| {
+        let mut f = fed();
+        f.run_with(Q2, Strategy::ByFragment, opts).unwrap().metrics.message_bytes
+    };
+    let with_bytes = bytes(DecomposeOptions::default());
+    let without_bytes = bytes(DecomposeOptions { let_motion: false, ..Default::default() });
+    assert!(
+        with_bytes < without_bytes,
+        "semijoin must be cheaper: {with_bytes} vs {without_bytes}"
+    );
+}

@@ -1,0 +1,192 @@
+//! **The headline invariant** (problem statement, Section I): for any query
+//! `Q` over a distributed database `D`, the decomposed query `Q'` satisfies
+//! `Q(D) = Q'(D)` under deep-equal semantics — for every strategy.
+//!
+//! Random federated queries are generated from a grammar of joins, filters,
+//! aggregations, constructors and downward/upward paths over two randomly
+//! generated remote documents; data-shipping execution (evaluation at the
+//! originator) is the ground truth and every decomposing strategy must
+//! match it canonically.
+
+use proptest::prelude::*;
+// `xqd::Strategy` shadows proptest's trait of the same name below; bring
+// the trait's methods back into scope anonymously.
+use proptest::strategy::Strategy as _;
+
+use xqd::{Federation, NetworkModel, Strategy};
+
+// -- random documents -------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: &'static str,
+    id: Option<u32>,
+    value: Option<u32>,
+    children: Vec<Node>,
+}
+
+fn arb_node(depth: u32) -> impl proptest::strategy::Strategy<Value = Node> {
+    let leaf = (
+        prop::sample::select(vec!["item", "entry", "ref", "note"]),
+        prop::option::of(0u32..6),
+        prop::option::of(0u32..50),
+    )
+        .prop_map(|(name, id, value)| Node { name, id, value, children: vec![] });
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        (
+            prop::sample::select(vec!["group", "section", "bundle"]),
+            prop::option::of(0u32..6),
+            prop::option::of(0u32..50),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(name, id, value, children)| Node { name, id, value, children })
+    })
+}
+
+fn render(node: &Node, out: &mut String) {
+    out.push('<');
+    out.push_str(node.name);
+    if let Some(id) = node.id {
+        out.push_str(&format!(" id=\"k{id}\""));
+    }
+    out.push('>');
+    if let Some(v) = node.value {
+        out.push_str(&format!("<v>{v}</v>"));
+    }
+    for c in &node.children {
+        render(c, out);
+    }
+    out.push_str("</");
+    out.push_str(node.name);
+    out.push('>');
+}
+
+fn doc_of(root: &Node) -> String {
+    let mut s = String::from("<root>");
+    render(root, &mut s);
+    s.push_str("</root>");
+    s
+}
+
+// -- random queries ---------------------------------------------------------
+
+/// Query templates over doc A (peer1) and doc B (peer2). All are
+/// deterministic, error-free on the generated data, and exercise joins,
+/// filters, aggregation, node sets, constructors and reverse axes.
+fn arb_query() -> impl proptest::strategy::Strategy<Value = String> {
+    let a = "doc(\"xrpc://peer1/a.xml\")";
+    let b = "doc(\"xrpc://peer2/b.xml\")";
+    prop::sample::select(vec![
+        // plain remote paths
+        format!("count({a}//item)"),
+        format!("{a}//item/@id"),
+        format!("{a}/root/*/v"),
+        // filters (positional and value)
+        format!("({a}//v)[2]"),
+        format!("count({a}//item[@id = \"k1\"])"),
+        format!("for $x in {a}//* where $x/v < 25 return name($x)"),
+        // cross-document value join
+        format!(
+            "for $x in {a}//item for $y in {b}//item \
+             where $x/@id = $y/@id return concat(name($x), \"-\", name($y))"
+        ),
+        // semijoin shape (the benchmark query's skeleton)
+        format!(
+            "let $t := (for $x in {a}//* return if ($x/v < 30) then $x else ()) \
+             return for $e in {b}//item \
+             return if ($e/@id = $t/@id) then $e/v else ()"
+        ),
+        // aggregation over a join
+        format!(
+            "sum(for $x in {a}//v for $y in {b}//v \
+             return if ($x = $y) then 1 else ())"
+        ),
+        // node set operations on one document
+        format!("count({a}//item union {a}//entry)"),
+        format!("count({a}//* except {a}//item)"),
+        format!("count({a}//group//item intersect {a}//item)"),
+        // reverse axis after the call (projection territory)
+        format!("count(({a}//v)/parent::item)"),
+        format!("for $v in {b}//v return name($v/..)"),
+        // constructors over remote data
+        format!("element out {{ {a}//item/@id }}"),
+        format!("count(element w {{ {a}//item }}//item)"),
+        // order by
+        format!("for $v in {a}//v order by $v descending return $v/text()"),
+        // deep-equal across peers
+        format!("deep-equal({a}//item/@id, {b}//item/@id)"),
+        // node comparison within one peer
+        format!("(({a}//item)[1] << ({a}//item)[2], count({a}//item))"),
+        // distinct-values / string functions
+        format!("distinct-values({b}//item/@id)"),
+        format!("string-join(for $i in {a}//item return name($i), \",\")"),
+        // quantified expressions over remote data
+        format!("some $x in {a}//item satisfies $x/@id = \"k2\""),
+        format!("every $v in {b}//v satisfies $v < 100"),
+        format!(
+            "some $x in {a}//item, $y in {b}//item satisfies $x/@id = $y/@id"
+        ),
+        // order by over a join variable
+        format!("for $v in {a}//v order by $v descending return $v/text()"),
+        // typeswitch on a remote result
+        format!(
+            "typeswitch (({a}//item)[1]) case $e as element(item) return name($e) \
+             default $d return \"none\""
+        ),
+        // user-defined function shipped through normalization
+        format!(
+            "declare function pick($n as node()) as xs:string \
+             {{ concat(name($n), \"/\", string(count($n/*))) }}; \
+             for $g in {a}//group return pick($g)"
+        ),
+        // sequence builtins over remote values
+        format!("subsequence({a}//v, 2, 2)"),
+        format!("index-of({b}//v, 7)"),
+        // fn:root on a remote node (projection territory)
+        format!("count(root(({a}//item)[1])//item)"),
+        // base-uri of shipped nodes (class-2 metadata)
+        format!("base-uri(({a}//item)[1])"),
+        // a two-hop shape: both loops remote, inner references outer
+        format!(
+            "for $g in {a}//group return count(for $y in {b}//item \
+             return if ($y/@id = $g//item/@id) then $y else ())"
+        ),
+    ])
+}
+
+fn run_one(query: &str, doc_a: &str, doc_b: &str, strategy: Strategy) -> Result<Vec<String>, String> {
+    let mut fed = Federation::new(NetworkModel::lan());
+    fed.load_document("peer1", "a.xml", doc_a).map_err(|e| e.to_string())?;
+    fed.load_document("peer2", "b.xml", doc_b).map_err(|e| e.to_string())?;
+    fed.run(query, strategy).map(|o| o.result).map_err(|e| e.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn decomposed_execution_matches_local(
+        a in arb_node(3),
+        b in arb_node(3),
+        query in arb_query(),
+    ) {
+        let doc_a = doc_of(&a);
+        let doc_b = doc_of(&b);
+        let baseline = run_one(&query, &doc_a, &doc_b, Strategy::DataShipping);
+        for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+            let out = run_one(&query, &doc_a, &doc_b, strategy);
+            match (&baseline, &out) {
+                (Ok(expected), Ok(got)) => prop_assert_eq!(
+                    got, expected,
+                    "{:?} diverged on {}\nA={}\nB={}", strategy, query, doc_a, doc_b
+                ),
+                (Err(_), Err(_)) => {} // both error: acceptable
+                (l, r) => prop_assert!(
+                    false,
+                    "{:?} error divergence on {}: local={:?} remote={:?}",
+                    strategy, query, l, r
+                ),
+            }
+        }
+    }
+}
