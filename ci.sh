@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Offline CI gate: the workspace must build, test, and lint clean with zero
+# registry access (no network in the build environment).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (workspace, offline) =="
+cargo test -q --offline --workspace
+
+echo "== clippy (all targets, deny warnings) =="
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "== ci OK =="

@@ -15,7 +15,7 @@ use xqd_core::Strategy;
 use xqd_xmark::{document_pair, people_document, XmarkConfig};
 use xqd_xml::project::{compute_projection, build_projected, ProjectionInput};
 use xqd_xml::{serialize_document, Store};
-use xqd_xrpc::{Federation, Metrics, NetworkModel};
+use xqd_xrpc::{ExecOptions, Federation, Metrics, NetworkModel};
 
 /// The Section VII benchmark query (the paper's XMark adaptation of Qn2):
 /// persons under 40 from peer1 semijoined against open auctions on peer2,
@@ -178,6 +178,120 @@ pub fn strategy_label(s: Strategy) -> &'static str {
     s.name()
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out: parallel scatter-gather across 1..8 peers
+// ---------------------------------------------------------------------------
+
+/// The scale-out query over `peers` peers: one independent aggregate per
+/// peer (persons under 40 in that peer's partition), which decomposes into
+/// a single scatter round of `peers` XRPC calls.
+pub fn scaleout_query(peers: usize) -> String {
+    let subqueries: Vec<String> = (1..=peers)
+        .map(|k| {
+            format!(
+                "count(for $p in doc(\"xrpc://peer{k}/xmk.xml\")\
+                 /child::site/child::people/child::person \
+                 return if ($p/descendant::age < 40) then $p else ())"
+            )
+        })
+        .collect();
+    format!("({})", subqueries.join(", "))
+}
+
+/// Builds a federation of `peers` peers, each holding its own XMark people
+/// partition of roughly `bytes_per_peer` (distinct seeds per peer).
+pub fn scaleout_federation(
+    peers: usize,
+    bytes_per_peer: usize,
+    model: NetworkModel,
+) -> Federation {
+    let mut fed = Federation::new(model);
+    for k in 1..=peers {
+        let cfg = XmarkConfig::with_target_bytes(bytes_per_peer, 1000 + k as u64);
+        let xml = people_document(&cfg);
+        fed.load_document(&format!("peer{k}"), "xmk.xml", &xml)
+            .expect("partition doc");
+    }
+    fed
+}
+
+/// One scale-out measurement: the same query and data executed with the
+/// scatter round fanned out vs. forced sequential.
+#[derive(Debug, Clone)]
+pub struct ScaleoutPoint {
+    pub peers: usize,
+    pub parallel_result: Vec<String>,
+    pub sequential_result: Vec<String>,
+    pub parallel: Metrics,
+    pub sequential: Metrics,
+}
+
+impl ScaleoutPoint {
+    /// Simulated end-to-end speedup of scatter-gather over the sequential
+    /// loop: serialized wall clock over overlapped wall clock.
+    pub fn speedup(&self) -> f64 {
+        self.sequential.wall_clock_serialized().as_secs_f64()
+            / self.parallel.wall_clock_overlapped().as_secs_f64()
+    }
+
+    /// One JSON object for the BENCH trajectory (hand-rolled: the workspace
+    /// is std-only).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"peers\": {}, \"speedup\": {:.3}, \
+             \"wall_clock_sequential_us\": {}, \"wall_clock_parallel_us\": {}, \
+             \"message_bytes\": {}, \"transfers\": {}, \"remote_calls\": {}, \
+             \"results_identical\": {}, \"bytes_identical\": {}}}",
+            self.peers,
+            self.speedup(),
+            self.sequential.wall_clock_serialized().as_micros(),
+            self.parallel.wall_clock_overlapped().as_micros(),
+            self.parallel.message_bytes,
+            self.parallel.transfers,
+            self.parallel.remote_calls,
+            self.parallel_result == self.sequential_result,
+            self.parallel.message_bytes == self.sequential.message_bytes,
+        )
+    }
+}
+
+/// Runs the scale-out query on `peers` peers under the WAN model (where
+/// latency dominates and overlap pays), both fanned out and sequential.
+pub fn scaleout_point(peers: usize, bytes_per_peer: usize) -> ScaleoutPoint {
+    let query = scaleout_query(peers);
+
+    let mut par = scaleout_federation(peers, bytes_per_peer, NetworkModel::wan());
+    let par_out = par.run(&query, Strategy::ByValue).expect("parallel run");
+
+    let mut seq = scaleout_federation(peers, bytes_per_peer, NetworkModel::wan());
+    seq.set_exec_options(ExecOptions { parallel_scatter: false, bulk_workers: 1 });
+    let seq_out = seq.run(&query, Strategy::ByValue).expect("sequential run");
+
+    ScaleoutPoint {
+        peers,
+        parallel_result: par_out.result,
+        sequential_result: seq_out.result,
+        parallel: par_out.metrics,
+        sequential: seq_out.metrics,
+    }
+}
+
+/// The full 1..=8-peer trajectory.
+pub fn scaleout(max_peers: usize, bytes_per_peer: usize) -> Vec<ScaleoutPoint> {
+    (1..=max_peers).map(|p| scaleout_point(p, bytes_per_peer)).collect()
+}
+
+/// The BENCH json trajectory document for a scale-out sweep.
+pub fn scaleout_json(points: &[ScaleoutPoint]) -> String {
+    let entries: Vec<String> = points.iter().map(|p| format!("    {}", p.to_json())).collect();
+    format!(
+        "{{\n  \"bench\": \"scaleout\",\n  \"model\": \"wan\",\n  \
+         \"query\": \"per-peer person aggregate, one scatter round\",\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +318,37 @@ mod tests {
         assert!(bytes[0] > bytes[1], "data-shipping {} > by-value {}", bytes[0], bytes[1]);
         assert!(bytes[1] > bytes[2], "by-value {} > by-fragment {}", bytes[1], bytes[2]);
         assert!(bytes[2] > bytes[3], "by-fragment {} > by-projection {}", bytes[2], bytes[3]);
+    }
+
+    #[test]
+    fn scaleout_speedup_exceeds_2x_at_4_peers() {
+        let p = scaleout_point(4, 8_000);
+        assert_eq!(p.parallel_result, p.sequential_result, "results must be identical");
+        assert_eq!(
+            p.parallel.message_bytes, p.sequential.message_bytes,
+            "total message bytes must be identical"
+        );
+        assert_eq!(p.parallel.transfers, p.sequential.transfers);
+        assert_eq!(p.parallel.remote_calls, p.sequential.remote_calls);
+        assert_eq!(p.parallel.scatter_rounds, 1);
+        assert!(
+            p.speedup() > 2.0,
+            "scatter-gather at 4 peers should be >2x: {:.2}x (seq {:?}, par {:?})",
+            p.speedup(),
+            p.sequential.wall_clock_serialized(),
+            p.parallel.wall_clock_overlapped()
+        );
+    }
+
+    #[test]
+    fn scaleout_json_is_well_formed() {
+        let points = scaleout(2, 4_000);
+        let json = scaleout_json(&points);
+        assert!(json.contains("\"bench\": \"scaleout\""));
+        assert!(json.contains("\"peers\": 1"));
+        assert!(json.contains("\"peers\": 2"));
+        assert!(json.contains("\"results_identical\": true"));
+        assert!(json.contains("\"bytes_identical\": true"));
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct Decomposition {
     /// One entry per generated `execute at`.
     pub calls: Vec<RemoteCall>,
     pub strategy: Strategy,
+    /// Sizes of the scatter rounds the executor will fan out: each entry is
+    /// the number of independent `execute at` calls (to ≥2 distinct peers)
+    /// that one round issues concurrently. Empty = fully sequential plan.
+    pub scatter_rounds: Vec<usize>,
 }
 
 /// Pipeline knobs, primarily for ablation studies; the defaults run the
@@ -122,6 +126,7 @@ pub fn decompose_with(
             normalized,
             calls: vec![],
             strategy,
+            scatter_rounds: vec![],
         });
     };
 
@@ -151,7 +156,8 @@ pub fn decompose_with(
     }
 
     let calls = collect_calls(&rewritten);
-    Ok(Decomposition { rewritten, normalized: moved, calls, strategy })
+    let scatter_rounds = xqd_xquery::scatter_rounds(&rewritten);
+    Ok(Decomposition { rewritten, normalized: moved, calls, strategy, scatter_rounds })
 }
 
 fn collect_calls(e: &Expr) -> Vec<RemoteCall> {

@@ -20,8 +20,7 @@
 //! entity counts so a generated document lands near the requested size,
 //! standing in for XMark's scale factors (0.1 → ~10 MB etc.).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xqd_prng::Rng;
 
 const WORDS: &[&str] = &[
     "gold", "river", "quiet", "orchid", "lantern", "copper", "meadow", "harbor", "violet",
@@ -79,23 +78,23 @@ impl XmarkConfig {
     }
 }
 
-fn words(rng: &mut SmallRng, n: usize, out: &mut String) {
+fn words(rng: &mut Rng, n: usize, out: &mut String) {
     for i in 0..n {
         if i > 0 {
             out.push(' ');
         }
-        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+        out.push_str(rng.choose(WORDS));
     }
 }
 
 /// Generates the people document (`site/people/person*`).
 pub fn people_document(cfg: &XmarkConfig) -> String {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut out = String::with_capacity(cfg.people * BYTES_PER_PERSON + 64);
     out.push_str("<site><people>");
     for i in 0..cfg.people {
-        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
-        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        let first = rng.choose(FIRST_NAMES);
+        let last = rng.choose(LAST_NAMES);
         let age = rng.gen_range(18..80);
         let income = rng.gen_range(20_000..180_000);
         out.push_str(&format!("<person id=\"person{i}\">"));
@@ -113,9 +112,9 @@ pub fn people_document(cfg: &XmarkConfig) -> String {
         out.push_str(&format!(
             "<address><street>{} {}</street><city>{}</city><country>{}</country><zipcode>{}</zipcode></address>",
             rng.gen_range(1..400),
-            WORDS[rng.gen_range(0..WORDS.len())],
-            CITIES[rng.gen_range(0..CITIES.len())],
-            COUNTRIES[rng.gen_range(0..COUNTRIES.len())],
+            rng.choose(WORDS),
+            rng.choose(CITIES),
+            rng.choose(COUNTRIES),
             rng.gen_range(1000..9999),
         ));
         out.push_str(&format!(
@@ -148,7 +147,7 @@ pub fn people_document(cfg: &XmarkConfig) -> String {
         for _ in 0..rng.gen_range(0..3) {
             out.push_str(&format!(
                 "<watch open_auction=\"open_auction{}\"/>",
-                rng.gen_range(0..cfg.open_auctions.max(1))
+                rng.gen_range_usize(0..cfg.open_auctions.max(1))
             ));
         }
         out.push_str("</watches>");
@@ -160,7 +159,7 @@ pub fn people_document(cfg: &XmarkConfig) -> String {
     out.push_str("<regions><europe>");
     for i in 0..cfg.people {
         out.push_str(&format!("<item id=\"item{i}\">"));
-        out.push_str(&format!("<location>{}</location>", COUNTRIES[rng.gen_range(0..COUNTRIES.len())]));
+        out.push_str(&format!("<location>{}</location>", rng.choose(COUNTRIES)));
         out.push_str(&format!("<quantity>{}</quantity>", rng.gen_range(1..9)));
         out.push_str("<name>");
         words(&mut rng, 2, &mut out);
@@ -168,7 +167,7 @@ pub fn people_document(cfg: &XmarkConfig) -> String {
         words(&mut rng, cfg.payload_words, &mut out);
         out.push_str("</text></description><shipping>Will ship internationally</shipping>");
         out.push_str(&format!("<mailbox><mail><from>person{}</from><date>{:02}/{:02}/2008</date></mail></mailbox>",
-            rng.gen_range(0..cfg.people.max(1)),
+            rng.gen_range_usize(0..cfg.people.max(1)),
             rng.gen_range(1..29),
             rng.gen_range(1..13),
         ));
@@ -182,12 +181,12 @@ pub fn people_document(cfg: &XmarkConfig) -> String {
 /// `seller/@person` references ids of the people document generated with
 /// the same config.
 pub fn auctions_document(cfg: &XmarkConfig) -> String {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let mut rng = Rng::seed_from_u64(cfg.seed.wrapping_add(1));
     let mut out = String::with_capacity(cfg.open_auctions * BYTES_PER_AUCTION + 64);
     out.push_str("<site><open_auctions>");
     for i in 0..cfg.open_auctions {
-        let seller = rng.gen_range(0..cfg.people.max(1));
-        let author = rng.gen_range(0..cfg.people.max(1));
+        let seller = rng.gen_range_usize(0..cfg.people.max(1));
+        let author = rng.gen_range_usize(0..cfg.people.max(1));
         out.push_str(&format!("<open_auction id=\"open_auction{i}\">"));
         out.push_str(&format!(
             "<initial>{}.{:02}</initial>",
@@ -199,14 +198,14 @@ pub fn auctions_document(cfg: &XmarkConfig) -> String {
                 "<bidder><date>{:02}/{:02}/2008</date><personref person=\"person{}\"/><increase>{}.00</increase></bidder>",
                 rng.gen_range(1..29),
                 rng.gen_range(1..13),
-                rng.gen_range(0..cfg.people.max(1)),
+                rng.gen_range_usize(0..cfg.people.max(1)),
                 rng.gen_range(1..50),
             ));
         }
         out.push_str(&format!("<current>{}.00</current>", rng.gen_range(1..500)));
         out.push_str(&format!(
             "<itemref item=\"item{}\"/>",
-            rng.gen_range(0..cfg.open_auctions.max(1))
+            rng.gen_range_usize(0..cfg.open_auctions.max(1))
         ));
         out.push_str(&format!("<seller person=\"person{seller}\"/>"));
         out.push_str("<annotation>");

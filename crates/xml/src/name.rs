@@ -17,7 +17,7 @@ impl NameId {
 }
 
 /// Bidirectional string interner for QNames.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct NameTable {
     names: Vec<Box<str>>,
     index: HashMap<Box<str>, NameId>,

@@ -79,7 +79,7 @@ pub struct NodeMeta {
 }
 
 /// A single XML document (or constructed / shipped fragment).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Document {
     pub(crate) nodes: Vec<NodeRecord>,
     /// `fn:document-uri` of the document; `None` for constructed fragments.
@@ -279,7 +279,9 @@ impl Document {
 }
 
 /// The document store of one peer: a shared name table plus the documents.
-#[derive(Debug)]
+/// `Clone` produces an independent snapshot — used by the parallel Bulk-RPC
+/// executor to give each worker a read-only copy with identical node ranks.
+#[derive(Debug, Clone)]
 pub struct Store {
     pub names: NameTable,
     docs: Vec<Document>,

@@ -54,6 +54,16 @@ impl DocResolver for LocalResolver {
     }
 }
 
+/// One pre-bound remote call of a scatter round. Every parameter sequence
+/// is already evaluated, so a handler can encode all requests up front and
+/// fan the execute phase out across peers concurrently.
+pub struct ScatterCall<'a> {
+    pub peer: String,
+    pub params: Vec<(String, Sequence)>,
+    pub body: &'a Expr,
+    pub projection: Option<&'a ExecProjection>,
+}
+
 /// Executes an `Execute` (XRPCExpr) remotely and shreds the response into
 /// the local store.
 pub trait RemoteHandler {
@@ -88,6 +98,25 @@ pub trait RemoteHandler {
         calls
             .iter()
             .map(|params| self.execute(local, static_ctx, peer, params, body, projection))
+            .collect()
+    }
+
+    /// **Scatter-gather**: executes one round of calls aimed at (usually
+    /// distinct) peers. The evaluator only batches calls whose parameters
+    /// are independent of each other's results, so a handler may run them
+    /// concurrently — but it must gather results in call order and stay
+    /// observably identical to executing the calls one by one.
+    ///
+    /// The default implementation degrades to the sequential loop.
+    fn execute_scatter(
+        &mut self,
+        local: &mut Store,
+        static_ctx: &StaticContext,
+        calls: &[ScatterCall<'_>],
+    ) -> EvalResult<Vec<Sequence>> {
+        calls
+            .iter()
+            .map(|c| self.execute(local, static_ctx, &c.peer, &c.params, c.body, c.projection))
             .collect()
     }
 }
@@ -161,6 +190,14 @@ impl<'a> Evaluator<'a> {
             Expr::Literal(a) => Ok(vec![Item::Atom(a.clone())]),
             Expr::Empty => Ok(vec![]),
             Expr::Sequence(es) => {
+                // scatter point: ≥2 sibling remote calls to ≥2 distinct
+                // peers are independent by construction (sequence elements
+                // bind nothing) and fan out as one round
+                if self.remote.is_some() {
+                    if let Some(idxs) = sequence_scatter(es) {
+                        return self.eval_sequence_scatter(es, &idxs);
+                    }
+                }
                 let mut out = Vec::new();
                 for e in es {
                     out.extend(self.eval(e)?);
@@ -188,6 +225,15 @@ impl<'a> Evaluator<'a> {
                 Ok(out)
             }
             Expr::Let { var, value, ret } => {
+                // scatter point: a chain of lets each binding a remote call
+                // whose parameters don't reference earlier chain variables
+                // (the decomposed shape of a federated join) fans out as
+                // one round
+                if self.remote.is_some() {
+                    if let Some(chain) = let_scatter(e) {
+                        return self.eval_let_scatter(chain);
+                    }
+                }
                 let v = self.eval(value)?;
                 self.env.push((var.clone(), v));
                 let r = self.eval(ret);
@@ -218,14 +264,12 @@ impl<'a> Evaluator<'a> {
                 r
             }
             Expr::Comparison { op, lhs, rhs } => {
-                let l = self.eval(lhs)?;
-                let r = self.eval(rhs)?;
+                let (l, r) = self.eval_operand_pair(lhs, rhs)?;
                 let b = general_compare(self.store, *op, &l, &r)?;
                 Ok(vec![Item::Atom(Atomic::Bool(b))])
             }
             Expr::NodeComparison { op, lhs, rhs } => {
-                let l = self.eval(lhs)?;
-                let r = self.eval(rhs)?;
+                let (l, r) = self.eval_operand_pair(lhs, rhs)?;
                 if l.is_empty() || r.is_empty() {
                     return Ok(vec![]);
                 }
@@ -240,8 +284,7 @@ impl<'a> Evaluator<'a> {
             }
             Expr::OrderBy { input, specs } => self.eval_order_by(input, specs),
             Expr::NodeSet { op, lhs, rhs } => {
-                let mut l = self.eval(lhs)?;
-                let mut r = self.eval(rhs)?;
+                let (mut l, mut r) = self.eval_operand_pair(lhs, rhs)?;
                 sort_document_order(&mut l)?;
                 sort_document_order(&mut r)?;
                 let rset: std::collections::HashSet<NodeId> = r
@@ -299,8 +342,7 @@ impl<'a> Evaluator<'a> {
                 Ok(vec![Item::Atom(Atomic::Bool(effective_boolean_value(&rv)?))])
             }
             Expr::Arith { op, lhs, rhs } => {
-                let l = self.eval(lhs)?;
-                let r = self.eval(rhs)?;
+                let (l, r) = self.eval_operand_pair(lhs, rhs)?;
                 if l.is_empty() || r.is_empty() {
                     return Ok(vec![]);
                 }
@@ -683,7 +725,207 @@ fn bulk_pattern(ret: &Expr) -> Option<BulkPlan<'_>> {
     }
 }
 
+/// Returns the element indices of a `Sequence` that form a scatter round:
+/// `Execute` expressions with a literal peer. Engages only when at least two
+/// such calls target at least two distinct peers — otherwise there is
+/// nothing to overlap.
+fn sequence_scatter(es: &[Expr]) -> Option<Vec<usize>> {
+    let mut idxs = Vec::new();
+    let mut peers = Vec::new();
+    for (i, e) in es.iter().enumerate() {
+        if let Expr::Execute { peer, .. } = e {
+            if let Expr::Literal(a) = peer.as_ref() {
+                idxs.push(i);
+                let p = a.to_lexical();
+                if !peers.contains(&p) {
+                    peers.push(p);
+                }
+            }
+        }
+    }
+    (idxs.len() >= 2 && peers.len() >= 2).then_some(idxs)
+}
+
+/// The literal peer of an `Execute` eligible for scattering, if any.
+fn scatter_exec_peer(e: &Expr) -> Option<String> {
+    if let Expr::Execute { peer, .. } = e {
+        if let Expr::Literal(a) = peer.as_ref() {
+            return Some(a.to_lexical());
+        }
+    }
+    None
+}
+
+/// Do `lhs`/`rhs` form a two-call scatter round? Both operands of a binary
+/// expression are always evaluated, so two remote calls to distinct peers —
+/// the shape distributed code motion leaves behind when it collapses a
+/// `let`-chain into `execute(…) ⊕ execute(…)` — can fan out together.
+fn binary_scatter(lhs: &Expr, rhs: &Expr) -> bool {
+    matches!(
+        (scatter_exec_peer(lhs), scatter_exec_peer(rhs)),
+        (Some(a), Some(b)) if a != b
+    )
+}
+
+/// A chain of `let $v := execute at <literal peer> … return …` bindings
+/// whose parameters are independent of earlier chain variables — the shape
+/// distributed code motion produces for a federated join. The calls can run
+/// as one scatter round and bind in order afterwards.
+struct LetScatterChain<'a> {
+    /// (bound variable, the Execute expression it binds)
+    binds: Vec<(&'a str, &'a Expr)>,
+    tail: &'a Expr,
+}
+
+fn let_scatter(e: &Expr) -> Option<LetScatterChain<'_>> {
+    let mut binds: Vec<(&str, &Expr)> = Vec::new();
+    let mut peers: Vec<String> = Vec::new();
+    let mut cur = e;
+    while let Expr::Let { var, value, ret } = cur {
+        let Expr::Execute { peer, params, .. } = value.as_ref() else {
+            break;
+        };
+        let Expr::Literal(a) = peer.as_ref() else {
+            break;
+        };
+        // independence: parameters must not read variables bound earlier in
+        // this chain (they'd need the earlier call's result first)
+        if params.iter().any(|p| binds.iter().any(|(v, _)| *v == p.outer)) {
+            break;
+        }
+        binds.push((var.as_str(), value.as_ref()));
+        let p = a.to_lexical();
+        if !peers.contains(&p) {
+            peers.push(p);
+        }
+        cur = ret;
+    }
+    (binds.len() >= 2 && peers.len() >= 2).then_some(LetScatterChain { binds, tail: cur })
+}
+
+/// Sizes of every scatter round statically detectable in `e` — the same
+/// predicates the evaluator applies at runtime, exposed so the decomposer
+/// can tag plans whose XRPC calls will fan out (explain output, tests).
+pub fn scatter_rounds(e: &Expr) -> Vec<usize> {
+    fn walk(e: &Expr, out: &mut Vec<usize>) {
+        if let Expr::Sequence(es) = e {
+            if let Some(idxs) = sequence_scatter(es) {
+                out.push(idxs.len());
+                for (i, child) in es.iter().enumerate() {
+                    if !idxs.contains(&i) {
+                        walk(child, out);
+                    }
+                }
+                return;
+            }
+        }
+        if let Some(chain) = let_scatter(e) {
+            out.push(chain.binds.len());
+            walk(chain.tail, out);
+            return;
+        }
+        if let Expr::Comparison { lhs, rhs, .. }
+        | Expr::NodeComparison { lhs, rhs, .. }
+        | Expr::NodeSet { lhs, rhs, .. }
+        | Expr::Arith { lhs, rhs, .. } = e
+        {
+            if binary_scatter(lhs, rhs) {
+                out.push(2);
+                return;
+            }
+        }
+        crate::normalize::map_children_infallible(e, &mut |c| {
+            walk(c, out);
+            c.clone()
+        });
+    }
+    let mut out = Vec::new();
+    walk(e, &mut out);
+    out
+}
+
 impl<'a> Evaluator<'a> {
+    /// Binds the parameters of one `Execute` from the current environment
+    /// into a [`ScatterCall`].
+    fn bind_scatter_call<'e>(&self, exec: &'e Expr) -> EvalResult<ScatterCall<'e>> {
+        let Expr::Execute { peer, params, body, projection } = exec else {
+            unreachable!("scatter detection only selects Execute expressions");
+        };
+        let Expr::Literal(a) = peer.as_ref() else {
+            unreachable!("scatter detection requires a literal peer");
+        };
+        let mut bound = Vec::with_capacity(params.len());
+        for p in params {
+            bound.push((p.var.clone(), self.lookup(&p.outer)?));
+        }
+        Ok(ScatterCall {
+            peer: a.to_lexical(),
+            params: bound,
+            body,
+            projection: projection.as_deref(),
+        })
+    }
+
+    /// Evaluates the two operands of a binary expression, fanning them out
+    /// as a two-call scatter round when both are independent remote calls
+    /// to distinct peers.
+    fn eval_operand_pair(&mut self, lhs: &Expr, rhs: &Expr) -> EvalResult<(Sequence, Sequence)> {
+        let scatter = self.remote.is_some() && binary_scatter(lhs, rhs);
+        if scatter {
+            let calls = vec![self.bind_scatter_call(lhs)?, self.bind_scatter_call(rhs)?];
+            let handler = self.remote.as_mut().expect("scatter path requires a handler");
+            let mut gathered = handler.execute_scatter(self.store, &self.static_ctx, &calls)?;
+            let r = gathered.pop().expect("two results for two calls");
+            let l = gathered.pop().expect("two results for two calls");
+            return Ok((l, r));
+        }
+        Ok((self.eval(lhs)?, self.eval(rhs)?))
+    }
+
+    /// Sequence whose `Execute` elements fan out as one scatter round; the
+    /// remaining elements evaluate afterwards and everything splices back
+    /// in element order.
+    fn eval_sequence_scatter(&mut self, es: &[Expr], idxs: &[usize]) -> EvalResult {
+        let calls: Vec<ScatterCall<'_>> = idxs
+            .iter()
+            .map(|&i| self.bind_scatter_call(&es[i]))
+            .collect::<EvalResult<_>>()?;
+        let handler = self.remote.as_mut().expect("scatter path requires a handler");
+        let gathered = handler.execute_scatter(self.store, &self.static_ctx, &calls)?;
+        let mut by_idx: Vec<Option<Sequence>> = vec![None; es.len()];
+        for (&i, seq) in idxs.iter().zip(gathered) {
+            by_idx[i] = Some(seq);
+        }
+        let mut out = Vec::new();
+        for (i, e) in es.iter().enumerate() {
+            match by_idx[i].take() {
+                Some(seq) => out.extend(seq),
+                None => out.extend(self.eval(e)?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Let-chain of independent remote calls: scatter the round, then bind
+    /// the gathered results in order and evaluate the tail.
+    fn eval_let_scatter(&mut self, chain: LetScatterChain<'_>) -> EvalResult {
+        let calls: Vec<ScatterCall<'_>> = chain
+            .binds
+            .iter()
+            .map(|(_, exec)| self.bind_scatter_call(exec))
+            .collect::<EvalResult<_>>()?;
+        let handler = self.remote.as_mut().expect("scatter path requires a handler");
+        let gathered = handler.execute_scatter(self.store, &self.static_ctx, &calls)?;
+        for ((var, _), seq) in chain.binds.iter().zip(gathered) {
+            self.env.push((var.to_string(), seq));
+        }
+        let r = self.eval(chain.tail);
+        for _ in 0..chain.binds.len() {
+            self.env.pop();
+        }
+        r
+    }
+
     fn eval_bulk_for(&mut self, var: &str, input: Sequence, plan: BulkPlan<'_>) -> EvalResult {
         let mut calls: Vec<Vec<(String, Sequence)>> = Vec::with_capacity(input.len());
         for item in input {

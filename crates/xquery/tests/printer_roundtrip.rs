@@ -1,64 +1,91 @@
 //! Printer⇄parser roundtrip property: every expression the generator can
 //! produce prints to text that re-parses to a structurally identical
 //! expression. This is load-bearing — XRPC ships decomposed function bodies
-//! as printed XQuery source.
+//! as printed XQuery source. Randomized with the in-tree deterministic PRNG.
 
-use proptest::prelude::*;
-use proptest::strategy::Strategy as PStrategy;
-
+use xqd_prng::Rng;
 use xqd_xquery::{parse_expr_str, Expr};
 
 /// Random query text built compositionally from parseable pieces.
-fn arb_query() -> impl PStrategy<Value = String> {
-    let atom = prop::sample::select(vec![
-        "1".to_string(),
-        "2.5".to_string(),
-        "\"str\"".to_string(),
-        "\"qu\"\"ote\"".to_string(),
-        "$v".to_string(),
-        "()".to_string(),
-        "doc(\"d.xml\")".to_string(),
-        "true()".to_string(),
-    ]);
-    atom.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            // paths
-            (inner.clone(), prop::sample::select(vec![
-                "/child::a", "//b", "/parent::c", "/@id", "/descendant::d",
-                "/following-sibling::e", "/child::text()", "/child::node()",
-            ]))
-                .prop_map(|(base, step)| format!("({base}){step}")),
-            // binary operators
-            (inner.clone(), prop::sample::select(vec![
-                "=", "!=", "<", ">=", "is", "<<", ">>", "union", "intersect",
-                "except", "+", "*", "and", "or",
-            ]), inner.clone())
-                .prop_map(|(l, op, r)| format!("({l}) {op} ({r})")),
-            // control flow
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| format!("if ({c}) then ({t}) else ({e})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(s, r)| format!("for $x in ({s}) return ({r})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(v, r)| format!("let $y := ({v}) return ({r})")),
-            // constructors and functions
-            inner.clone().prop_map(|c| format!("element w {{ {c} }}")),
-            inner.clone().prop_map(|c| format!("count({c})")),
-            inner.clone().prop_map(|c| format!("concat(\"p\", string({c}))")),
-            // order by and sequences
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("(({a}), ({b}))")),
-            inner.clone().prop_map(|c| format!("($v) order by ({c}) descending")),
-            // execute-at (the shipped-body shape)
-            (inner.clone())
-                .prop_map(|b| format!("execute at {{ \"p\" }} params ($q := $outer) {{ {b} }}")),
-            // typeswitch
-            (inner.clone(), inner)
-                .prop_map(|(i, b)| format!(
-                    "typeswitch ({i}) case $n as node() return ({b}) default $d return ()"
-                )),
-        ]
-    })
+fn arb_query(rng: &mut Rng, depth: u32) -> String {
+    if depth >= 4 || rng.gen_bool(0.35) {
+        return rng
+            .choose(&[
+                "1",
+                "2.5",
+                "\"str\"",
+                "\"qu\"\"ote\"",
+                "$v",
+                "()",
+                "doc(\"d.xml\")",
+                "true()",
+            ])
+            .to_string();
+    }
+    let d = depth + 1;
+    match rng.gen_range(0..11) {
+        // paths
+        0 => {
+            let base = arb_query(rng, d);
+            let step = rng.choose(&[
+                "/child::a",
+                "//b",
+                "/parent::c",
+                "/@id",
+                "/descendant::d",
+                "/following-sibling::e",
+                "/child::text()",
+                "/child::node()",
+            ]);
+            format!("({base}){step}")
+        }
+        // binary operators
+        1 => {
+            let l = arb_query(rng, d);
+            let op = rng.choose(&[
+                "=", "!=", "<", ">=", "is", "<<", ">>", "union", "intersect", "except", "+",
+                "*", "and", "or",
+            ]);
+            let r = arb_query(rng, d);
+            format!("({l}) {op} ({r})")
+        }
+        // control flow
+        2 => {
+            let (c, t, e) = (arb_query(rng, d), arb_query(rng, d), arb_query(rng, d));
+            format!("if ({c}) then ({t}) else ({e})")
+        }
+        3 => {
+            let (s, r) = (arb_query(rng, d), arb_query(rng, d));
+            format!("for $x in ({s}) return ({r})")
+        }
+        4 => {
+            let (v, r) = (arb_query(rng, d), arb_query(rng, d));
+            format!("let $y := ({v}) return ({r})")
+        }
+        // constructors and functions
+        5 => format!("element w {{ {} }}", arb_query(rng, d)),
+        6 => format!("count({})", arb_query(rng, d)),
+        7 => format!("concat(\"p\", string({}))", arb_query(rng, d)),
+        // order by and sequences
+        8 => {
+            let (a, b) = (arb_query(rng, d), arb_query(rng, d));
+            if rng.gen_bool(0.5) {
+                format!("(({a}), ({b}))")
+            } else {
+                format!("($v) order by ({a}) descending")
+            }
+        }
+        // execute-at (the shipped-body shape)
+        9 => format!(
+            "execute at {{ \"p\" }} params ($q := $outer) {{ {} }}",
+            arb_query(rng, d)
+        ),
+        // typeswitch
+        _ => {
+            let (i, b) = (arb_query(rng, d), arb_query(rng, d));
+            format!("typeswitch ({i}) case $n as node() return ({b}) default $d return ()")
+        }
+    }
 }
 
 /// Structural normalization for comparison: drop projections and flatten
@@ -84,27 +111,23 @@ fn canon(e: &Expr) -> Expr {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
-
-    #[test]
-    fn print_parse_roundtrip(q in arb_query()) {
-        let Ok(parsed) = parse_expr_str(&q) else {
-            // generator composes only parseable pieces; a parse failure is a bug
-            return Err(TestCaseError::fail(format!("generated query failed to parse: {q}")));
-        };
+#[test]
+fn print_parse_roundtrip() {
+    for case in 0..192u64 {
+        let mut rng = Rng::seed_from_u64(0x5052_494E_5400 ^ case.wrapping_mul(0x9E37_79B9));
+        let q = arb_query(&mut rng, 0);
+        // generator composes only parseable pieces; a parse failure is a bug
+        let parsed = parse_expr_str(&q)
+            .unwrap_or_else(|e| panic!("generated query failed to parse (case {case}): {q}\n{e}"));
         let printed = parsed.to_string();
-        let reparsed = parse_expr_str(&printed).map_err(|e| {
-            TestCaseError::fail(format!("printed form does not reparse: {printed}\n{e}"))
-        })?;
-        prop_assert_eq!(
+        let reparsed = parse_expr_str(&printed)
+            .unwrap_or_else(|e| panic!("printed form does not reparse: {printed}\n{e}"));
+        assert_eq!(
             canon(&reparsed),
             canon(&parsed),
-            "roundtrip changed structure:\n  input: {}\n  printed: {}",
-            q,
-            printed
+            "roundtrip changed structure (case {case}):\n  input: {q}\n  printed: {printed}"
         );
         // printing is idempotent
-        prop_assert_eq!(reparsed.to_string(), printed);
+        assert_eq!(reparsed.to_string(), printed);
     }
 }

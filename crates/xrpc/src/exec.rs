@@ -11,18 +11,39 @@
 //! same way. `fn:doc("xrpc://…")` on the coordinator performs data
 //! shipping: the remote peer serializes the whole document, bytes are
 //! accounted, and the coordinator shreds and caches it.
+//!
+//! # Parallel scatter-gather
+//!
+//! The federation core is thread-safe: peers live in slots behind a
+//! `Mutex`+`Condvar` (a peer is *taken* for the duration of a call, and
+//! waiting replaces the old hard "busy" failure), and metrics accumulate
+//! into atomics. When the evaluator detects a scatter point — independent
+//! `execute at` calls aimed at distinct peers — [`FedLink::execute_scatter`]
+//! encodes every request up front (byte-identical to sequential execution),
+//! fans the decode→evaluate→respond pipeline out across one scoped thread
+//! per peer, and gathers/decodes responses in deterministic call order.
+//! Serialized network cost stays the exact per-transfer sum; the overlapped
+//! cost of a round is the slowest peer's chain (see
+//! [`Metrics::network_overlapped`]).
+//!
+//! Within one Bulk RPC the remote side can also split the decoded call list
+//! across workers over cloned snapshots of the post-shred store
+//! ([`ExecOptions::bulk_workers`]); snapshots share the base store's
+//! document ranks, so results gathered from workers are valid node ids in
+//! the base store as long as the body attaches no new documents — which a
+//! syntactic safety gate guarantees before the split.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use xqd_core::Strategy;
 use xqd_xml::{NodeId, NodeKind, Store};
 use xqd_xquery::ast::ExecProjection;
-use xqd_xquery::eval::{DocResolver, Evaluator, RemoteHandler, StaticContext};
+use xqd_xquery::eval::{DocResolver, Evaluator, RemoteHandler, ScatterCall, StaticContext};
 use xqd_xquery::value::{EvalError, EvalResult, Item, Sequence};
-use xqd_xquery::{parse_query, QueryModule};
+use xqd_xquery::{parse_query, Expr, QueryModule};
 
 use crate::message::{
     decode_request, decode_response, encode_request, encode_response, WireSemantics,
@@ -53,16 +74,150 @@ impl Peer {
     }
 }
 
+/// Execution-mode switches (see [`Federation::set_exec_options`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Fan independent calls to distinct peers out across scoped threads.
+    /// Off = the same calls run in a sequential loop (identical results and
+    /// byte counts; `network_overlapped` then equals `network`).
+    pub parallel_scatter: bool,
+    /// Workers splitting the call list of one Bulk RPC on the remote side.
+    /// `1` (default) keeps remote evaluation single-threaded.
+    pub bulk_workers: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { parallel_scatter: true, bulk_workers: 1 }
+    }
+}
+
+/// How long a caller waits for a busy peer slot before reporting the peer
+/// unavailable. Bounds any accidental circular-wait between scatter workers.
+const PEER_WAIT: Duration = Duration::from_secs(10);
+
+/// Metric accumulators shared across worker threads. Durations are
+/// nanosecond counters; [`MetricsSink::snapshot`] converts back.
+#[derive(Default)]
+struct MetricsSink {
+    message_bytes: AtomicU64,
+    document_bytes: AtomicU64,
+    transfers: AtomicU64,
+    remote_calls: AtomicU64,
+    scatter_rounds: AtomicU64,
+    shred_ns: AtomicU64,
+    serialize_ns: AtomicU64,
+    remote_exec_ns: AtomicU64,
+    network_ns: AtomicU64,
+    network_overlapped_ns: AtomicU64,
+}
+
+fn as_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+impl MetricsSink {
+    fn reset(&self) {
+        for cell in [
+            &self.message_bytes,
+            &self.document_bytes,
+            &self.transfers,
+            &self.remote_calls,
+            &self.scatter_rounds,
+            &self.shred_ns,
+            &self.serialize_ns,
+            &self.remote_exec_ns,
+            &self.network_ns,
+            &self.network_overlapped_ns,
+        ] {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> Metrics {
+        Metrics {
+            message_bytes: self.message_bytes.load(Ordering::Relaxed),
+            document_bytes: self.document_bytes.load(Ordering::Relaxed),
+            transfers: self.transfers.load(Ordering::Relaxed),
+            remote_calls: self.remote_calls.load(Ordering::Relaxed),
+            scatter_rounds: self.scatter_rounds.load(Ordering::Relaxed),
+            shred: Duration::from_nanos(self.shred_ns.load(Ordering::Relaxed)),
+            serialize: Duration::from_nanos(self.serialize_ns.load(Ordering::Relaxed)),
+            remote_exec: Duration::from_nanos(self.remote_exec_ns.load(Ordering::Relaxed)),
+            network: Duration::from_nanos(self.network_ns.load(Ordering::Relaxed)),
+            network_overlapped: Duration::from_nanos(
+                self.network_overlapped_ns.load(Ordering::Relaxed),
+            ),
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Accounts one wire transfer: exact counters plus equal serialized
+    /// and overlapped time (non-scatter transfers never overlap).
+    fn count_transfer(&self, wire_time: Duration) {
+        self.transfers.fetch_add(1, Ordering::Relaxed);
+        let ns = as_ns(wire_time);
+        self.network_ns.fetch_add(ns, Ordering::Relaxed);
+        self.network_overlapped_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
 struct FedCore {
-    peers: HashMap<String, Option<Peer>>,
+    /// Peer slots: `None` while a peer is taken by an executing call.
+    peers: Mutex<HashMap<String, Option<Peer>>>,
+    /// Signalled whenever a peer is returned to its slot.
+    peers_returned: Condvar,
     model: NetworkModel,
-    metrics: Metrics,
-    wire: WireSemantics,
+    metrics: MetricsSink,
+    wire: Mutex<WireSemantics>,
+    options: Mutex<ExecOptions>,
+}
+
+impl FedCore {
+    fn wire(&self) -> WireSemantics {
+        *self.wire.lock().unwrap()
+    }
+
+    fn options(&self) -> ExecOptions {
+        *self.options.lock().unwrap()
+    }
+
+    /// Takes `name`'s peer out of its slot, waiting (bounded) while another
+    /// call holds it. An unknown peer fails immediately.
+    fn take_peer(&self, name: &str) -> EvalResult<Peer> {
+        let mut peers = self.peers.lock().unwrap();
+        let deadline = Instant::now() + PEER_WAIT;
+        loop {
+            match peers.get_mut(name) {
+                None => return Err(EvalError::new(format!("unknown or busy peer {name}"))),
+                Some(slot) => {
+                    if let Some(p) = slot.take() {
+                        return Ok(p);
+                    }
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(EvalError::new(format!(
+                    "unknown or busy peer {name}: still busy after {PEER_WAIT:?}"
+                )));
+            }
+            let (guard, _timeout) = self.peers_returned.wait_timeout(peers, remaining).unwrap();
+            peers = guard;
+        }
+    }
+
+    fn put_peer(&self, peer: Peer) {
+        let mut peers = self.peers.lock().unwrap();
+        peers.insert(peer.name.clone(), Some(peer));
+        drop(peers);
+        self.peers_returned.notify_all();
+    }
 }
 
 /// A federation of peers plus the coordinator.
 pub struct Federation {
-    core: Rc<RefCell<FedCore>>,
+    core: Arc<FedCore>,
 }
 
 /// Outcome of one distributed run.
@@ -79,28 +234,40 @@ pub struct RunOutcome {
 impl Federation {
     pub fn new(model: NetworkModel) -> Self {
         Federation {
-            core: Rc::new(RefCell::new(FedCore {
-                peers: HashMap::new(),
+            core: Arc::new(FedCore {
+                peers: Mutex::new(HashMap::new()),
+                peers_returned: Condvar::new(),
                 model,
-                metrics: Metrics::default(),
-                wire: WireSemantics::Value,
-            })),
+                metrics: MetricsSink::default(),
+                wire: Mutex::new(WireSemantics::Value),
+                options: Mutex::new(ExecOptions::default()),
+            }),
         }
+    }
+
+    /// Switches execution modes (scatter parallelism, bulk workers) for
+    /// subsequent runs.
+    pub fn set_exec_options(&mut self, options: ExecOptions) {
+        *self.core.options.lock().unwrap() = options;
+    }
+
+    pub fn exec_options(&self) -> ExecOptions {
+        self.core.options()
     }
 
     /// Adds an empty peer.
     pub fn add_peer(&mut self, name: &str) {
         self.core
-            .borrow_mut()
             .peers
+            .lock()
+            .unwrap()
             .insert(name.to_string(), Some(Peer::new(name)));
     }
 
     /// Loads `xml` as document `doc_name` on `peer` (added if absent).
     pub fn load_document(&mut self, peer: &str, doc_name: &str, xml: &str) -> Result<(), EvalError> {
-        let mut core = self.core.borrow_mut();
-        let entry = core
-            .peers
+        let mut peers = self.core.peers.lock().unwrap();
+        let entry = peers
             .entry(peer.to_string())
             .or_insert_with(|| Some(Peer::new(peer)));
         entry
@@ -140,41 +307,39 @@ impl Federation {
         options: xqd_core::DecomposeOptions,
     ) -> EvalResult<RunOutcome> {
         let plan = xqd_core::decompose_with(module, strategy, options)?;
-        {
-            let mut core = self.core.borrow_mut();
-            core.metrics = Metrics::default();
-            core.wire = match strategy {
-                Strategy::ByFragment => WireSemantics::Fragment,
-                Strategy::ByProjection => WireSemantics::Projection,
-                _ => WireSemantics::Value,
-            };
-        }
+        self.core.metrics.reset();
+        *self.core.wire.lock().unwrap() = match strategy {
+            Strategy::ByFragment => WireSemantics::Fragment,
+            Strategy::ByProjection => WireSemantics::Projection,
+            _ => WireSemantics::Value,
+        };
         let started = Instant::now();
         // fresh coordinator store per run
         let mut local = Store::new();
-        let mut link = FedLink { core: Rc::clone(&self.core), peer: String::new() };
-        let mut handler = FedLink { core: Rc::clone(&self.core), peer: String::new() };
+        let mut link = FedLink { core: Arc::clone(&self.core), peer: String::new() };
+        let mut handler = FedLink { core: Arc::clone(&self.core), peer: String::new() };
         let functions: Vec<xqd_xquery::FunctionDef> = Vec::new();
         let mut ev = Evaluator::new(&mut local, &functions, &mut link).with_remote(&mut handler);
         let result = ev.eval(&plan.rewritten)?;
         let total = started.elapsed();
         let canonical = result.iter().map(|i| canonical_item(&local, i)).collect();
-        let mut metrics = self.core.borrow().metrics;
+        let mut metrics = self.core.metrics.snapshot();
         metrics.total = total;
         Ok(RunOutcome { result: canonical, metrics, plan })
     }
 
-    /// Metrics of the last run (also returned in [`RunOutcome`]).
+    /// Metrics of the last run (also returned in [`RunOutcome`]); `total`
+    /// is only carried by the [`RunOutcome`].
     pub fn metrics(&self) -> Metrics {
-        self.core.borrow().metrics
+        self.core.metrics.snapshot()
     }
 
     /// Total serialized size in bytes of every document stored on peers —
     /// the Figure 7 x-axis.
     pub fn total_document_bytes(&self) -> u64 {
-        let core = self.core.borrow();
+        let peers = self.core.peers.lock().unwrap();
         let mut total = 0u64;
-        for peer in core.peers.values().flatten() {
+        for peer in peers.values().flatten() {
             for (_, doc) in peer.store.docs() {
                 if doc.uri.is_some() {
                     total += xqd_xml::serialize_document(doc, &peer.store.names).len() as u64;
@@ -188,7 +353,7 @@ impl Federation {
 /// The resolver/handler link of one executing peer (empty name =
 /// coordinator).
 struct FedLink {
-    core: Rc<RefCell<FedCore>>,
+    core: Arc<FedCore>,
     peer: String,
 }
 
@@ -207,34 +372,34 @@ impl DocResolver for FedLink {
                     .ok_or_else(|| EvalError::new(format!("document not found on {host}: {name}")));
             }
             // data shipping: fetch the whole document
-            let xml = {
-                let mut core = self.core.borrow_mut();
-                let peer_obj = core
-                    .peers
-                    .get_mut(host)
-                    .and_then(Option::take)
-                    .ok_or_else(|| EvalError::new(format!("unknown or busy peer {host}")))?;
-                let t0 = Instant::now();
-                let result = peer_obj
-                    .store
-                    .doc_by_uri(uri)
-                    .or_else(|| peer_obj.store.doc_by_uri(name))
-                    .map(|d| xqd_xml::serialize_document(peer_obj.store.doc(d), &peer_obj.store.names))
-                    .ok_or_else(|| EvalError::new(format!("document not found on {host}: {name}")));
-                core.metrics.serialize += t0.elapsed();
-                core.peers.insert(host.to_string(), Some(peer_obj));
-                let xml = result?;
-                let bytes = xml.len() as u64;
-                core.metrics.document_bytes += bytes;
-                core.metrics.transfers += 1;
-                let wire = core.model.transfer_time(bytes);
-                core.metrics.network += wire;
-                xml
-            };
+            let peer_obj = self.core.take_peer(host)?;
+            let t0 = Instant::now();
+            let result = peer_obj
+                .store
+                .doc_by_uri(uri)
+                .or_else(|| peer_obj.store.doc_by_uri(name))
+                .map(|d| {
+                    xqd_xml::serialize_document(peer_obj.store.doc(d), &peer_obj.store.names)
+                })
+                .ok_or_else(|| EvalError::new(format!("document not found on {host}: {name}")));
+            self.core
+                .metrics
+                .serialize_ns
+                .fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+            self.core.put_peer(peer_obj);
+            let xml = result?;
+            let bytes = xml.len() as u64;
+            self.core.metrics.document_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.core
+                .metrics
+                .count_transfer(self.core.model.transfer_time(bytes));
             let t0 = Instant::now();
             let d = xqd_xml::parse_document(store, &xml, Some(uri))
                 .map_err(|e| EvalError::new(format!("shredding {uri}: {e}")))?;
-            self.core.borrow_mut().metrics.shred += t0.elapsed();
+            self.core
+                .metrics
+                .shred_ns
+                .fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
             return Ok(d);
         }
         // a plain name on a peer refers to that peer's own document (the
@@ -247,6 +412,179 @@ impl DocResolver for FedLink {
         }
         Err(EvalError::new(format!("document not found: {uri}")))
     }
+}
+
+/// Evaluates one decoded call against `store` (binding its parameters) and
+/// returns the raw result sequence.
+fn eval_one_call(
+    core: &Arc<FedCore>,
+    peer: &str,
+    store: &mut Store,
+    module: &QueryModule,
+    static_ctx: &StaticContext,
+    params: &[(String, Sequence)],
+) -> EvalResult<Sequence> {
+    let mut resolver = FedLink { core: Arc::clone(core), peer: peer.to_string() };
+    let mut nested = FedLink { core: Arc::clone(core), peer: peer.to_string() };
+    let mut ev = Evaluator::new(store, &module.functions, &mut resolver)
+        .with_remote(&mut nested)
+        .with_static_context(static_ctx.clone());
+    for (name, value) in params {
+        ev.bind(name, value.clone());
+    }
+    ev.eval(&module.body)
+}
+
+/// Syntactic gate for splitting a Bulk RPC call list across store
+/// snapshots: the body (and every function it may call) must not attach
+/// documents to the store — no constructors, no nested `execute at`, and
+/// every `fn:doc` argument is a literal resolving on this peer.
+fn body_snapshot_safe(module: &QueryModule, peer: &str) -> bool {
+    fn expr_safe(e: &Expr, peer: &str) -> bool {
+        match e {
+            Expr::Execute { .. } => false,
+            Expr::Construct(_) => false,
+            Expr::FunCall { name, args } if name == "doc" || name == "fn:doc" => {
+                match args.as_slice() {
+                    [Expr::Literal(a)] => {
+                        let uri = a.to_lexical();
+                        !uri.contains("://")
+                            || uri.strip_prefix("xrpc://").is_some_and(|rest| {
+                                rest.split_once('/').is_some_and(|(host, _)| host == peer)
+                            })
+                    }
+                    _ => false,
+                }
+            }
+            other => {
+                let mut safe = true;
+                xqd_xquery::normalize::map_children_infallible(other, &mut |c| {
+                    if safe && !expr_safe(c, peer) {
+                        safe = false;
+                    }
+                    c.clone()
+                });
+                safe
+            }
+        }
+    }
+    expr_safe(&module.body, peer) && module.functions.iter().all(|f| expr_safe(&f.body, peer))
+}
+
+/// Remote-side handling of one request message against `store` (the target
+/// peer's store): decode, evaluate every carried call, encode the response.
+/// Shared by the sequential, re-entrant and scatter paths so their
+/// observable behavior cannot drift apart.
+fn process_request(
+    core: &Arc<FedCore>,
+    peer: &str,
+    store: &mut Store,
+    request: &str,
+) -> EvalResult<String> {
+    let t0 = Instant::now();
+    let decoded = decode_request(store, request)?;
+    core.metrics.shred_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+
+    let module = parse_query(&decoded.query)
+        .map_err(|e| EvalError::new(format!("remote parse error: {e}")))?;
+
+    let options = core.options();
+    let t_exec = Instant::now();
+    let results = if options.bulk_workers > 1
+        && decoded.calls.len() > 1
+        && body_snapshot_safe(&module, peer)
+    {
+        eval_calls_parallel(core, peer, store, &module, &decoded.static_ctx, &decoded.calls, options.bulk_workers)?
+    } else {
+        let mut results = Vec::with_capacity(decoded.calls.len());
+        for params in &decoded.calls {
+            results.push(eval_one_call(core, peer, store, &module, &decoded.static_ctx, params)?);
+        }
+        results
+    };
+    core.metrics
+        .remote_exec_ns
+        .fetch_add(as_ns(t_exec.elapsed()), Ordering::Relaxed);
+
+    let t_ser = Instant::now();
+    let response = encode_response(
+        store,
+        decoded.semantics,
+        &results,
+        decoded.result_spec.as_ref(),
+    )?;
+    core.metrics
+        .serialize_ns
+        .fetch_add(as_ns(t_ser.elapsed()), Ordering::Relaxed);
+    Ok(response)
+}
+
+/// Splits the call list of one Bulk RPC into contiguous chunks evaluated on
+/// cloned store snapshots by scoped worker threads. Snapshots preserve the
+/// base store's document ranks, so gathered node ids stay valid in the base
+/// store — guarded both syntactically ([`body_snapshot_safe`]) and at
+/// runtime (a worker whose snapshot grew is discarded and its chunk re-run
+/// sequentially against the base store).
+fn eval_calls_parallel(
+    core: &Arc<FedCore>,
+    peer: &str,
+    store: &mut Store,
+    module: &QueryModule,
+    static_ctx: &StaticContext,
+    calls: &[Vec<(String, Sequence)>],
+    workers: usize,
+) -> EvalResult<Vec<Sequence>> {
+    let n = calls.len();
+    let workers = workers.min(n);
+    let chunk_len = n.div_ceil(workers);
+    let base_docs = store.docs().count();
+
+    let mut chunk_results: Vec<(std::ops::Range<usize>, bool, Vec<EvalResult<Sequence>>)> =
+        Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let range = (w * chunk_len)..(((w + 1) * chunk_len).min(n));
+            if range.is_empty() {
+                continue;
+            }
+            let mut snapshot = store.clone();
+            let core = Arc::clone(core);
+            let r = range.clone();
+            handles.push((
+                range,
+                s.spawn(move || {
+                    let out: Vec<EvalResult<Sequence>> = r
+                        .map(|ci| {
+                            eval_one_call(&core, peer, &mut snapshot, module, static_ctx, &calls[ci])
+                        })
+                        .collect();
+                    let clean = snapshot.docs().count() == base_docs;
+                    (clean, out)
+                }),
+            ));
+        }
+        for (range, handle) in handles {
+            let (clean, out) = handle.join().expect("bulk worker panicked");
+            chunk_results.push((range, clean, out));
+        }
+    });
+
+    let mut results: Vec<Sequence> = Vec::with_capacity(n);
+    for (range, clean, out) in chunk_results {
+        if clean {
+            for r in out {
+                results.push(r?);
+            }
+        } else {
+            // the snapshot diverged (body attached documents despite the
+            // gate): discard and recompute this chunk against the base store
+            for ci in range {
+                results.push(eval_one_call(core, peer, store, module, static_ctx, &calls[ci])?);
+            }
+        }
+    }
+    Ok(results)
 }
 
 impl RemoteHandler for FedLink {
@@ -274,7 +612,7 @@ impl RemoteHandler for FedLink {
         body: &xqd_xquery::Expr,
         projection: Option<&ExecProjection>,
     ) -> EvalResult<Vec<Sequence>> {
-        let wire = self.core.borrow().wire;
+        let wire = self.core.wire();
         // ---- encode request (caller side) ----
         let t0 = Instant::now();
         let body_src = body.to_string();
@@ -287,72 +625,34 @@ impl RemoteHandler for FedLink {
             projection.map(|p| p.params.as_slice()),
             projection.map(|p| &p.result),
         )?;
-        {
-            let mut core = self.core.borrow_mut();
-            core.metrics.serialize += t0.elapsed();
-            core.metrics.message_bytes += request.len() as u64;
-            core.metrics.transfers += 1;
-            core.metrics.remote_calls += calls.len() as u64;
-            let wire_time = core.model.transfer_time(request.len() as u64);
-            core.metrics.network += wire_time;
-        }
+        let sink = &self.core.metrics;
+        sink.serialize_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+        sink.message_bytes.fetch_add(request.len() as u64, Ordering::Relaxed);
+        sink.remote_calls.fetch_add(calls.len() as u64, Ordering::Relaxed);
+        sink.count_transfer(self.core.model.transfer_time(request.len() as u64));
 
-        // ---- take the remote peer out and execute there ----
-        let mut remote = {
-            let mut core = self.core.borrow_mut();
-            core.peers
-                .get_mut(peer)
-                .and_then(Option::take)
-                .ok_or_else(|| EvalError::new(format!("unknown or busy peer {peer}")))?
+        // ---- execute on the target peer ----
+        let response = if peer == self.peer {
+            // re-entrant call: the caller *is* this peer, so its store is on
+            // our stack — evaluate directly instead of taking the (empty)
+            // slot. The message still crosses the (loopback) wire above.
+            process_request(&self.core, peer, local, &request)?
+        } else {
+            let mut remote = self.core.take_peer(peer)?;
+            let outcome = process_request(&self.core, peer, &mut remote.store, &request);
+            // put the peer back regardless of the outcome
+            self.core.put_peer(remote);
+            outcome?
         };
-        let outcome = (|| -> EvalResult<String> {
-            let t0 = Instant::now();
-            let decoded = decode_request(&mut remote.store, &request)?;
-            self.core.borrow_mut().metrics.shred += t0.elapsed();
 
-            let remote_module = parse_query(&decoded.query)
-                .map_err(|e| EvalError::new(format!("remote parse error: {e}")))?;
-            let mut results = Vec::with_capacity(decoded.calls.len());
-            let t_exec = Instant::now();
-            for call_params in decoded.calls {
-                let mut resolver = FedLink { core: Rc::clone(&self.core), peer: peer.to_string() };
-                let mut nested = FedLink { core: Rc::clone(&self.core), peer: peer.to_string() };
-                let mut ev = Evaluator::new(&mut remote.store, &remote_module.functions, &mut resolver)
-                    .with_remote(&mut nested)
-                    .with_static_context(decoded.static_ctx.clone());
-                for (name, value) in call_params {
-                    ev.bind(&name, value);
-                }
-                results.push(ev.eval(&remote_module.body)?);
-            }
-            self.core.borrow_mut().metrics.remote_exec += t_exec.elapsed();
-
-            let t_ser = Instant::now();
-            let response = encode_response(
-                &remote.store,
-                decoded.semantics,
-                &results,
-                decoded.result_spec.as_ref(),
-            )?;
-            self.core.borrow_mut().metrics.serialize += t_ser.elapsed();
-            Ok(response)
-        })();
-        // put the peer back regardless of the outcome
-        self.core.borrow_mut().peers.insert(peer.to_string(), Some(remote));
-        let response = outcome?;
-
-        {
-            let mut core = self.core.borrow_mut();
-            core.metrics.message_bytes += response.len() as u64;
-            core.metrics.transfers += 1;
-            let wire_time = core.model.transfer_time(response.len() as u64);
-            core.metrics.network += wire_time;
-        }
+        let sink = &self.core.metrics;
+        sink.message_bytes.fetch_add(response.len() as u64, Ordering::Relaxed);
+        sink.count_transfer(self.core.model.transfer_time(response.len() as u64));
 
         // ---- decode response (caller side) ----
         let t0 = Instant::now();
         let sequences = decode_response(local, &response)?;
-        self.core.borrow_mut().metrics.shred += t0.elapsed();
+        sink.shred_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
         if sequences.len() != calls.len() {
             return Err(EvalError::new(format!(
                 "response carries {} sequences for {} calls",
@@ -361,6 +661,133 @@ impl RemoteHandler for FedLink {
             )));
         }
         Ok(sequences)
+    }
+
+    fn execute_scatter(
+        &mut self,
+        local: &mut Store,
+        static_ctx: &StaticContext,
+        calls: &[ScatterCall<'_>],
+    ) -> EvalResult<Vec<Sequence>> {
+        let options = self.core.options();
+        // a round targeting our own peer re-entrantly, or parallelism
+        // disabled: fall back to the sequential per-call loop (identical
+        // results, bytes and serialized network; no overlap credit)
+        if !options.parallel_scatter || calls.iter().any(|c| c.peer == self.peer) {
+            return calls
+                .iter()
+                .map(|c| self.execute(local, static_ctx, &c.peer, &c.params, c.body, c.projection))
+                .collect();
+        }
+
+        let wire = self.core.wire();
+        let sink = &self.core.metrics;
+
+        // ---- scatter: encode every request up front, in call order ----
+        // Parameters were pre-bound by the evaluator and responses only ever
+        // *add* documents to the coordinator store, so these encodings are
+        // byte-identical to the ones sequential execution would produce.
+        let mut requests = Vec::with_capacity(calls.len());
+        for c in calls {
+            let t0 = Instant::now();
+            let body_src = c.body.to_string();
+            let one_call = vec![c.params.clone()];
+            let request = encode_request(
+                local,
+                wire,
+                static_ctx,
+                &body_src,
+                &one_call,
+                c.projection.map(|p| p.params.as_slice()),
+                c.projection.map(|p| &p.result),
+            )?;
+            sink.serialize_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+            sink.message_bytes.fetch_add(request.len() as u64, Ordering::Relaxed);
+            sink.remote_calls.fetch_add(1, Ordering::Relaxed);
+            sink.transfers.fetch_add(1, Ordering::Relaxed);
+            requests.push(request);
+        }
+
+        // ---- fan out: one scoped thread per distinct peer ----
+        let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+        for (i, c) in calls.iter().enumerate() {
+            match groups.iter_mut().find(|(p, _)| *p == c.peer) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((&c.peer, vec![i])),
+            }
+        }
+        let mut responses: Vec<Option<EvalResult<String>>> =
+            (0..calls.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(groups.len());
+            for (peer, idxs) in &groups {
+                let core = Arc::clone(&self.core);
+                let requests = &requests;
+                handles.push(s.spawn(move || -> Vec<(usize, EvalResult<String>)> {
+                    let mut peer_obj = match core.take_peer(peer) {
+                        Ok(p) => p,
+                        Err(e) => return idxs.iter().map(|&i| (i, Err(e.clone()))).collect(),
+                    };
+                    let out = idxs
+                        .iter()
+                        .map(|&i| {
+                            (i, process_request(&core, peer, &mut peer_obj.store, &requests[i]))
+                        })
+                        .collect();
+                    core.put_peer(peer_obj);
+                    out
+                }));
+            }
+            for handle in handles {
+                for (i, r) in handle.join().expect("scatter worker panicked") {
+                    responses[i] = Some(r);
+                }
+            }
+        });
+
+        // ---- gather: account and decode in deterministic call order ----
+        let mut gathered: Vec<String> = Vec::with_capacity(calls.len());
+        for r in responses {
+            gathered.push(r.expect("every call belongs to exactly one peer group")?);
+        }
+        // serialized network: the exact sum over every transfer; overlapped:
+        // the slowest peer's request→response chain dominates the round
+        let mut slowest_chain = Duration::ZERO;
+        for (_, idxs) in &groups {
+            let mut chain = Duration::ZERO;
+            for &i in idxs {
+                chain += self.core.model.transfer_time(requests[i].len() as u64);
+                chain += self.core.model.transfer_time(gathered[i].len() as u64);
+            }
+            slowest_chain = slowest_chain.max(chain);
+        }
+        let mut serialized_sum = Duration::ZERO;
+        for (request, response) in requests.iter().zip(&gathered) {
+            serialized_sum += self.core.model.transfer_time(request.len() as u64);
+            serialized_sum += self.core.model.transfer_time(response.len() as u64);
+        }
+        sink.network_ns.fetch_add(as_ns(serialized_sum), Ordering::Relaxed);
+        sink.network_overlapped_ns
+            .fetch_add(as_ns(slowest_chain), Ordering::Relaxed);
+        sink.scatter_rounds.fetch_add(1, Ordering::Relaxed);
+
+        let mut results = Vec::with_capacity(calls.len());
+        for (response, c) in gathered.iter().zip(calls) {
+            sink.message_bytes.fetch_add(response.len() as u64, Ordering::Relaxed);
+            sink.transfers.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let mut sequences = decode_response(local, response)?;
+            sink.shred_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+            if sequences.len() != 1 {
+                return Err(EvalError::new(format!(
+                    "scatter response for peer {} carries {} sequences for 1 call",
+                    c.peer,
+                    sequences.len()
+                )));
+            }
+            results.push(sequences.pop().unwrap());
+        }
+        Ok(results)
     }
 }
 

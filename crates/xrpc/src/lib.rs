@@ -29,6 +29,6 @@ pub mod message;
 pub mod net;
 pub mod wire;
 
-pub use exec::{canonical_item, Federation, Peer, RunOutcome};
+pub use exec::{canonical_item, ExecOptions, Federation, Peer, RunOutcome};
 pub use message::{decode_request, decode_response, encode_request, encode_response, WireSemantics};
 pub use net::{Metrics, NetworkModel};

@@ -51,14 +51,26 @@ pub struct Metrics {
     pub transfers: u64,
     /// Remote function invocations carried (Bulk RPC counts every call).
     pub remote_calls: u64,
+    /// Scatter-gather rounds executed (calls to distinct peers fanned out
+    /// concurrently count as one round).
+    pub scatter_rounds: u64,
     /// Time parsing/shredding received XML (messages and fetched docs).
     pub shred: Duration,
     /// Time serializing messages and documents.
     pub serialize: Duration,
     /// Time evaluating shipped bodies on remote peers.
     pub remote_exec: Duration,
-    /// Simulated wire time.
+    /// Simulated wire time, **serialized**: the sum over every transfer, as
+    /// if messages crossed the wire one at a time. Exact regardless of
+    /// execution mode — byte counts and per-transfer costs are identical
+    /// between sequential and scatter-gather execution.
     pub network: Duration,
+    /// Simulated wire time under **overlapping transfers**: within one
+    /// scatter round the wall clock advances by the *slowest* peer's
+    /// request→execute→response chain, not the sum over peers. Outside
+    /// scatter rounds this accrues identically to `network`, so for a fully
+    /// sequential run `network_overlapped == network`.
+    pub network_overlapped: Duration,
     /// End-to-end wall-clock time of the run.
     pub total: Duration,
 }
@@ -79,15 +91,29 @@ impl Metrics {
             .saturating_sub(self.network)
     }
 
+    /// Simulated end-to-end time with transfers paid one after another:
+    /// measured CPU plus the serialized network bill.
+    pub fn wall_clock_serialized(&self) -> Duration {
+        self.total + self.network
+    }
+
+    /// Simulated end-to-end time when concurrent peers overlap their
+    /// transfers and remote work: measured CPU plus the overlapped bill.
+    pub fn wall_clock_overlapped(&self) -> Duration {
+        self.total + self.network_overlapped
+    }
+
     pub fn add(&mut self, other: &Metrics) {
         self.message_bytes += other.message_bytes;
         self.document_bytes += other.document_bytes;
         self.transfers += other.transfers;
         self.remote_calls += other.remote_calls;
+        self.scatter_rounds += other.scatter_rounds;
         self.shred += other.shred;
         self.serialize += other.serialize;
         self.remote_exec += other.remote_exec;
         self.network += other.network;
+        self.network_overlapped += other.network_overlapped;
         self.total += other.total;
     }
 }
@@ -136,5 +162,18 @@ mod tests {
         assert_eq!(a.message_bytes, 15);
         assert_eq!(a.transferred_bytes(), 22);
         assert_eq!(a.transfers, 3);
+    }
+
+    #[test]
+    fn overlapped_wall_clock_never_exceeds_serialized() {
+        let m = Metrics {
+            total: Duration::from_millis(10),
+            network: Duration::from_millis(80),
+            network_overlapped: Duration::from_millis(25),
+            ..Default::default()
+        };
+        assert_eq!(m.wall_clock_serialized(), Duration::from_millis(90));
+        assert_eq!(m.wall_clock_overlapped(), Duration::from_millis(35));
+        assert!(m.wall_clock_overlapped() <= m.wall_clock_serialized());
     }
 }

@@ -1,0 +1,179 @@
+//! Parallel scatter-gather executor tests.
+//!
+//! The contract under test: fanning independent `execute at` calls out
+//! across scoped threads changes **when** messages cross the simulated wire
+//! (overlapped instead of one-after-another) but changes *nothing
+//! observable* — canonical results, message bytes, transfer and call counts
+//! are bit-identical to the sequential loop, under every wire semantics.
+
+use xqd_core::Strategy;
+use xqd_xrpc::{ExecOptions, Federation, NetworkModel};
+
+/// Three peers, each holding a differently-sized slice of the same shape.
+fn fed3(model: NetworkModel) -> Federation {
+    let mut f = Federation::new(model);
+    for (peer, n) in [("p1", 3usize), ("p2", 5), ("p3", 2)] {
+        let mut xml = String::from("<site>");
+        for i in 0..n {
+            xml.push_str(&format!(
+                "<item id=\"{peer}-{i}\"><v>{}</v></item>",
+                (i * 7 + peer.len()) % 23
+            ));
+        }
+        xml.push_str("</site>");
+        f.load_document(peer, "d.xml", &xml).unwrap();
+    }
+    f
+}
+
+/// A query that decomposes into one scatter round of three independent
+/// calls (one per peer).
+const SCATTER_Q: &str = r#"(count(doc("xrpc://p1/d.xml")//item),
+                            sum(doc("xrpc://p2/d.xml")//v),
+                            count(doc("xrpc://p3/d.xml")//item))"#;
+
+fn seq_opts() -> ExecOptions {
+    ExecOptions { parallel_scatter: false, bulk_workers: 1 }
+}
+
+#[test]
+fn plan_reports_the_scatter_round() {
+    let mut f = fed3(NetworkModel::lan());
+    let out = f.run(SCATTER_Q, Strategy::ByValue).unwrap();
+    assert_eq!(out.plan.scatter_rounds, vec![3]);
+}
+
+#[test]
+fn parallel_matches_sequential_everything_observable() {
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let mut par = fed3(NetworkModel::lan());
+        let par_out = par.run(SCATTER_Q, strategy).unwrap();
+
+        let mut seq = fed3(NetworkModel::lan());
+        seq.set_exec_options(seq_opts());
+        let seq_out = seq.run(SCATTER_Q, strategy).unwrap();
+
+        assert_eq!(par_out.result, seq_out.result, "{strategy:?} results diverge");
+        assert_eq!(
+            par_out.metrics.message_bytes, seq_out.metrics.message_bytes,
+            "{strategy:?} message bytes diverge"
+        );
+        assert_eq!(par_out.metrics.transfers, seq_out.metrics.transfers);
+        assert_eq!(par_out.metrics.remote_calls, seq_out.metrics.remote_calls);
+        // the scatter round is only counted when it actually fans out
+        assert_eq!(par_out.metrics.scatter_rounds, 1, "{strategy:?}");
+        assert_eq!(seq_out.metrics.scatter_rounds, 0, "{strategy:?}");
+        // sequential execution never overlaps
+        assert_eq!(seq_out.metrics.network_overlapped, seq_out.metrics.network);
+    }
+}
+
+#[test]
+fn overlapped_network_is_cheaper_under_wan() {
+    let mut f = fed3(NetworkModel::wan());
+    let out = f.run(SCATTER_Q, Strategy::ByValue).unwrap();
+    let m = out.metrics;
+    // 3 request/response pairs serialized vs the slowest single chain:
+    // overlap must save at least one full round trip of latency
+    assert!(
+        m.network_overlapped + NetworkModel::wan().transfer_time(0) * 2 <= m.network,
+        "no overlap benefit: {:?} vs {:?}",
+        m.network_overlapped,
+        m.network
+    );
+    assert!(m.wall_clock_overlapped() < m.wall_clock_serialized());
+}
+
+#[test]
+fn let_chain_scatters_too() {
+    // independent let-bound calls to distinct peers form a scatter round
+    // even without the sequence shape
+    let q = r#"let $a := count(doc("xrpc://p1/d.xml")//item)
+               let $b := count(doc("xrpc://p2/d.xml")//item)
+               return $a + $b"#;
+    let mut f = fed3(NetworkModel::lan());
+    let out = f.run(q, Strategy::ByValue).unwrap();
+    assert_eq!(out.plan.scatter_rounds, vec![2]);
+    assert_eq!(out.metrics.scatter_rounds, 1);
+    assert_eq!(out.result, vec!["atom:8"]);
+
+    let mut seq = fed3(NetworkModel::lan());
+    seq.set_exec_options(seq_opts());
+    let seq_out = seq.run(q, Strategy::ByValue).unwrap();
+    assert_eq!(seq_out.result, out.result);
+    assert_eq!(seq_out.metrics.message_bytes, out.metrics.message_bytes);
+}
+
+#[test]
+fn dependent_let_chain_stays_sequential() {
+    // $b references $a, so the calls are *not* independent — no scatter
+    let q = r#"let $a := count(doc("xrpc://p1/d.xml")//item)
+               let $b := execute at {"p2"} params ($n := $a)
+                         { count(doc("xrpc://p2/d.xml")//item) + $n }
+               return $b"#;
+    let mut f = fed3(NetworkModel::lan());
+    let out = f.run(q, Strategy::ByValue).unwrap();
+    assert_eq!(out.metrics.scatter_rounds, 0);
+    assert_eq!(out.result, vec!["atom:8"]);
+}
+
+#[test]
+fn reentrant_same_peer_nested_call() {
+    // p1's shipped body calls back into p1 itself: the executor must not
+    // deadlock on the (already taken) peer slot, and the loopback message
+    // still pays its wire bytes
+    let mut f = fed3(NetworkModel::lan());
+    let q = r#"execute at {"p1"} params () {
+                 count(doc("d.xml")//item) +
+                 (execute at {"p1"} params () { sum(doc("d.xml")//item/v) })
+               }"#;
+    let out = f.run(q, Strategy::ByValue).unwrap();
+    // 3 items; v values for p1 (len 2): (0*7+2)%23=2, (7+2)%23=9, (14+2)%23=16 → 27
+    assert_eq!(out.result, vec!["atom:30"]);
+    assert_eq!(out.metrics.remote_calls, 2);
+    assert_eq!(out.metrics.transfers, 4, "outer + nested request/response pairs");
+    assert!(out.metrics.message_bytes > 0);
+}
+
+#[test]
+fn scatter_round_including_own_peer_falls_back_to_sequential() {
+    // a round where one target is the executing peer itself cannot take its
+    // own slot — the executor must detect this and run the loop inline
+    let mut f = fed3(NetworkModel::lan());
+    let q = r#"execute at {"p3"} params () {
+                 (execute at {"p1"} params () { count(doc("xrpc://p1/d.xml")//item) },
+                  execute at {"p3"} params () { count(doc("d.xml")//item) })
+               }"#;
+    let out = f.run(q, Strategy::ByValue).unwrap();
+    assert_eq!(out.result, vec!["atom:3", "atom:2"]);
+}
+
+#[test]
+fn bulk_workers_preserve_results_and_bytes() {
+    // Q2 shape: a Bulk RPC carrying one call per outer tuple; splitting the
+    // call list across snapshot workers must be invisible
+    let q = r#"for $x in doc("xrpc://p1/d.xml")//item
+               where $x/v = doc("xrpc://p2/d.xml")//item/v
+               return $x/@id"#;
+    let mut base = fed3(NetworkModel::lan());
+    base.set_exec_options(ExecOptions { parallel_scatter: true, bulk_workers: 1 });
+    let mut par = fed3(NetworkModel::lan());
+    par.set_exec_options(ExecOptions { parallel_scatter: true, bulk_workers: 4 });
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let a = base.run(q, strategy).unwrap();
+        let b = par.run(q, strategy).unwrap();
+        assert_eq!(a.result, b.result, "{strategy:?} results diverge");
+        assert_eq!(a.metrics.message_bytes, b.metrics.message_bytes, "{strategy:?}");
+        assert_eq!(a.metrics.transfers, b.metrics.transfers);
+        assert_eq!(a.metrics.remote_calls, b.metrics.remote_calls);
+    }
+}
+
+#[test]
+fn unknown_peer_in_scatter_round_is_an_error() {
+    let q = r#"(count(doc("xrpc://p1/d.xml")//item),
+                count(doc("xrpc://nowhere/d.xml")//item))"#;
+    let mut f = fed3(NetworkModel::lan());
+    let err = f.run(q, Strategy::ByValue).unwrap_err();
+    assert!(err.to_string().contains("nowhere"), "{err}");
+}

@@ -1,0 +1,34 @@
+//! Scale-out experiment: the same multi-peer XMark aggregate executed with
+//! the parallel scatter-gather executor vs. the sequential loop, 1..=8
+//! peers under the WAN model. Writes the trajectory to `BENCH.json` and
+//! prints the table.
+//!
+//! Run with: `cargo run --release --example scaleout`
+
+fn main() {
+    let max_peers = 8;
+    let bytes_per_peer = 20_000;
+    eprintln!("scale-out sweep: 1..={max_peers} peers, ~{bytes_per_peer} B/peer (WAN model)");
+    let points = xqd_bench::scaleout(max_peers, bytes_per_peer);
+
+    println!(
+        "{:>5} {:>10} {:>14} {:>14} {:>9} {:>8}",
+        "peers", "speedup", "seq wall", "par wall", "msg KB", "equal"
+    );
+    for p in &points {
+        println!(
+            "{:>5} {:>9.2}x {:>14?} {:>14?} {:>9.1} {:>8}",
+            p.peers,
+            p.speedup(),
+            p.sequential.wall_clock_serialized(),
+            p.parallel.wall_clock_overlapped(),
+            p.parallel.message_bytes as f64 / 1024.0,
+            p.parallel_result == p.sequential_result
+                && p.parallel.message_bytes == p.sequential.message_bytes,
+        );
+    }
+
+    let json = xqd_bench::scaleout_json(&points);
+    std::fs::write("BENCH.json", &json).expect("write BENCH.json");
+    eprintln!("trajectory written to BENCH.json");
+}

@@ -1,4 +1,4 @@
-//! Property tests for the runtime projection (Algorithm 1) and the message
+//! Randomized tests for the runtime projection (Algorithm 1) and the message
 //! codecs:
 //!
 //! * projection invariants — every used/returned node survives, returned
@@ -11,32 +11,36 @@
 //!   identity, order and ancestry among shipped nodes; by-value roundtrips
 //!   preserve values.
 
-use proptest::prelude::*;
-
 use xqd::xml::project::{compute_projection, project_document, ProjectionInput};
 use xqd::xml::{parse_document, serialize_document, NodeId, NodeKind, Store};
 use xqd::xquery::eval::StaticContext;
 use xqd::xquery::Item;
 use xqd::xrpc::{decode_request, encode_request, WireSemantics};
+use xqd_prng::Rng;
 
 // -- random documents (reused shape) ----------------------------------------
 
-fn arb_doc() -> impl proptest::strategy::Strategy<Value = String> {
-    let leaf = prop::sample::select(vec![
-        "<item id=\"k1\"/>",
-        "<item id=\"k2\">text</item>",
-        "<note>remark</note>",
-        "<v>7</v>",
-    ])
-    .prop_map(str::to_string);
-    leaf.prop_recursive(3, 20, 3, |inner| {
-        (
-            prop::sample::select(vec!["group", "section"]),
-            prop::collection::vec(inner, 0..3),
-        )
-            .prop_map(|(name, children)| format!("<{name}>{}</{name}>", children.join("")))
-    })
-    .prop_map(|body| format!("<root>{body}</root>"))
+fn arb_doc(rng: &mut Rng) -> String {
+    fn node(rng: &mut Rng, depth: u32, out: &mut String) {
+        if depth >= 3 || rng.gen_bool(0.4) {
+            out.push_str(rng.choose(&[
+                "<item id=\"k1\"/>",
+                "<item id=\"k2\">text</item>",
+                "<note>remark</note>",
+                "<v>7</v>",
+            ]));
+            return;
+        }
+        let name = rng.choose(&["group", "section"]);
+        out.push_str(&format!("<{name}>"));
+        for _ in 0..rng.gen_range(0..3) {
+            node(rng, depth + 1, out);
+        }
+        out.push_str(&format!("</{name}>"));
+    }
+    let mut body = String::new();
+    node(rng, 0, &mut body);
+    format!("<root>{body}</root>")
 }
 
 /// Picks subsets of a document's non-document nodes for U and R.
@@ -54,23 +58,30 @@ fn pick_nodes(len: u32, seed: (u64, u64)) -> (Vec<u32>, Vec<u32>) {
     (used, returned)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+const CASES: u64 = 64;
 
-    #[test]
-    fn projection_invariants(xml in arb_doc(), s1 in any::<u64>(), s2 in any::<u64>()) {
+fn case_rng(tag: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(tag ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[test]
+fn projection_invariants() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x50_52_4F_4A_31, case);
+        let xml = arb_doc(&mut rng);
+        let (s1, s2) = (rng.next_u64() | 1, rng.next_u64() | 1);
         let mut store = Store::new();
         let d = parse_document(&mut store, &xml, None).unwrap();
         let doc = store.doc(d);
-        let (used, returned) = pick_nodes(doc.len() as u32, (s1 | 1, s2 | 1));
+        let (used, returned) = pick_nodes(doc.len() as u32, (s1, s2));
         let input = ProjectionInput::new(used.clone(), returned.clone());
         let projection = compute_projection(doc, &input);
 
         // never grows
-        prop_assert!(projection.kept.len() <= doc.len());
+        assert!(projection.kept.len() <= doc.len());
         // every projection node survives
         for &u in used.iter().chain(&returned) {
-            prop_assert!(
+            assert!(
                 projection.kept.binary_search(&u).is_ok(),
                 "node {u} lost (used={used:?} returned={returned:?}, doc={xml})"
             );
@@ -78,7 +89,7 @@ proptest! {
         // returned subtrees are complete
         for &r in &returned {
             for i in r..=doc.subtree_end(r) {
-                prop_assert!(projection.kept.binary_search(&i).is_ok());
+                assert!(projection.kept.binary_search(&i).is_ok());
             }
         }
         // ancestors of kept nodes are kept (up to the trimmed LCA = kept[0])
@@ -89,7 +100,7 @@ proptest! {
                     if p < top {
                         break;
                     }
-                    prop_assert!(
+                    assert!(
                         projection.kept.binary_search(&p).is_ok(),
                         "ancestor {p} of {k} missing"
                     );
@@ -101,7 +112,7 @@ proptest! {
         let (builder, _) = project_document(doc, &store.names, &input, None);
         let mut store2 = Store::new();
         let pd = store2.attach(builder);
-        prop_assert_eq!(store2.doc(pd).len(), projection.kept.len() + 1);
+        assert_eq!(store2.doc(pd).len(), projection.kept.len() + 1);
         // element-rooted projections serialize to well-formed XML (the LCA
         // trim may legitimately leave a bare text/comment node, which has
         // no standalone serialization)
@@ -109,18 +120,23 @@ proptest! {
         let mut store3 = Store::new();
         if text.starts_with('<') {
             let pd2 = parse_document(&mut store3, &text, None);
-            prop_assert!(pd2.is_ok(), "projected output must reparse: {text}");
+            assert!(pd2.is_ok(), "projected output must reparse: {text}");
         }
     }
+}
 
-    /// Q(D) = Q(D') for the paths the projection was computed from: the
-    /// string values of used nodes and the full subtrees of returned nodes
-    /// survive projection byte-for-byte.
-    #[test]
-    fn projection_preserves_answers(xml in arb_doc(), s1 in any::<u64>(), s2 in any::<u64>()) {
+/// Q(D) = Q(D') for the paths the projection was computed from: the
+/// string values of used nodes and the full subtrees of returned nodes
+/// survive projection byte-for-byte.
+#[test]
+fn projection_preserves_answers() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x50_524F_4A32, case);
+        let xml = arb_doc(&mut rng);
+        let (s1, s2) = (rng.next_u64() | 1, rng.next_u64() | 1);
         let mut store = Store::new();
         let d = parse_document(&mut store, &xml, None).unwrap();
-        let (used, returned) = pick_nodes(store.doc(d).len() as u32, (s1 | 1, s2 | 1));
+        let (used, returned) = pick_nodes(store.doc(d).len() as u32, (s1, s2));
         let input = ProjectionInput::new(used, returned);
         let projection = compute_projection(store.doc(d), &input);
         let (builder, _) = project_document(store.doc(d), &store.names, &input, None);
@@ -130,23 +146,25 @@ proptest! {
             let dst = projection.projected_index(r).expect("returned node kept");
             let original = xqd::xml::serialize_node(store.doc(d), &store.names, r);
             let projected = xqd::xml::serialize_node(store.doc(pd), &store.names, dst);
-            prop_assert_eq!(original, projected, "returned subtree changed");
+            assert_eq!(original, projected, "returned subtree changed");
         }
         for &u in &input.used {
             let dst = projection.projected_index(u).expect("used node kept");
             // used nodes keep identity-level facts: kind and name
-            prop_assert_eq!(store.doc(d).kind(u), store.doc(pd).kind(dst));
-            prop_assert_eq!(store.doc(d).name(u), store.doc(pd).name(dst));
+            assert_eq!(store.doc(d).kind(u), store.doc(pd).kind(dst));
+            assert_eq!(store.doc(d).name(u), store.doc(pd).name(dst));
         }
     }
+}
 
-    /// By-fragment request roundtrip: identity, order and ancestry among
-    /// shipped nodes are preserved on the receiving side.
-    #[test]
-    fn fragment_roundtrip_preserves_structure(
-        xml in arb_doc(),
-        s1 in any::<u64>(),
-    ) {
+/// By-fragment request roundtrip: identity, order and ancestry among
+/// shipped nodes are preserved on the receiving side.
+#[test]
+fn fragment_roundtrip_preserves_structure() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x50_52_4F_4A_33, case);
+        let xml = arb_doc(&mut rng);
+        let s1 = rng.next_u64() | 1;
         let mut store = Store::new();
         let d = parse_document(&mut store, &xml, None).unwrap();
         let len = store.doc(d).len() as u32;
@@ -154,12 +172,13 @@ proptest! {
         let nodes: Vec<u32> = (1..len)
             .filter(|&i| {
                 store.doc(d).kind(i) != NodeKind::Attribute
-                    && (s1 | 1).wrapping_mul(i as u64 + 11) % 3 == 0
+                    && s1.wrapping_mul(i as u64 + 11).is_multiple_of(3)
             })
             .collect();
-        prop_assume!(!nodes.is_empty());
-        let seq: Vec<Item> =
-            nodes.iter().map(|&i| Item::Node(NodeId::new(d, i))).collect();
+        if nodes.is_empty() {
+            continue;
+        }
+        let seq: Vec<Item> = nodes.iter().map(|&i| Item::Node(NodeId::new(d, i))).collect();
         let calls = vec![vec![("p".to_string(), seq)]];
         let msg = encode_request(
             &store,
@@ -174,7 +193,7 @@ proptest! {
         let mut remote = Store::new();
         let decoded = decode_request(&mut remote, &msg).unwrap();
         let got = &decoded.calls[0][0].1;
-        prop_assert_eq!(got.len(), nodes.len());
+        assert_eq!(got.len(), nodes.len());
         // pairwise relations preserved
         for (ai, &a_src) in nodes.iter().enumerate() {
             for (bi, &b_src) in nodes.iter().enumerate() {
@@ -182,37 +201,42 @@ proptest! {
                     panic!("nodes expected");
                 };
                 // identity
-                prop_assert_eq!(a_src == b_src, a == b, "identity of {} vs {}", a_src, b_src);
+                assert_eq!(a_src == b_src, a == b, "identity of {a_src} vs {b_src}");
                 // document order
-                prop_assert_eq!(a_src < b_src, a < b, "order of {} vs {}", a_src, b_src);
+                assert_eq!(a_src < b_src, a < b, "order of {a_src} vs {b_src}");
                 // ancestry
                 let src_anc = store.doc(d).is_ancestor(a_src, b_src);
                 let dst_anc = a.doc == b.doc && remote.doc(a.doc).is_ancestor(a.idx, b.idx);
-                prop_assert_eq!(src_anc, dst_anc, "ancestry of {} vs {}", a_src, b_src);
+                assert_eq!(src_anc, dst_anc, "ancestry of {a_src} vs {b_src}");
             }
         }
         // values preserved
         for (i, &src) in nodes.iter().enumerate() {
             let Item::Node(n) = &got[i] else { panic!() };
-            prop_assert_eq!(
+            assert_eq!(
                 store.doc(d).string_value(src),
                 remote.doc(n.doc).string_value(n.idx)
             );
         }
     }
+}
 
-    /// By-value roundtrip: values survive even though structure does not.
-    #[test]
-    fn value_roundtrip_preserves_values(xml in arb_doc(), s1 in any::<u64>()) {
+/// By-value roundtrip: values survive even though structure does not.
+#[test]
+fn value_roundtrip_preserves_values() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x50_52_4F_4A_34, case);
+        let xml = arb_doc(&mut rng);
+        let s1 = rng.next_u64() | 1;
         let mut store = Store::new();
         let d = parse_document(&mut store, &xml, None).unwrap();
         let len = store.doc(d).len() as u32;
-        let nodes: Vec<u32> = (1..len)
-            .filter(|&i| (s1 | 1).wrapping_mul(i as u64 + 5) % 4 == 0)
-            .collect();
-        prop_assume!(!nodes.is_empty());
-        let seq: Vec<Item> =
-            nodes.iter().map(|&i| Item::Node(NodeId::new(d, i))).collect();
+        let nodes: Vec<u32> =
+            (1..len).filter(|&i| s1.wrapping_mul(i as u64 + 5).is_multiple_of(4)).collect();
+        if nodes.is_empty() {
+            continue;
+        }
+        let seq: Vec<Item> = nodes.iter().map(|&i| Item::Node(NodeId::new(d, i))).collect();
         let calls = vec![vec![("p".to_string(), seq)]];
         let msg = encode_request(
             &store,
@@ -227,19 +251,19 @@ proptest! {
         let mut remote = Store::new();
         let decoded = decode_request(&mut remote, &msg).unwrap();
         let got = &decoded.calls[0][0].1;
-        prop_assert_eq!(got.len(), nodes.len());
+        assert_eq!(got.len(), nodes.len());
         for (i, &src) in nodes.iter().enumerate() {
             let Item::Node(n) = &got[i] else { panic!() };
-            prop_assert_eq!(
+            assert_eq!(
                 store.doc(d).string_value(src),
                 remote.doc(n.doc).string_value(n.idx),
-                "value of node {}", src
+                "value of node {src}"
             );
             // every copy is isolated: its own document
             for (j, item) in got.iter().enumerate() {
                 if i != j {
                     let Item::Node(m) = item else { panic!() };
-                    prop_assert_ne!(n.doc, m.doc);
+                    assert_ne!(n.doc, m.doc);
                 }
             }
         }
