@@ -13,4 +13,15 @@ cargo test -q --offline --workspace
 echo "== clippy (all targets, deny warnings) =="
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "== paths bench smoke (small N, offline) =="
+# Small-scale run of the staircase-join bench into a scratch path (the
+# committed BENCH_paths.json is the full-scale artifact). Every emitted
+# point must report indexed == scan results.
+cargo run --release --offline --example paths_bench -- --small --out target/BENCH_paths.ci.json
+grep -q '"results_identical": true' target/BENCH_paths.ci.json
+if grep -q '"results_identical": false' target/BENCH_paths.ci.json; then
+    echo "paths bench: indexed and scan results diverged" >&2
+    exit 1
+fi
+
 echo "== ci OK =="

@@ -264,7 +264,7 @@ pub fn scaleout_point(peers: usize, bytes_per_peer: usize) -> ScaleoutPoint {
     let par_out = par.run(&query, Strategy::ByValue).expect("parallel run");
 
     let mut seq = scaleout_federation(peers, bytes_per_peer, NetworkModel::wan());
-    seq.set_exec_options(ExecOptions { parallel_scatter: false, bulk_workers: 1 });
+    seq.set_exec_options(ExecOptions { parallel_scatter: false, bulk_workers: 1, ..ExecOptions::default() });
     let seq_out = seq.run(&query, Strategy::ByValue).expect("sequential run");
 
     ScaleoutPoint {
@@ -287,6 +287,124 @@ pub fn scaleout_json(points: &[ScaleoutPoint]) -> String {
     format!(
         "{{\n  \"bench\": \"scaleout\",\n  \"model\": \"wan\",\n  \
          \"query\": \"per-peer person aggregate, one scatter round\",\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Paths: indexed (staircase-join) vs naive-scan axis steps
+// ---------------------------------------------------------------------------
+
+/// The descendant-heavy XMark path queries of the `paths` bench, as
+/// `(label, query)` pairs. All run against a single local people document
+/// registered as `xmk.xml`.
+pub const PATHS_QUERIES: &[(&str, &str)] = &[
+    ("descendant-age", r#"count(doc("xmk.xml")/descendant::age)"#),
+    (
+        "descendant-person-descendant-age",
+        r#"count(doc("xmk.xml")/descendant::person/descendant::age)"#,
+    ),
+    (
+        "descendant-person-attribute-id",
+        r#"count(doc("xmk.xml")/descendant::person/attribute::id)"#,
+    ),
+    (
+        "child-chain-age",
+        r#"count(doc("xmk.xml")/child::site/child::people/child::person/child::profile/child::age)"#,
+    ),
+    (
+        "slashslash-interest-category",
+        r#"count(doc("xmk.xml")//interest/attribute::category)"#,
+    ),
+];
+
+/// One `paths` measurement: a single query at a single document scale,
+/// evaluated with the staircase-join fast path off (`scan`) and on
+/// (`indexed`) over the *same* store, so node identities are comparable.
+#[derive(Debug, Clone)]
+pub struct PathsPoint {
+    pub query: &'static str,
+    pub doc_bytes: usize,
+    pub scan_us: u128,
+    pub indexed_us: u128,
+    pub results_identical: bool,
+}
+
+impl PathsPoint {
+    /// Scan time over indexed time (>1 means the index wins).
+    pub fn speedup(&self) -> f64 {
+        self.scan_us as f64 / (self.indexed_us.max(1)) as f64
+    }
+
+    /// One JSON object for the BENCH_paths trajectory (hand-rolled: the
+    /// workspace is std-only).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"query\": \"{}\", \"doc_bytes\": {}, \"scan_us\": {}, \
+             \"indexed_us\": {}, \"speedup\": {:.3}, \"results_identical\": {}}}",
+            self.query,
+            self.doc_bytes,
+            self.scan_us,
+            self.indexed_us,
+            self.speedup(),
+            self.results_identical,
+        )
+    }
+}
+
+/// Runs every [`PATHS_QUERIES`] entry at one document scale, taking the
+/// minimum of `iters` timed runs per mode (one untimed warmup run per mode
+/// first, so lazy name-index construction is not charged to any iteration).
+pub fn paths_points_at(target_bytes: usize, seed: u64, iters: usize) -> Vec<PathsPoint> {
+    use xqd_xquery::{eval_query_with_indexes, parse_query};
+
+    let cfg = XmarkConfig::with_target_bytes(target_bytes, seed);
+    let xml = people_document(&cfg);
+    let doc_bytes = xml.len();
+    let mut store = Store::new();
+    xqd_xml::parse_document(&mut store, &xml, Some("xmk.xml")).expect("people doc");
+
+    let mut points = Vec::new();
+    for &(label, query) in PATHS_QUERIES {
+        let module = parse_query(query).expect("paths query parses");
+        let mut time_mode = |use_indexes: bool| {
+            let warmup = eval_query_with_indexes(&mut store, &module, use_indexes)
+                .expect("paths query evaluates");
+            let mut best = u128::MAX;
+            for _ in 0..iters.max(1) {
+                let t = Instant::now();
+                let out = eval_query_with_indexes(&mut store, &module, use_indexes)
+                    .expect("paths query evaluates");
+                best = best.min(t.elapsed().as_micros());
+                assert_eq!(out, warmup, "{label}: unstable result across runs");
+            }
+            (warmup, best)
+        };
+        let (scan_result, scan_us) = time_mode(false);
+        let (indexed_result, indexed_us) = time_mode(true);
+        points.push(PathsPoint {
+            query: label,
+            doc_bytes,
+            scan_us,
+            indexed_us,
+            results_identical: scan_result == indexed_result,
+        });
+    }
+    points
+}
+
+/// The full `paths` sweep: every query at every scale.
+pub fn paths_sweep(scales: &[usize], iters: usize) -> Vec<PathsPoint> {
+    scales.iter().flat_map(|&s| paths_points_at(s, 42, iters)).collect()
+}
+
+/// The BENCH_paths json document for a sweep.
+pub fn paths_json(points: &[PathsPoint]) -> String {
+    let entries: Vec<String> = points.iter().map(|p| format!("    {}", p.to_json())).collect();
+    format!(
+        "{{\n  \"bench\": \"paths\",\n  \
+         \"query_set\": \"descendant-heavy XMark path steps, indexed vs scan\",\n  \
          \"points\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )
@@ -349,6 +467,19 @@ mod tests {
         assert!(json.contains("\"peers\": 2"));
         assert!(json.contains("\"results_identical\": true"));
         assert!(json.contains("\"bytes_identical\": true"));
+    }
+
+    #[test]
+    fn paths_results_identical_and_json_well_formed() {
+        let points = paths_points_at(20_000, 9, 2);
+        assert_eq!(points.len(), PATHS_QUERIES.len());
+        for p in &points {
+            assert!(p.results_identical, "{}: indexed and scan results differ", p.query);
+        }
+        let json = paths_json(&points);
+        assert!(json.contains("\"bench\": \"paths\""));
+        assert!(json.contains("\"results_identical\": true"));
+        assert!(!json.contains("\"results_identical\": false"));
     }
 
     #[test]

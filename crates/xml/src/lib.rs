@@ -19,6 +19,7 @@
 //! (Algorithm 1) together with the compile-time projection baseline.
 
 pub mod axes;
+pub mod index;
 pub mod name;
 pub mod parser;
 pub mod project;
@@ -26,6 +27,7 @@ pub mod serialize;
 pub mod store;
 
 pub use axes::Axis;
+pub use index::NameIndex;
 pub use name::{NameId, NameTable};
 pub use parser::{parse_document, ParseError};
 pub use project::{project_document, ProjectionInput};

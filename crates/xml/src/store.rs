@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use crate::index::NameIndex;
 use crate::name::{NameId, NameTable};
 
 /// Identifier of a document within a [`Store`].
@@ -90,6 +91,9 @@ pub struct Document {
     pub(crate) id_map: HashMap<Box<str>, u32>,
     /// XRPC shipped-node metadata overrides, keyed by node index.
     pub meta: HashMap<u32, NodeMeta>,
+    /// Lazily built name index (see [`crate::index`]); `None` until the
+    /// first indexed axis step touches this document.
+    pub(crate) name_index: Option<NameIndex>,
 }
 
 impl Document {
@@ -276,6 +280,11 @@ impl Document {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// The cached name index, if [`Store::ensure_name_index`] has run.
+    pub fn name_index(&self) -> Option<&NameIndex> {
+        self.name_index.as_ref()
+    }
 }
 
 /// The document store of one peer: a shared name table plus the documents.
@@ -343,13 +352,25 @@ impl Store {
                 }
             }
         }
-        let doc = Document { nodes, uri: uri.clone(), base_uri, id_map, meta: HashMap::new() };
+        let doc =
+            Document { nodes, uri: uri.clone(), base_uri, id_map, meta: HashMap::new(), name_index: None };
         let id = DocId(self.docs.len() as u32);
         self.docs.push(doc);
         if let Some(u) = uri {
             self.by_uri.insert(u, id);
         }
         id
+    }
+
+    /// Builds and caches the document's name index if absent. Documents are
+    /// immutable after [`Store::attach`], so a built index stays valid for
+    /// the document's lifetime.
+    pub fn ensure_name_index(&mut self, id: DocId) {
+        let i = id.0 as usize;
+        if self.docs[i].name_index.is_none() {
+            let index = NameIndex::build(&self.docs[i]);
+            self.docs[i].name_index = Some(index);
+        }
     }
 
     /// Reference wrapper for ergonomic traversal.

@@ -1,0 +1,180 @@
+//! Randomized equivalence tests for the name-index layer: for every
+//! generated document, every name appearing in it (plus one that doesn't),
+//! and every context set, the staircase-join step functions must produce
+//! exactly the node lists of the naive axis scan. Cases use the in-tree
+//! deterministic PRNG, so every run explores the same documents.
+
+use xqd_prng::Rng;
+use xqd_xml::axes::{axis_nodes, node_test_matches, Axis, NodeTest};
+use xqd_xml::index::{attributes_named, children_named, descendants_named};
+use xqd_xml::{parse_document, Document, NameIndex, NodeKind, Store};
+
+/// Random XML with a small name alphabet so element/attribute names repeat
+/// across unrelated subtrees — the case where interval pruning and the
+/// parent filter actually earn their keep.
+fn arb_xml(rng: &mut Rng) -> String {
+    fn node(rng: &mut Rng, depth: u32, out: &mut String) {
+        if depth >= 5 || rng.gen_bool(0.25 + 0.12 * depth as f64) {
+            out.push_str(rng.choose(&["<a/>", "<b k=\"1\"/>", "<c a=\"x\" b=\"y\"/>", "t"]));
+            return;
+        }
+        let name = rng.choose(&["a", "b", "c", "d"]);
+        let attr = match rng.gen_range(0..3) {
+            0 => "",
+            1 => " k=\"v\"",
+            _ => " k=\"v\" m=\"w\"",
+        };
+        out.push_str(&format!("<{name}{attr}>"));
+        for _ in 0..rng.gen_range(0..4) {
+            node(rng, depth + 1, out);
+        }
+        out.push_str(&format!("</{name}>"));
+    }
+    let mut body = String::new();
+    node(rng, 0, &mut body);
+    format!("<doc>{body}</doc>")
+}
+
+const CASES: u64 = 96;
+const BASE_SEED: u64 = 0x4944_5800; // "IDX"
+
+fn for_each_doc(mut check: impl FnMut(&Store, &Document, &NameIndex)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(BASE_SEED ^ case.wrapping_mul(0x9E37_79B9));
+        let xml = arb_xml(&mut rng);
+        let mut store = Store::new();
+        // intern a name that never occurs in any generated document
+        store.names.intern("absent");
+        let id = parse_document(&mut store, &xml, None).unwrap();
+        let doc = store.doc(id);
+        let index = NameIndex::build(doc);
+        check(&store, doc, &index);
+    }
+}
+
+/// Naive reference: axis scan + name test, per context.
+fn scan(doc: &Document, ctx: u32, axis: Axis, test: &NodeTest) -> Vec<u32> {
+    let mut tmp = Vec::new();
+    axis_nodes(doc, ctx, axis, &mut tmp);
+    tmp.retain(|&n| node_test_matches(doc, n, axis, test));
+    tmp
+}
+
+/// All element ranks of the document (candidate contexts).
+fn element_ranks(doc: &Document) -> Vec<u32> {
+    (0..doc.len() as u32).filter(|&i| doc.kind(i) == NodeKind::Element).collect()
+}
+
+/// Every name to probe: all names interned in the store, including "absent"
+/// (never in a document) — the index must return empty, like the scan.
+#[test]
+fn single_context_steps_match_scan() {
+    for_each_doc(|store, doc, index| {
+        for name_str in ["doc", "a", "b", "c", "d", "k", "m", "absent"] {
+            let Some(name) = store.names.get(name_str) else { continue };
+            let test = NodeTest::Name(name);
+            for ctx in element_ranks(doc) {
+                for (axis, or_self) in
+                    [(Axis::Descendant, false), (Axis::DescendantOrSelf, true)]
+                {
+                    let mut got = Vec::new();
+                    descendants_named(doc, index, &[ctx], name, or_self, &mut got);
+                    assert_eq!(got, scan(doc, ctx, axis, &test), "{axis:?} {name_str} @{ctx}");
+                }
+                let mut got = Vec::new();
+                children_named(doc, index, &[ctx], name, &mut got);
+                assert_eq!(got, scan(doc, ctx, Axis::Child, &test), "child {name_str} @{ctx}");
+
+                let mut got = Vec::new();
+                attributes_named(doc, index, &[ctx], name, &mut got);
+                assert_eq!(
+                    got,
+                    scan(doc, ctx, Axis::Attribute, &test),
+                    "attribute {name_str} @{ctx}"
+                );
+            }
+        }
+    });
+}
+
+/// Multi-context descendant steps with nested contexts: the pruned
+/// staircase output must equal the sorted, deduplicated union of per-context
+/// scans (what the evaluator's document-order pass would produce).
+#[test]
+fn multi_context_descendants_match_union_of_scans() {
+    for_each_doc(|store, doc, index| {
+        let ctxs = element_ranks(doc); // sorted, includes nested pairs
+        for name_str in ["a", "b", "c", "d", "absent"] {
+            let Some(name) = store.names.get(name_str) else { continue };
+            let test = NodeTest::Name(name);
+            for or_self in [false, true] {
+                let axis = if or_self { Axis::DescendantOrSelf } else { Axis::Descendant };
+                let mut got = Vec::new();
+                descendants_named(doc, index, &ctxs, name, or_self, &mut got);
+                let mut expect: Vec<u32> =
+                    ctxs.iter().flat_map(|&c| scan(doc, c, axis, &test)).collect();
+                expect.sort_unstable();
+                expect.dedup();
+                assert_eq!(got, expect, "{axis:?} {name_str} over {} contexts", ctxs.len());
+            }
+        }
+    });
+}
+
+/// Multi-context child/attribute steps don't prune; their contract is the
+/// plain concatenation of per-context results in context order.
+#[test]
+fn multi_context_child_attribute_match_concatenated_scans() {
+    for_each_doc(|store, doc, index| {
+        let ctxs = element_ranks(doc);
+        for name_str in ["a", "b", "c", "d", "k", "m", "absent"] {
+            let Some(name) = store.names.get(name_str) else { continue };
+            let test = NodeTest::Name(name);
+
+            let mut got = Vec::new();
+            children_named(doc, index, &ctxs, name, &mut got);
+            let expect: Vec<u32> =
+                ctxs.iter().flat_map(|&c| scan(doc, c, Axis::Child, &test)).collect();
+            assert_eq!(got, expect, "child {name_str}");
+
+            let mut got = Vec::new();
+            attributes_named(doc, index, &ctxs, name, &mut got);
+            let expect: Vec<u32> =
+                ctxs.iter().flat_map(|&c| scan(doc, c, Axis::Attribute, &test)).collect();
+            assert_eq!(got, expect, "attribute {name_str}");
+        }
+    });
+}
+
+/// The index itself lists exactly the element/attribute ranks of each name,
+/// sorted — i.e. it is a permutation-free re-partition of the document.
+#[test]
+fn index_partitions_the_document() {
+    for_each_doc(|store, doc, index| {
+        let mut elements = 0usize;
+        let mut attributes = 0usize;
+        for name_str in ["doc", "a", "b", "c", "d", "k", "m", "x", "y", "absent"] {
+            let Some(name) = store.names.get(name_str) else { continue };
+            for (list, kind) in [
+                (index.elements(name), NodeKind::Element),
+                (index.attributes(name), NodeKind::Attribute),
+            ] {
+                assert!(list.windows(2).all(|w| w[0] < w[1]), "{name_str}: unsorted/dup");
+                for &r in list {
+                    assert_eq!(doc.kind(r), kind);
+                    assert_eq!(doc.name(r), name);
+                }
+                match kind {
+                    NodeKind::Element => elements += list.len(),
+                    _ => attributes += list.len(),
+                }
+            }
+        }
+        let expect_elements =
+            (0..doc.len() as u32).filter(|&i| doc.kind(i) == NodeKind::Element).count();
+        let expect_attributes =
+            (0..doc.len() as u32).filter(|&i| doc.kind(i) == NodeKind::Attribute).count();
+        assert_eq!(elements, expect_elements);
+        assert_eq!(attributes, expect_attributes);
+    });
+}

@@ -264,7 +264,7 @@ pub fn eval_builtin(
             out.into_iter().map(Item::Atom).collect()
         }
         ("reverse", 1) => {
-            let mut v = args[0].clone();
+            let mut v = args[0].to_vec();
             v.reverse();
             v
         }
@@ -287,7 +287,7 @@ pub fn eval_builtin(
         }
         ("insert-before", 3) => {
             let pos = (single_number(ev, &args[1])?.round() as i64).max(1) as usize;
-            let mut out = args[0].clone();
+            let mut out = args[0].to_vec();
             let at = (pos - 1).min(out.len());
             out.splice(at..at, args[2].iter().cloned());
             out
@@ -374,14 +374,14 @@ pub fn eval_builtin(
         }
         ("exactly-one", 1) => {
             if args[0].len() == 1 {
-                args[0].clone()
+                args[0].to_vec()
             } else {
                 return Err(EvalError::new("exactly-one() got a non-singleton"));
             }
         }
         ("zero-or-one", 1) => {
             if args[0].len() <= 1 {
-                args[0].clone()
+                args[0].to_vec()
             } else {
                 return Err(EvalError::new("zero-or-one() got multiple items"));
             }
@@ -399,7 +399,7 @@ pub fn eval_builtin(
         }
         _ => return Ok(None),
     };
-    Ok(Some(result))
+    Ok(Some(result.into()))
 }
 
 fn single_string(ev: &Evaluator, seq: &Sequence) -> EvalResult<String> {

@@ -10,7 +10,7 @@
 //! the receiving store.
 
 use xqd_xml::axes::{axis_nodes, node_test_matches, NodeTest};
-use xqd_xml::{DocBuilder, DocId, NodeId, NodeKind, Store};
+use xqd_xml::{index, Axis, DocBuilder, DocId, NodeId, NodeKind, Store};
 
 use crate::ast::*;
 use crate::builtins;
@@ -133,6 +133,14 @@ pub struct Evaluator<'a> {
     env: Vec<(String, Sequence)>,
     context: Vec<Item>,
     call_depth: usize,
+    /// Answer eligible axis steps from the per-document name indexes
+    /// (staircase join) instead of arena scans. Results are bit-identical
+    /// either way; the toggle exists so equivalence tests and the `paths`
+    /// bench can compare the two engines.
+    use_indexes: bool,
+    /// Scratch rank buffer reused across `axis_nodes` / staircase calls so
+    /// path evaluation doesn't allocate a fresh `Vec` per step.
+    scratch: Vec<u32>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -150,11 +158,19 @@ impl<'a> Evaluator<'a> {
             env: Vec::new(),
             context: Vec::new(),
             call_depth: 0,
+            use_indexes: true,
+            scratch: Vec::new(),
         }
     }
 
     pub fn with_remote(mut self, remote: &'a mut dyn RemoteHandler) -> Self {
         self.remote = Some(remote);
+        self
+    }
+
+    /// Enables or disables the indexed path-step engine (on by default).
+    pub fn with_indexes(mut self, on: bool) -> Self {
+        self.use_indexes = on;
         self
     }
 
@@ -187,8 +203,8 @@ impl<'a> Evaluator<'a> {
     /// Evaluates an expression to a sequence.
     pub fn eval(&mut self, e: &Expr) -> EvalResult {
         match e {
-            Expr::Literal(a) => Ok(vec![Item::Atom(a.clone())]),
-            Expr::Empty => Ok(vec![]),
+            Expr::Literal(a) => Ok(Sequence::unit(Item::Atom(a.clone()))),
+            Expr::Empty => Ok(Sequence::new()),
             Expr::Sequence(es) => {
                 // scatter point: ≥2 sibling remote calls to ≥2 distinct
                 // peers are independent by construction (sequence elements
@@ -202,10 +218,10 @@ impl<'a> Evaluator<'a> {
                 for e in es {
                     out.extend(self.eval(e)?);
                 }
-                Ok(out)
+                Ok(out.into())
             }
             Expr::VarRef(v) => self.lookup(v),
-            Expr::ContextItem => Ok(vec![self.context_item()?]),
+            Expr::ContextItem => Ok(Sequence::unit(self.context_item()?)),
             Expr::For { var, seq, ret } => {
                 let input = self.eval(seq)?;
                 // Bulk RPC: a remote call directly in the return clause
@@ -216,13 +232,13 @@ impl<'a> Evaluator<'a> {
                     }
                 }
                 let mut out = Vec::new();
-                for item in input {
-                    self.env.push((var.clone(), vec![item]));
+                for item in input.iter() {
+                    self.env.push((var.clone(), Sequence::unit(item.clone())));
                     let r = self.eval(ret);
                     self.env.pop();
                     out.extend(r?);
                 }
-                Ok(out)
+                Ok(out.into())
             }
             Expr::Let { var, value, ret } => {
                 // scatter point: a chain of lets each binding a remote call
@@ -266,12 +282,12 @@ impl<'a> Evaluator<'a> {
             Expr::Comparison { op, lhs, rhs } => {
                 let (l, r) = self.eval_operand_pair(lhs, rhs)?;
                 let b = general_compare(self.store, *op, &l, &r)?;
-                Ok(vec![Item::Atom(Atomic::Bool(b))])
+                Ok(Sequence::unit(Item::Atom(Atomic::Bool(b))))
             }
             Expr::NodeComparison { op, lhs, rhs } => {
                 let (l, r) = self.eval_operand_pair(lhs, rhs)?;
                 if l.is_empty() || r.is_empty() {
-                    return Ok(vec![]);
+                    return Ok(Sequence::new());
                 }
                 let ln = single_node(&l, "node comparison")?;
                 let rn = single_node(&r, "node comparison")?;
@@ -280,11 +296,12 @@ impl<'a> Evaluator<'a> {
                     NodeCompOp::Before => ln < rn,
                     NodeCompOp::After => ln > rn,
                 };
-                Ok(vec![Item::Atom(Atomic::Bool(b))])
+                Ok(Sequence::unit(Item::Atom(Atomic::Bool(b))))
             }
             Expr::OrderBy { input, specs } => self.eval_order_by(input, specs),
             Expr::NodeSet { op, lhs, rhs } => {
-                let (mut l, mut r) = self.eval_operand_pair(lhs, rhs)?;
+                let (l, r) = self.eval_operand_pair(lhs, rhs)?;
+                let (mut l, mut r) = (l.into_vec(), r.into_vec());
                 sort_document_order(&mut l)?;
                 sort_document_order(&mut r)?;
                 let rset: std::collections::HashSet<NodeId> = r
@@ -316,35 +333,35 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                 }
-                Ok(out)
+                Ok(out.into())
             }
             Expr::Construct(c) => self.eval_constructor(c),
             Expr::Path { start, steps } => self.eval_path(start.as_deref(), steps),
             Expr::Filter { input, predicate } => {
                 let input = self.eval(input)?;
-                self.apply_predicate(input, predicate)
+                Ok(self.apply_predicate(&input, predicate)?.into())
             }
             Expr::FunCall { name, args } => self.eval_funcall(name, args),
             Expr::And(l, r) => {
                 let lv = self.eval(l)?;
                 if !effective_boolean_value(&lv)? {
-                    return Ok(vec![Item::Atom(Atomic::Bool(false))]);
+                    return Ok(Sequence::unit(Item::Atom(Atomic::Bool(false))));
                 }
                 let rv = self.eval(r)?;
-                Ok(vec![Item::Atom(Atomic::Bool(effective_boolean_value(&rv)?))])
+                Ok(Sequence::unit(Item::Atom(Atomic::Bool(effective_boolean_value(&rv)?))))
             }
             Expr::Or(l, r) => {
                 let lv = self.eval(l)?;
                 if effective_boolean_value(&lv)? {
-                    return Ok(vec![Item::Atom(Atomic::Bool(true))]);
+                    return Ok(Sequence::unit(Item::Atom(Atomic::Bool(true))));
                 }
                 let rv = self.eval(r)?;
-                Ok(vec![Item::Atom(Atomic::Bool(effective_boolean_value(&rv)?))])
+                Ok(Sequence::unit(Item::Atom(Atomic::Bool(effective_boolean_value(&rv)?))))
             }
             Expr::Arith { op, lhs, rhs } => {
                 let (l, r) = self.eval_operand_pair(lhs, rhs)?;
                 if l.is_empty() || r.is_empty() {
-                    return Ok(vec![]);
+                    return Ok(Sequence::new());
                 }
                 let la = atomize(self.store, &l);
                 let ra = atomize(self.store, &r);
@@ -377,11 +394,11 @@ impl<'a> Evaluator<'a> {
                     (&la[0], &ra[0]),
                     (Atomic::Int(_), Atomic::Int(_))
                 ) && *op != ArithOp::Div;
-                Ok(vec![Item::Atom(if int_inputs && result.fract() == 0.0 {
+                Ok(Sequence::unit(Item::Atom(if int_inputs && result.fract() == 0.0 {
                     Atomic::Int(result as i64)
                 } else {
                     Atomic::Dbl(result)
-                })])
+                })))
             }
             Expr::Execute { peer, params, body, projection } => {
                 let peer_seq = self.eval(peer)?;
@@ -453,16 +470,47 @@ impl<'a> Evaluator<'a> {
                 // leading "/": root of the context item's document
                 let ctx = self.context_item()?;
                 match ctx {
-                    Item::Node(n) => vec![Item::Node(NodeId::new(n.doc, 0))],
+                    Item::Node(n) => Sequence::unit(Item::Node(NodeId::new(n.doc, 0))),
                     Item::Atom(_) => {
                         return Err(EvalError::new("leading / requires a node context item"))
                     }
                 }
             }
         };
-        for step in steps {
-            let mut result: Sequence = Vec::new();
-            for item in &current {
+        let mut i = 0;
+        while i < steps.len() {
+            let step = &steps[i];
+            // `descendant-or-self::node()/child::n` (the expansion of `//n`)
+            // is equivalent to `descendant::n` — both exclude attributes —
+            // so the pair collapses into a single staircase lookup.
+            if self.use_indexes
+                && step.axis == Axis::DescendantOrSelf
+                && matches!(step.test, NameTest::AnyKind)
+                && step.predicates.is_empty()
+            {
+                if let Some(next) = steps.get(i + 1) {
+                    if next.axis == Axis::Child
+                        && matches!(next.test, NameTest::Name(_))
+                        && next.predicates.is_empty()
+                    {
+                        let NameTest::Name(name) = &next.test else { unreachable!() };
+                        if let Some(fast) =
+                            self.indexed_named_step(&current, Axis::Descendant, name)?
+                        {
+                            current = fast;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+            }
+            if let Some(fast) = self.indexed_step(&current, step)? {
+                current = fast;
+                i += 1;
+                continue;
+            }
+            let mut result: Vec<Item> = Vec::new();
+            for item in current.iter() {
                 let node = match item {
                     Item::Node(n) => *n,
                     Item::Atom(_) => {
@@ -473,13 +521,89 @@ impl<'a> Evaluator<'a> {
                 result.extend(candidates);
             }
             sort_document_order(&mut result)?;
-            current = result;
+            current = result.into();
+            i += 1;
         }
         Ok(current)
     }
 
+    /// Whole-step indexed evaluation when the step is an eligible
+    /// `(axis, name)` pair without predicates. Returns `Ok(None)` when the
+    /// step must take the scan path.
+    fn indexed_step(&mut self, current: &Sequence, step: &Step) -> EvalResult<Option<Sequence>> {
+        if !self.use_indexes
+            || !step.predicates.is_empty()
+            || !matches!(
+                step.axis,
+                Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute
+            )
+        {
+            return Ok(None);
+        }
+        let NameTest::Name(name) = &step.test else {
+            return Ok(None);
+        };
+        self.indexed_named_step(current, step.axis, name)
+    }
+
+    /// Answers `axis::name` over the whole context sequence from the
+    /// per-document name indexes. Contexts are grouped by document, sorted
+    /// and deduplicated, then resolved with staircase interval lookups; the
+    /// final cross-document `sort_document_order` matches the scan path's
+    /// post-step normalization exactly.
+    fn indexed_named_step(
+        &mut self,
+        current: &Sequence,
+        axis: Axis,
+        name: &str,
+    ) -> EvalResult<Option<Sequence>> {
+        // Same error the scan path raises on the first atomic context item.
+        if current.iter().any(|i| matches!(i, Item::Atom(_))) {
+            return Err(EvalError::new("axis step applied to an atomic value"));
+        }
+        let Some(name_id) = self.store.names.get(name) else {
+            // QName not interned in this store: matches nothing (scan path
+            // reaches the same result via `NodeTest::UnknownName`).
+            return Ok(Some(Sequence::new()));
+        };
+        let mut by_doc: Vec<(DocId, Vec<u32>)> = Vec::new();
+        for item in current.iter() {
+            let Item::Node(n) = item else { unreachable!() };
+            match by_doc.iter_mut().find(|(d, _)| *d == n.doc) {
+                Some((_, ranks)) => ranks.push(n.idx),
+                None => by_doc.push((n.doc, vec![n.idx])),
+            }
+        }
+        let mut out: Vec<Item> = Vec::new();
+        let mut ranks = std::mem::take(&mut self.scratch);
+        for (doc_id, mut ctxs) in by_doc {
+            ctxs.sort_unstable();
+            ctxs.dedup();
+            self.store.ensure_name_index(doc_id);
+            let doc = self.store.doc(doc_id);
+            let ix = doc.name_index().expect("ensure_name_index just built it");
+            ranks.clear();
+            match axis {
+                Axis::Descendant => {
+                    index::descendants_named(doc, ix, &ctxs, name_id, false, &mut ranks)
+                }
+                Axis::DescendantOrSelf => {
+                    index::descendants_named(doc, ix, &ctxs, name_id, true, &mut ranks)
+                }
+                Axis::Child => index::children_named(doc, ix, &ctxs, name_id, &mut ranks),
+                Axis::Attribute => index::attributes_named(doc, ix, &ctxs, name_id, &mut ranks),
+                _ => unreachable!("indexed_step gates the axis"),
+            }
+            out.extend(ranks.iter().map(|&r| Item::Node(NodeId::new(doc_id, r))));
+        }
+        ranks.clear();
+        self.scratch = ranks;
+        sort_document_order(&mut out)?;
+        Ok(Some(out.into()))
+    }
+
     /// Applies one step (axis + test + predicates) to one context node.
-    fn step_candidates(&mut self, node: NodeId, step: &Step) -> EvalResult {
+    fn step_candidates(&mut self, node: NodeId, step: &Step) -> EvalResult<Vec<Item>> {
         let test = {
             let names = &self.store.names;
             match &step.test {
@@ -493,19 +617,22 @@ impl<'a> Evaluator<'a> {
             }
         };
         let mut raw = Vec::new();
+        let mut reached = std::mem::take(&mut self.scratch);
+        reached.clear();
         {
             let doc = self.store.doc(node.doc);
-            let mut reached = Vec::new();
             axis_nodes(doc, node.idx, step.axis, &mut reached);
-            for r in reached {
+            for &r in &reached {
                 if node_test_matches(doc, r, step.axis, &test) {
                     raw.push(Item::Node(NodeId::new(node.doc, r)));
                 }
             }
         }
+        reached.clear();
+        self.scratch = reached;
         let mut filtered = raw;
         for pred in &step.predicates {
-            filtered = self.apply_predicate(filtered, pred)?;
+            filtered = self.apply_predicate(&filtered, pred)?;
         }
         Ok(filtered)
     }
@@ -513,10 +640,9 @@ impl<'a> Evaluator<'a> {
     /// XPath predicate semantics: a numeric predicate selects by position
     /// (1-based, in the order of the input sequence); anything else filters
     /// by effective boolean value with the item as context item.
-    fn apply_predicate(&mut self, input: Sequence, pred: &Expr) -> EvalResult {
+    fn apply_predicate(&mut self, input: &[Item], pred: &Expr) -> EvalResult<Vec<Item>> {
         let mut out = Vec::new();
-        let len = input.len();
-        for (i, item) in input.into_iter().enumerate() {
+        for (i, item) in input.iter().enumerate() {
             self.context.push(item.clone());
             let v = self.eval(pred);
             self.context.pop();
@@ -529,10 +655,9 @@ impl<'a> Evaluator<'a> {
                 _ => effective_boolean_value(&v)?,
             };
             if keep {
-                out.push(item);
+                out.push(item.clone());
             }
         }
-        let _ = len;
         Ok(out)
     }
 
@@ -586,19 +711,19 @@ impl<'a> Evaluator<'a> {
                 self.append_content(&mut b, &content)?;
                 b.end_element();
                 let doc = self.store.attach(b.finish());
-                Ok(vec![Item::Node(NodeId::new(doc, 1))])
+                Ok(Sequence::unit(Item::Node(NodeId::new(doc, 1))))
             }
             Constructor::Document { content } => {
                 let content = self.eval(content)?;
                 let mut b = DocBuilder::new(None);
                 self.append_content(&mut b, &content)?;
                 let doc = self.store.attach(b.finish());
-                Ok(vec![Item::Node(NodeId::new(doc, 0))])
+                Ok(Sequence::unit(Item::Node(NodeId::new(doc, 0))))
             }
             Constructor::Text { content } => {
                 let content = self.eval(content)?;
                 if content.is_empty() {
-                    return Ok(vec![]);
+                    return Ok(Sequence::new());
                 }
                 let text = content
                     .iter()
@@ -608,7 +733,7 @@ impl<'a> Evaluator<'a> {
                 let mut b = DocBuilder::new(None);
                 b.text(&text);
                 let doc = self.store.attach(b.finish());
-                Ok(vec![Item::Node(NodeId::new(doc, 1))])
+                Ok(Sequence::unit(Item::Node(NodeId::new(doc, 1))))
             }
             Constructor::Attribute { name, content } => {
                 let name = self.constructor_name(name)?;
@@ -624,7 +749,7 @@ impl<'a> Evaluator<'a> {
                 b.attribute(&name, &value);
                 b.end_element();
                 let doc = self.store.attach(b.finish());
-                Ok(vec![Item::Node(NodeId::new(doc, 2))])
+                Ok(Sequence::unit(Item::Node(NodeId::new(doc, 2))))
             }
         }
     }
@@ -903,7 +1028,7 @@ impl<'a> Evaluator<'a> {
                 None => out.extend(self.eval(e)?),
             }
         }
-        Ok(out)
+        Ok(out.into())
     }
 
     /// Let-chain of independent remote calls: scatter the round, then bind
@@ -928,8 +1053,8 @@ impl<'a> Evaluator<'a> {
 
     fn eval_bulk_for(&mut self, var: &str, input: Sequence, plan: BulkPlan<'_>) -> EvalResult {
         let mut calls: Vec<Vec<(String, Sequence)>> = Vec::with_capacity(input.len());
-        for item in input {
-            self.env.push((var.to_string(), vec![item]));
+        for item in input.iter() {
+            self.env.push((var.to_string(), Sequence::unit(item.clone())));
             let mut pushed = 1usize;
             let mut bound: EvalResult<Vec<(String, Sequence)>> = Ok(Vec::new());
             for (lv, lval) in &plan.lets {
@@ -1054,7 +1179,18 @@ fn matches_item_type(store: &Store, item: &Item, t: &ItemType) -> bool {
 /// Evaluates a whole module against a store with local-only resolution.
 /// The main entry point for single-peer ("local execution") semantics.
 pub fn eval_query(store: &mut Store, module: &QueryModule) -> EvalResult {
+    eval_query_with_indexes(store, module, true)
+}
+
+/// [`eval_query`] with the indexed path-step engine explicitly toggled —
+/// the hook the equivalence tests and the `paths` bench compare through.
+pub fn eval_query_with_indexes(
+    store: &mut Store,
+    module: &QueryModule,
+    use_indexes: bool,
+) -> EvalResult {
     let mut resolver = LocalResolver;
-    let mut ev = Evaluator::new(store, &module.functions, &mut resolver);
+    let mut ev =
+        Evaluator::new(store, &module.functions, &mut resolver).with_indexes(use_indexes);
     ev.eval(&module.body)
 }

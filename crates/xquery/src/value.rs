@@ -2,6 +2,7 @@
 //! comparison semantics and `fn:deep-equal`.
 
 use std::fmt;
+use std::sync::Arc;
 
 use xqd_xml::{NodeId, NodeKind, Store};
 
@@ -15,7 +16,116 @@ pub enum Item {
 }
 
 /// An XDM sequence. Flat by construction (nesting is impossible in XDM).
-pub type Sequence = Vec<Item>;
+///
+/// Backed by an `Arc<Vec<Item>>` so that variable lookups, FLWOR bindings
+/// and scatter-round request building share one allocation instead of
+/// deep-cloning item vectors; `Arc` rather than `Rc` because bound sequences
+/// cross threads in the parallel Bulk-RPC executor. Sequences are
+/// copy-on-write: construction sites build a plain `Vec<Item>` and convert
+/// once via `From`, and the rare mutating consumers go through
+/// [`Sequence::to_vec`] / [`Sequence::into_vec`].
+#[derive(Clone, Default)]
+pub struct Sequence(Arc<Vec<Item>>);
+
+impl Sequence {
+    /// The empty sequence `()`.
+    pub fn new() -> Self {
+        Sequence::default()
+    }
+
+    /// A singleton sequence.
+    pub fn unit(item: Item) -> Self {
+        Sequence(Arc::new(vec![item]))
+    }
+
+    pub fn as_slice(&self) -> &[Item] {
+        &self.0
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Item> {
+        self.0.iter()
+    }
+
+    /// Owned copy of the items (always clones).
+    pub fn to_vec(&self) -> Vec<Item> {
+        self.0.as_ref().clone()
+    }
+
+    /// Owned items; reuses the allocation when this is the only handle.
+    pub fn into_vec(self) -> Vec<Item> {
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| shared.as_ref().clone())
+    }
+}
+
+// Debug matches `Vec<Item>` so diagnostics and doctest expectations read as
+// the plain item list.
+impl fmt::Debug for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl std::ops::Deref for Sequence {
+    type Target = [Item];
+
+    fn deref(&self) -> &[Item] {
+        &self.0
+    }
+}
+
+impl From<Vec<Item>> for Sequence {
+    fn from(items: Vec<Item>) -> Self {
+        Sequence(Arc::new(items))
+    }
+}
+
+impl FromIterator<Item> for Sequence {
+    fn from_iter<I: IntoIterator<Item = Item>>(iter: I) -> Self {
+        Sequence(Arc::new(iter.into_iter().collect()))
+    }
+}
+
+impl IntoIterator for Sequence {
+    type Item = Item;
+    type IntoIter = std::vec::IntoIter<Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.into_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = &'a Item;
+    type IntoIter = std::slice::Iter<'a, Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl PartialEq for Sequence {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<Item>> for Sequence {
+    fn eq(&self, other: &Vec<Item>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Sequence> for Vec<Item> {
+    fn eq(&self, other: &Sequence) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[Item]> for Sequence {
+    fn eq(&self, other: &[Item]) -> bool {
+        self.as_slice() == other
+    }
+}
 
 /// Evaluation errors (dynamic errors per XQuery, with err:-style codes
 /// collapsed into a message).
@@ -160,8 +270,9 @@ pub fn general_compare(
 }
 
 /// Sorts a node sequence into document order and removes duplicates.
-/// Errors if the sequence contains atomic items.
-pub fn sort_document_order(seq: &mut Sequence) -> EvalResult<()> {
+/// Errors if the sequence contains atomic items. Operates on the plain item
+/// vector: builders sort before converting into a shared [`Sequence`].
+pub fn sort_document_order(seq: &mut Vec<Item>) -> EvalResult<()> {
     for item in seq.iter() {
         if matches!(item, Item::Atom(_)) {
             return Err(EvalError::new("document-order sort of a non-node sequence"));

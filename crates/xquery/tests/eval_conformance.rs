@@ -29,7 +29,7 @@ fn fixture() -> Store {
 
 fn run(store: &mut Store, q: &str) -> Vec<Item> {
     let m = parse_query(q).unwrap_or_else(|e| panic!("parse {q:?}: {e}"));
-    eval_query(store, &m).unwrap_or_else(|e| panic!("eval {q:?}: {e}"))
+    eval_query(store, &m).unwrap_or_else(|e| panic!("eval {q:?}: {e}")).into_vec()
 }
 
 fn run_strings(store: &mut Store, q: &str) -> Vec<String> {

@@ -84,11 +84,16 @@ pub struct ExecOptions {
     /// Workers splitting the call list of one Bulk RPC on the remote side.
     /// `1` (default) keeps remote evaluation single-threaded.
     pub bulk_workers: usize,
+    /// Answer eligible axis steps from per-document name indexes (staircase
+    /// join) on every evaluator in the federation — coordinator and peers.
+    /// Off = arena scans; results and message bytes are bit-identical either
+    /// way, which the equivalence suite asserts.
+    pub use_indexes: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { parallel_scatter: true, bulk_workers: 1 }
+        ExecOptions { parallel_scatter: true, bulk_workers: 1, use_indexes: true }
     }
 }
 
@@ -319,7 +324,10 @@ impl Federation {
         let mut link = FedLink { core: Arc::clone(&self.core), peer: String::new() };
         let mut handler = FedLink { core: Arc::clone(&self.core), peer: String::new() };
         let functions: Vec<xqd_xquery::FunctionDef> = Vec::new();
-        let mut ev = Evaluator::new(&mut local, &functions, &mut link).with_remote(&mut handler);
+        let use_indexes = self.core.options().use_indexes;
+        let mut ev = Evaluator::new(&mut local, &functions, &mut link)
+            .with_remote(&mut handler)
+            .with_indexes(use_indexes);
         let result = ev.eval(&plan.rewritten)?;
         let total = started.elapsed();
         let canonical = result.iter().map(|i| canonical_item(&local, i)).collect();
@@ -428,7 +436,8 @@ fn eval_one_call(
     let mut nested = FedLink { core: Arc::clone(core), peer: peer.to_string() };
     let mut ev = Evaluator::new(store, &module.functions, &mut resolver)
         .with_remote(&mut nested)
-        .with_static_context(static_ctx.clone());
+        .with_static_context(static_ctx.clone())
+        .with_indexes(core.options().use_indexes);
     for (name, value) in params {
         ev.bind(name, value.clone());
     }

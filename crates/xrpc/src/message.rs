@@ -680,7 +680,7 @@ fn decode_sequence(
     }
 
     let msg_doc_id = seq_el.doc;
-    let mut out: Sequence = Vec::new();
+    let mut out: Vec<Item> = Vec::new();
     for raw in raws {
         match raw {
             Raw::Atom(a) => out.push(Item::Atom(a)),
@@ -771,7 +771,7 @@ fn decode_sequence(
             }
         }
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 // -- tiny DOM helpers over the parsed message ------------------------------
@@ -830,7 +830,8 @@ mod tests {
                 Item::Atom(Atomic::Bool(true)),
                 Item::Atom(Atomic::Str("a<b&c".into())),
                 Item::Atom(Atomic::Untyped("u".into())),
-            ],
+            ]
+            .into(),
         )]];
         let msg =
             encode_request(&store, WireSemantics::Value, &ctx(), "$x", &calls, None, None)
@@ -847,7 +848,7 @@ mod tests {
     fn bulk_request_carries_every_call() {
         let store = Store::new();
         let calls: Vec<Vec<(String, Sequence)>> = (0..5)
-            .map(|i| vec![("n".to_string(), vec![Item::Atom(Atomic::Int(i))])])
+            .map(|i| vec![("n".to_string(), vec![Item::Atom(Atomic::Int(i))].into())])
             .collect();
         let msg =
             encode_request(&store, WireSemantics::Fragment, &ctx(), "$n", &calls, None, None)
@@ -864,8 +865,8 @@ mod tests {
     #[test]
     fn response_roundtrip_fragment() {
         let (store, d) = sample_store();
-        let results =
-            vec![vec![Item::Node(NodeId::new(d, 2))], vec![Item::Node(NodeId::new(d, 8))]];
+        let results: Vec<Sequence> =
+            vec![vec![Item::Node(NodeId::new(d, 2))].into(), vec![Item::Node(NodeId::new(d, 8))].into()];
         let msg = encode_response(&store, WireSemantics::Fragment, &results, None).unwrap();
         let mut local = Store::new();
         let decoded = decode_response(&mut local, &msg).unwrap();
@@ -896,7 +897,7 @@ mod tests {
             ],
             returned: vec![],
         };
-        let calls = vec![vec![("p".to_string(), vec![Item::Node(NodeId::new(d, 2))])]];
+        let calls = vec![vec![("p".to_string(), Sequence::unit(Item::Node(NodeId::new(d, 2))))]];
         let msg = encode_request(
             &store,
             WireSemantics::Projection,
@@ -921,7 +922,7 @@ mod tests {
     #[test]
     fn projection_without_spec_ships_subtrees() {
         let (store, d) = sample_store();
-        let calls = vec![vec![("p".to_string(), vec![Item::Node(NodeId::new(d, 2))])]];
+        let calls = vec![vec![("p".to_string(), Sequence::unit(Item::Node(NodeId::new(d, 2))))]];
         let msg = encode_request(
             &store,
             WireSemantics::Projection,
@@ -966,7 +967,7 @@ mod tests {
         let (store, d) = sample_store();
         let attr = Item::Node(NodeId::new(d, 3)); // @id of <p>
         for wire in [WireSemantics::Value, WireSemantics::Fragment] {
-            let calls = vec![vec![("a".to_string(), vec![attr.clone()])]];
+            let calls = vec![vec![("a".to_string(), Sequence::unit(attr.clone()))]];
             let msg = encode_request(&store, wire, &ctx(), "$a", &calls, None, None).unwrap();
             let mut remote = Store::new();
             let decoded = decode_request(&mut remote, &msg).unwrap();
@@ -983,7 +984,7 @@ mod tests {
     #[test]
     fn class2_metadata_on_fragments() {
         let (store, d) = sample_store();
-        let calls = vec![vec![("p".to_string(), vec![Item::Node(NodeId::new(d, 0))])]];
+        let calls = vec![vec![("p".to_string(), Sequence::unit(Item::Node(NodeId::new(d, 0))))]];
         let msg =
             encode_request(&store, WireSemantics::Fragment, &ctx(), "$p", &calls, None, None)
                 .unwrap();
@@ -1018,7 +1019,7 @@ mod tests {
         // 0=doc 1=a 2=text 3=comment
         let calls = vec![vec![(
             "x".to_string(),
-            vec![Item::Node(NodeId::new(d, 2)), Item::Node(NodeId::new(d, 3))],
+            vec![Item::Node(NodeId::new(d, 2)), Item::Node(NodeId::new(d, 3))].into(),
         )]];
         let msg =
             encode_request(&store, WireSemantics::Value, &ctx(), "$x", &calls, None, None)

@@ -33,7 +33,7 @@ const SCATTER_Q: &str = r#"(count(doc("xrpc://p1/d.xml")//item),
                             count(doc("xrpc://p3/d.xml")//item))"#;
 
 fn seq_opts() -> ExecOptions {
-    ExecOptions { parallel_scatter: false, bulk_workers: 1 }
+    ExecOptions { parallel_scatter: false, bulk_workers: 1, ..ExecOptions::default() }
 }
 
 #[test]
@@ -156,9 +156,9 @@ fn bulk_workers_preserve_results_and_bytes() {
                where $x/v = doc("xrpc://p2/d.xml")//item/v
                return $x/@id"#;
     let mut base = fed3(NetworkModel::lan());
-    base.set_exec_options(ExecOptions { parallel_scatter: true, bulk_workers: 1 });
+    base.set_exec_options(ExecOptions { parallel_scatter: true, bulk_workers: 1, ..ExecOptions::default() });
     let mut par = fed3(NetworkModel::lan());
-    par.set_exec_options(ExecOptions { parallel_scatter: true, bulk_workers: 4 });
+    par.set_exec_options(ExecOptions { parallel_scatter: true, bulk_workers: 4, ..ExecOptions::default() });
     for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
         let a = base.run(q, strategy).unwrap();
         let b = par.run(q, strategy).unwrap();

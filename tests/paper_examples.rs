@@ -6,7 +6,7 @@
 use xqd::xml::project::{compute_projection, ProjectionInput};
 use xqd::xml::Store;
 use xqd::xquery::eval::StaticContext;
-use xqd::xquery::Item;
+use xqd::xquery::{Item, Sequence};
 use xqd::xrpc::{decode_request, encode_request, WireSemantics};
 use xqd::{Federation, NetworkModel, Strategy};
 
@@ -22,7 +22,7 @@ fn example_5_1_fragment_message_shape() {
     let bc = Item::Node(xqd::xml::NodeId::new(doc, 2));
     let abc = Item::Node(xqd::xml::NodeId::new(doc, 1));
 
-    let calls = vec![vec![("l".to_string(), vec![bc]), ("r".to_string(), vec![abc])]];
+    let calls = vec![vec![("l".to_string(), Sequence::unit(bc)), ("r".to_string(), Sequence::unit(abc))]];
     let msg = encode_request(
         &store,
         WireSemantics::Fragment,
@@ -62,7 +62,7 @@ fn example_5_1_value_message_duplicates() {
     let doc = xqd::xml::parse_document(&mut store, "<a><b><c/></b></a>", None).unwrap();
     let bc = Item::Node(xqd::xml::NodeId::new(doc, 2));
     let abc = Item::Node(xqd::xml::NodeId::new(doc, 1));
-    let calls = vec![vec![("l".to_string(), vec![bc]), ("r".to_string(), vec![abc])]];
+    let calls = vec![vec![("l".to_string(), Sequence::unit(bc)), ("r".to_string(), Sequence::unit(abc))]];
     let msg = encode_request(
         &store,
         WireSemantics::Value,

@@ -179,7 +179,7 @@ fn fragment_roundtrip_preserves_structure() {
             continue;
         }
         let seq: Vec<Item> = nodes.iter().map(|&i| Item::Node(NodeId::new(d, i))).collect();
-        let calls = vec![vec![("p".to_string(), seq)]];
+        let calls = vec![vec![("p".to_string(), seq.into())]];
         let msg = encode_request(
             &store,
             WireSemantics::Fragment,
@@ -237,7 +237,7 @@ fn value_roundtrip_preserves_values() {
             continue;
         }
         let seq: Vec<Item> = nodes.iter().map(|&i| Item::Node(NodeId::new(d, i))).collect();
-        let calls = vec![vec![("p".to_string(), seq)]];
+        let calls = vec![vec![("p".to_string(), seq.into())]];
         let msg = encode_request(
             &store,
             WireSemantics::Value,
