@@ -24,4 +24,10 @@ if grep -q '"results_identical": false' target/BENCH_paths.ci.json; then
     exit 1
 fi
 
+echo "== chaos smoke (seeded fault sweep, offline) =="
+# Small-N seeded fault-injection sweep across all three wire semantics.
+# The example exits non-zero if any schedule returns a wrong answer, an
+# untyped error, or panics — the robustness invariant.
+cargo run --release --offline --example chaos_tour -- --seeds 25 --quiet
+
 echo "== ci OK =="

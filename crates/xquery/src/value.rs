@@ -129,20 +129,41 @@ impl PartialEq<[Item]> for Sequence {
 
 /// Evaluation errors (dynamic errors per XQuery, with err:-style codes
 /// collapsed into a message).
+///
+/// `code` is an optional machine-readable error code. Plain dynamic errors
+/// carry `None`; the XRPC layer tags transport failures with `xrpc:*` codes
+/// so typed failure semantics survive the `EvalResult` plumbing between the
+/// evaluator and the distributed executor (the `xquery` crate cannot depend
+/// on `xqd-xrpc`, so the taxonomy itself lives there and round-trips
+/// through this field).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalError {
     pub message: String,
+    pub code: Option<String>,
 }
 
 impl EvalError {
     pub fn new(msg: impl Into<String>) -> Self {
-        EvalError { message: msg.into() }
+        EvalError { message: msg.into(), code: None }
+    }
+
+    /// An error with a machine-readable code (e.g. `xrpc:timeout`).
+    pub fn with_code(code: impl Into<String>, msg: impl Into<String>) -> Self {
+        EvalError { message: msg.into(), code: Some(code.into()) }
+    }
+
+    /// True if the error carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.code.as_deref() == Some(code)
     }
 }
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "evaluation error: {}", self.message)
+        match &self.code {
+            Some(c) => write!(f, "evaluation error [{c}]: {}", self.message),
+            None => write!(f, "evaluation error: {}", self.message),
+        }
     }
 }
 

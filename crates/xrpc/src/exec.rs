@@ -32,23 +32,41 @@
 //! document ranks, so results gathered from workers are valid node ids in
 //! the base store as long as the body attaches no new documents — which a
 //! syntactic safety gate guarantees before the split.
+//!
+//! # Failure semantics
+//!
+//! Every remote interaction — Bulk RPC, scatter rounds, document fetches —
+//! flows through a fault-injecting transport under a [`RetryPolicy`]. When
+//! a [`crate::FaultPlan`] is installed, each attempt may be mangled
+//! (truncation/corruption), delayed, dropped or hung per the deterministic
+//! schedule; failures surface as typed [`XrpcError`]s, retryable ones are
+//! replayed with exponential backoff and deterministic jitter, and calls
+//! whose retries exhaust degrade gracefully to data shipping (fetch the
+//! documents, evaluate the body locally, round-trip the results through
+//! the same wire codec) when the body is eligible. Remote evaluation
+//! failures and captured worker panics travel back as wire-encoded fault
+//! responses, so the error path exercises the same codecs as the data
+//! path.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use xqd_core::Strategy;
 use xqd_xml::{NodeId, NodeKind, Store};
-use xqd_xquery::ast::ExecProjection;
+use xqd_xquery::ast::{Atomic, ExecProjection};
 use xqd_xquery::eval::{DocResolver, Evaluator, RemoteHandler, ScatterCall, StaticContext};
 use xqd_xquery::value::{EvalError, EvalResult, Item, Sequence};
 use xqd_xquery::{parse_query, Expr, QueryModule};
 
 use crate::message::{
-    decode_request, decode_response, encode_request, encode_response, WireSemantics,
+    decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
+    WireSemantics,
 };
-use crate::net::{Metrics, NetworkModel};
+use crate::net::{Fault, FaultPlan, Metrics, NetworkModel, XrpcError};
 
 /// One simulated peer: a named document store.
 #[derive(Debug)]
@@ -89,17 +107,65 @@ pub struct ExecOptions {
     /// Off = arena scans; results and message bytes are bit-identical either
     /// way, which the equivalence suite asserts.
     pub use_indexes: bool,
+    /// Retry/backoff/deadline policy applied to every remote call and
+    /// document fetch.
+    pub retry: RetryPolicy,
+    /// Deterministic fault schedule; `None` (the default) injects nothing
+    /// and leaves the transport byte-for-byte identical to the fault-free
+    /// model.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { parallel_scatter: true, bulk_workers: 1, use_indexes: true }
+        ExecOptions {
+            parallel_scatter: true,
+            bulk_workers: 1,
+            use_indexes: true,
+            retry: RetryPolicy::default(),
+            fault: None,
+        }
     }
 }
 
-/// How long a caller waits for a busy peer slot before reporting the peer
-/// unavailable. Bounds any accidental circular-wait between scatter workers.
-const PEER_WAIT: Duration = Duration::from_secs(10);
+/// Retry policy for remote calls and document fetches. XRPC calls are pure
+/// and side-effect free (the paper's function-shipping model), so replaying
+/// a lost or mangled call is always safe.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per logical call (`1` = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; retry `n` waits `base * 2^(n-1)`,
+    /// capped at [`RetryPolicy::max_backoff`] and jittered to 50–100%.
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Per-call budget. Bounds each attempt's simulated chain (transfer
+    /// legs plus stalls), the condvar wait for a busy peer slot, and the
+    /// total attempts-plus-backoff budget.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before the attempt following `failed` failures (`failed >=
+    /// 1`), with the deterministic jitter fraction in `[0, 1)` scaling the
+    /// exponential wait to 50–100%.
+    pub fn backoff(&self, failed: u32, jitter: f64) -> Duration {
+        let shift = failed.saturating_sub(1).min(20);
+        let exp = self.base_backoff.saturating_mul(1u32 << shift);
+        exp.min(self.max_backoff).mul_f64(0.5 + 0.5 * jitter.clamp(0.0, 1.0))
+    }
+}
 
 /// Metric accumulators shared across worker threads. Durations are
 /// nanosecond counters; [`MetricsSink::snapshot`] converts back.
@@ -110,6 +176,9 @@ struct MetricsSink {
     transfers: AtomicU64,
     remote_calls: AtomicU64,
     scatter_rounds: AtomicU64,
+    retries: AtomicU64,
+    faults_injected: AtomicU64,
+    fallbacks: AtomicU64,
     shred_ns: AtomicU64,
     serialize_ns: AtomicU64,
     remote_exec_ns: AtomicU64,
@@ -129,6 +198,9 @@ impl MetricsSink {
             &self.transfers,
             &self.remote_calls,
             &self.scatter_rounds,
+            &self.retries,
+            &self.faults_injected,
+            &self.fallbacks,
             &self.shred_ns,
             &self.serialize_ns,
             &self.remote_exec_ns,
@@ -146,6 +218,9 @@ impl MetricsSink {
             transfers: self.transfers.load(Ordering::Relaxed),
             remote_calls: self.remote_calls.load(Ordering::Relaxed),
             scatter_rounds: self.scatter_rounds.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
             shred: Duration::from_nanos(self.shred_ns.load(Ordering::Relaxed)),
             serialize: Duration::from_nanos(self.serialize_ns.load(Ordering::Relaxed)),
             remote_exec: Duration::from_nanos(self.remote_exec_ns.load(Ordering::Relaxed)),
@@ -157,11 +232,11 @@ impl MetricsSink {
         }
     }
 
-    /// Accounts one wire transfer: exact counters plus equal serialized
-    /// and overlapped time (non-scatter transfers never overlap).
-    fn count_transfer(&self, wire_time: Duration) {
-        self.transfers.fetch_add(1, Ordering::Relaxed);
-        let ns = as_ns(wire_time);
+    /// Bills one call's simulated chain (transfer legs, injected stalls,
+    /// backoff waits) equally to the serialized and overlapped clocks —
+    /// used outside scatter rounds, where transfers never overlap.
+    fn charge_chain(&self, chain: Duration) {
+        let ns = as_ns(chain);
         self.network_ns.fetch_add(ns, Ordering::Relaxed);
         self.network_overlapped_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -176,6 +251,10 @@ struct FedCore {
     metrics: MetricsSink,
     wire: Mutex<WireSemantics>,
     options: Mutex<ExecOptions>,
+    /// Per-peer fault-schedule ordinals (reset per run): attempt `n`
+    /// against a peer consumes ordinal `n` regardless of which thread runs
+    /// it, which is what keeps the schedule replayable under scatter.
+    fault_seq: Mutex<HashMap<String, u64>>,
 }
 
 impl FedCore {
@@ -187,14 +266,30 @@ impl FedCore {
         *self.options.lock().unwrap()
     }
 
-    /// Takes `name`'s peer out of its slot, waiting (bounded) while another
-    /// call holds it. An unknown peer fails immediately.
-    fn take_peer(&self, name: &str) -> EvalResult<Peer> {
+    /// The next fault-schedule ordinal for `peer` (only consulted when a
+    /// fault plan is installed).
+    fn next_fault_seq(&self, peer: &str) -> u64 {
+        let mut seqs = self.fault_seq.lock().unwrap();
+        let counter = seqs.entry(peer.to_string()).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        seq
+    }
+
+    fn reset_fault_schedule(&self) {
+        self.fault_seq.lock().unwrap().clear();
+    }
+
+    /// Takes `name`'s peer out of its slot, waiting up to `wait` (the
+    /// caller's per-call deadline) while another call holds it. An unknown
+    /// peer fails immediately — and is distinguished from a busy one, so
+    /// callers can retry the latter but not the former.
+    fn take_peer(&self, name: &str, wait: Duration) -> Result<Peer, XrpcError> {
         let mut peers = self.peers.lock().unwrap();
-        let deadline = Instant::now() + PEER_WAIT;
+        let deadline = Instant::now() + wait;
         loop {
             match peers.get_mut(name) {
-                None => return Err(EvalError::new(format!("unknown or busy peer {name}"))),
+                None => return Err(XrpcError::UnknownPeer { peer: name.to_string() }),
                 Some(slot) => {
                     if let Some(p) = slot.take() {
                         return Ok(p);
@@ -203,9 +298,10 @@ impl FedCore {
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                return Err(EvalError::new(format!(
-                    "unknown or busy peer {name}: still busy after {PEER_WAIT:?}"
-                )));
+                return Err(XrpcError::PeerBusy {
+                    peer: name.to_string(),
+                    detail: format!("slot still held after {wait:?}"),
+                });
             }
             let (guard, _timeout) = self.peers_returned.wait_timeout(peers, remaining).unwrap();
             peers = guard;
@@ -246,6 +342,7 @@ impl Federation {
                 metrics: MetricsSink::default(),
                 wire: Mutex::new(WireSemantics::Value),
                 options: Mutex::new(ExecOptions::default()),
+                fault_seq: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -254,6 +351,17 @@ impl Federation {
     /// subsequent runs.
     pub fn set_exec_options(&mut self, options: ExecOptions) {
         *self.core.options.lock().unwrap() = options;
+    }
+
+    /// Installs (or clears) the deterministic fault plan for subsequent
+    /// runs.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.core.options.lock().unwrap().fault = plan;
+    }
+
+    /// Replaces the retry/backoff/deadline policy for subsequent runs.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.core.options.lock().unwrap().retry = retry;
     }
 
     pub fn exec_options(&self) -> ExecOptions {
@@ -313,6 +421,7 @@ impl Federation {
     ) -> EvalResult<RunOutcome> {
         let plan = xqd_core::decompose_with(module, strategy, options)?;
         self.core.metrics.reset();
+        self.core.reset_fault_schedule();
         *self.core.wire.lock().unwrap() = match strategy {
             Strategy::ByFragment => WireSemantics::Fragment,
             Strategy::ByProjection => WireSemantics::Projection,
@@ -379,35 +488,160 @@ impl DocResolver for FedLink {
                     .or_else(|| store.doc_by_uri(name))
                     .ok_or_else(|| EvalError::new(format!("document not found on {host}: {name}")));
             }
-            // data shipping: fetch the whole document
-            let peer_obj = self.core.take_peer(host)?;
-            let t0 = Instant::now();
-            let result = peer_obj
-                .store
-                .doc_by_uri(uri)
-                .or_else(|| peer_obj.store.doc_by_uri(name))
-                .map(|d| {
-                    xqd_xml::serialize_document(peer_obj.store.doc(d), &peer_obj.store.names)
-                })
-                .ok_or_else(|| EvalError::new(format!("document not found on {host}: {name}")));
-            self.core
-                .metrics
-                .serialize_ns
-                .fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
-            self.core.put_peer(peer_obj);
-            let xml = result?;
-            let bytes = xml.len() as u64;
-            self.core.metrics.document_bytes.fetch_add(bytes, Ordering::Relaxed);
-            self.core
-                .metrics
-                .count_transfer(self.core.model.transfer_time(bytes));
+            // data shipping: fetch the whole document — itself subject to
+            // the fault plan and retry policy (fetches are pure reads, so
+            // replaying one is always safe)
+            let options = self.core.options();
+            let retry = options.retry;
+            let plan = options.fault;
+            let sink = &self.core.metrics;
+            let model = self.core.model;
+            let mut chain = Duration::ZERO;
+            let mut failed = 0u32;
+            let fetched: Result<String, XrpcError> = loop {
+                let seq = plan.map(|_| self.core.next_fault_seq(host));
+                let fault = match (plan, seq) {
+                    (Some(p), Some(s)) => p.decide(host, s),
+                    _ => None,
+                };
+                if fault.is_some() {
+                    sink.faults_injected.fetch_add(1, Ordering::Relaxed);
+                }
+                let budget = retry.deadline.saturating_sub(chain);
+                let attempt: Result<String, XrpcError> = 'attempt: {
+                    match fault {
+                        Some(Fault::PeerDown) => {
+                            chain += model.latency;
+                            break 'attempt Err(XrpcError::PeerBusy {
+                                peer: host.to_string(),
+                                detail: "peer down (injected fault)".to_string(),
+                            });
+                        }
+                        Some(Fault::Hang) => {
+                            chain += budget;
+                            break 'attempt Err(XrpcError::Timeout {
+                                peer: host.to_string(),
+                                deadline: retry.deadline,
+                            });
+                        }
+                        Some(Fault::RemotePanic) => {
+                            break 'attempt Err(XrpcError::RemoteFault {
+                                peer: host.to_string(),
+                                code: "xrpc:panic".to_string(),
+                                message: format!(
+                                    "peer {host} crashed while serializing {name}"
+                                ),
+                            });
+                        }
+                        _ => {}
+                    }
+                    let peer_obj = match self.core.take_peer(host, retry.deadline) {
+                        Ok(p) => p,
+                        Err(e) => break 'attempt Err(e),
+                    };
+                    let t0 = Instant::now();
+                    let result = peer_obj
+                        .store
+                        .doc_by_uri(uri)
+                        .or_else(|| peer_obj.store.doc_by_uri(name))
+                        .map(|d| {
+                            xqd_xml::serialize_document(
+                                peer_obj.store.doc(d),
+                                &peer_obj.store.names,
+                            )
+                        })
+                        .ok_or_else(|| XrpcError::RemoteFault {
+                            peer: host.to_string(),
+                            code: "xrpc:document-not-found".to_string(),
+                            message: format!("document not found on {host}: {name}"),
+                        });
+                    sink.serialize_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+                    self.core.put_peer(peer_obj);
+                    let xml = match result {
+                        Ok(x) => x,
+                        Err(e) => break 'attempt Err(e),
+                    };
+                    let mut spent = Duration::ZERO;
+                    if let (Some(Fault::Latency), Some(p)) = (fault, plan.as_ref()) {
+                        spent += p.extra_latency;
+                    }
+                    // the payload *is* the message here, so truncation or
+                    // corruption of either direction mangles it
+                    match fault {
+                        Some(Fault::TruncateRequest | Fault::TruncateResponse) => {
+                            let plan = plan.as_ref().unwrap();
+                            let cut = char_floor(
+                                &xml,
+                                plan.mangle_position(host, seq.unwrap(), xml.len()),
+                            );
+                            sink.document_bytes.fetch_add(cut as u64, Ordering::Relaxed);
+                            sink.transfers.fetch_add(1, Ordering::Relaxed);
+                            chain += spent + model.transfer_time(cut as u64);
+                            break 'attempt Err(XrpcError::TransportCorrupt {
+                                peer: host.to_string(),
+                                detail: format!("document payload truncated at byte {cut}"),
+                            });
+                        }
+                        Some(Fault::CorruptRequest | Fault::CorruptResponse) => {
+                            let plan = plan.as_ref().unwrap();
+                            let pos = plan.mangle_position(host, seq.unwrap(), xml.len());
+                            sink.document_bytes
+                                .fetch_add(xml.len() as u64, Ordering::Relaxed);
+                            sink.transfers.fetch_add(1, Ordering::Relaxed);
+                            chain += spent + model.transfer_time(xml.len() as u64);
+                            break 'attempt Err(XrpcError::TransportCorrupt {
+                                peer: host.to_string(),
+                                detail: format!(
+                                    "document payload byte {pos} is not valid UTF-8"
+                                ),
+                            });
+                        }
+                        _ => {}
+                    }
+                    let bytes = xml.len() as u64;
+                    sink.document_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    sink.transfers.fetch_add(1, Ordering::Relaxed);
+                    spent += model.transfer_time(bytes);
+                    if spent > budget {
+                        chain += budget;
+                        break 'attempt Err(XrpcError::Timeout {
+                            peer: host.to_string(),
+                            deadline: retry.deadline,
+                        });
+                    }
+                    chain += spent;
+                    Ok(xml)
+                };
+                match attempt {
+                    Ok(xml) => break Ok(xml),
+                    Err(e) => {
+                        if !e.retryable() || failed + 1 >= retry.max_attempts {
+                            break Err(e);
+                        }
+                        failed += 1;
+                        sink.retries.fetch_add(1, Ordering::Relaxed);
+                        let jitter = match (plan, seq) {
+                            (Some(p), Some(s)) => p.jitter(host, s),
+                            _ => 0.0,
+                        };
+                        chain += retry.backoff(failed, jitter);
+                        if chain >= retry.deadline {
+                            break Err(XrpcError::Cancelled {
+                                peer: host.to_string(),
+                                reason: format!(
+                                    "fetch retry budget exhausted after {failed} failed attempt(s)"
+                                ),
+                            });
+                        }
+                    }
+                }
+            };
+            sink.charge_chain(chain);
+            let xml = fetched.map_err(EvalError::from)?;
             let t0 = Instant::now();
             let d = xqd_xml::parse_document(store, &xml, Some(uri))
                 .map_err(|e| EvalError::new(format!("shredding {uri}: {e}")))?;
-            self.core
-                .metrics
-                .shred_ns
-                .fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+            sink.shred_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
             return Ok(d);
         }
         // a plain name on a peer refers to that peer's own document (the
@@ -574,8 +808,25 @@ fn eval_calls_parallel(
             ));
         }
         for (range, handle) in handles {
-            let (clean, out) = handle.join().expect("bulk worker panicked");
-            chunk_results.push((range, clean, out));
+            match handle.join() {
+                Ok((clean, out)) => chunk_results.push((range, clean, out)),
+                Err(payload) => {
+                    // a poisoned bulk worker fails its calls with a typed
+                    // remote fault instead of killing the peer; marked
+                    // clean so the panicking chunk is NOT re-run against
+                    // the base store on this thread
+                    let err = EvalError::from(XrpcError::RemoteFault {
+                        peer: peer.to_string(),
+                        code: "xrpc:panic".to_string(),
+                        message: format!(
+                            "bulk worker panicked: {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    });
+                    let out = range.clone().map(|_| Err(err.clone())).collect();
+                    chunk_results.push((range, true, out));
+                }
+            }
         }
     });
 
@@ -594,6 +845,358 @@ fn eval_calls_parallel(
         }
     }
     Ok(results)
+}
+
+/// Largest index `<= pos` that is a char boundary of `s`, so truncation
+/// always yields valid UTF-8 (the mangled message still fails to *decode*:
+/// any cut strictly before the end loses the closing `>` of the envelope).
+fn char_floor(s: &str, pos: usize) -> usize {
+    let mut p = pos.min(s.len());
+    while p > 0 && !s.is_char_boundary(p) {
+        p -= 1;
+    }
+    p
+}
+
+/// Human-readable form of a captured panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Runs the remote side of one delivery with panic capture. Remote
+/// evaluation failures and panics become wire-encoded fault responses (they
+/// travel back through the real codec); caller-side slot failures
+/// (unknown/busy peer) stay local and typed — no message ever crossed the
+/// wire for them.
+fn run_remote(
+    peer: &str,
+    request: &str,
+    inject_panic: bool,
+    process: &mut dyn FnMut(&str) -> EvalResult<String>,
+) -> Result<String, XrpcError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected fault: remote worker panic on peer {peer}");
+        }
+        process(request)
+    }));
+    match outcome {
+        Ok(Ok(response)) => Ok(response),
+        Ok(Err(e)) => match XrpcError::from_eval(peer, &e) {
+            slot @ (XrpcError::UnknownPeer { .. } | XrpcError::PeerBusy { .. }) => Err(slot),
+            remote => Ok(encode_fault(&remote)),
+        },
+        Err(payload) => Ok(encode_fault(&XrpcError::RemoteFault {
+            peer: peer.to_string(),
+            code: "xrpc:panic".to_string(),
+            message: panic_message(payload.as_ref()),
+        })),
+    }
+}
+
+/// Drives one logical RPC across the simulated wire under the installed
+/// fault plan and retry policy: mangles/drops/stalls messages per the
+/// deterministic schedule, replays retryable failures with exponential
+/// backoff and deterministic jitter, and accounts bytes and transfers for
+/// every attempt (failed attempts moved real bytes too).
+///
+/// Returns the total simulated chain consumed by the call — transfer legs,
+/// injected stalls and backoff waits — plus the response or the typed
+/// error that ended it. The caller bills the chain to the serialized /
+/// overlapped clocks as appropriate for its execution mode.
+fn transport_call(
+    core: &FedCore,
+    peer: &str,
+    request: &str,
+    process: &mut dyn FnMut(&str) -> EvalResult<String>,
+) -> (Duration, Result<String, XrpcError>) {
+    let options = core.options();
+    let retry = options.retry;
+    let plan = options.fault;
+    let sink = &core.metrics;
+    let model = core.model;
+    let mut chain = Duration::ZERO;
+    let mut failed = 0u32;
+    loop {
+        let seq = plan.map(|_| core.next_fault_seq(peer));
+        let fault = match (plan, seq) {
+            (Some(p), Some(s)) => p.decide(peer, s),
+            _ => None,
+        };
+        if fault.is_some() {
+            sink.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        let budget = retry.deadline.saturating_sub(chain);
+
+        let outcome: Result<String, XrpcError> = 'attempt: {
+            let mut spent = Duration::ZERO;
+            // ---- request leg (possibly mangled or lost in flight) ----
+            let delivered: Cow<'_, str> = match fault {
+                Some(Fault::TruncateRequest) => {
+                    let plan = plan.as_ref().unwrap();
+                    let cut = char_floor(
+                        request,
+                        plan.mangle_position(peer, seq.unwrap(), request.len()),
+                    );
+                    Cow::Borrowed(&request[..cut])
+                }
+                _ => Cow::Borrowed(request),
+            };
+            sink.message_bytes.fetch_add(delivered.len() as u64, Ordering::Relaxed);
+            sink.transfers.fetch_add(1, Ordering::Relaxed);
+            spent += model.transfer_time(delivered.len() as u64);
+            match fault {
+                Some(Fault::PeerDown) => {
+                    chain += spent;
+                    break 'attempt Err(XrpcError::PeerBusy {
+                        peer: peer.to_string(),
+                        detail: "peer down (injected fault)".to_string(),
+                    });
+                }
+                Some(Fault::Hang) => {
+                    // the caller's clock runs until it gives up at the
+                    // deadline (simulated — no real wait)
+                    chain += budget;
+                    break 'attempt Err(XrpcError::Timeout {
+                        peer: peer.to_string(),
+                        deadline: retry.deadline,
+                    });
+                }
+                Some(Fault::Latency) => spent += plan.as_ref().unwrap().extra_latency,
+                _ => {}
+            }
+
+            // ---- remote side ----
+            // A corrupted request is not even valid UTF-8: the peer's XRPC
+            // layer rejects it outright with a transport fault. Truncated
+            // requests go through the real decode path and fail there.
+            let remote_outcome = match fault {
+                Some(Fault::CorruptRequest) => {
+                    let plan = plan.as_ref().unwrap();
+                    let pos = plan.mangle_position(peer, seq.unwrap(), request.len());
+                    Ok(encode_fault(&XrpcError::TransportCorrupt {
+                        peer: peer.to_string(),
+                        detail: format!("request byte {pos} is not valid UTF-8"),
+                    }))
+                }
+                _ => run_remote(
+                    peer,
+                    &delivered,
+                    matches!(fault, Some(Fault::RemotePanic)),
+                    process,
+                ),
+            };
+            let response = match remote_outcome {
+                Ok(r) => r,
+                Err(e) => {
+                    chain += spent;
+                    break 'attempt Err(e);
+                }
+            };
+
+            // ---- response leg (possibly mangled in flight) ----
+            match fault {
+                Some(Fault::TruncateResponse) => {
+                    let plan = plan.as_ref().unwrap();
+                    let cut = char_floor(
+                        &response,
+                        plan.mangle_position(peer, seq.unwrap(), response.len()),
+                    );
+                    sink.message_bytes.fetch_add(cut as u64, Ordering::Relaxed);
+                    sink.transfers.fetch_add(1, Ordering::Relaxed);
+                    chain += spent + model.transfer_time(cut as u64);
+                    break 'attempt Err(XrpcError::TransportCorrupt {
+                        peer: peer.to_string(),
+                        detail: format!("response truncated at byte {cut}"),
+                    });
+                }
+                Some(Fault::CorruptResponse) => {
+                    let plan = plan.as_ref().unwrap();
+                    let pos = plan.mangle_position(peer, seq.unwrap(), response.len());
+                    sink.message_bytes.fetch_add(response.len() as u64, Ordering::Relaxed);
+                    sink.transfers.fetch_add(1, Ordering::Relaxed);
+                    chain += spent + model.transfer_time(response.len() as u64);
+                    break 'attempt Err(XrpcError::TransportCorrupt {
+                        peer: peer.to_string(),
+                        detail: format!("response byte {pos} is not valid UTF-8"),
+                    });
+                }
+                _ => {}
+            }
+            sink.message_bytes.fetch_add(response.len() as u64, Ordering::Relaxed);
+            sink.transfers.fetch_add(1, Ordering::Relaxed);
+            spent += model.transfer_time(response.len() as u64);
+
+            if spent > budget {
+                chain += budget;
+                break 'attempt Err(XrpcError::Timeout {
+                    peer: peer.to_string(),
+                    deadline: retry.deadline,
+                });
+            }
+            chain += spent;
+
+            // a wire-encoded fault response decodes back into its typed
+            // error (normal responses have an env/response child, never
+            // env/fault, so this cannot misfire on result data)
+            if response.contains("<fault ") {
+                if let Some(e) = decode_fault(&response) {
+                    break 'attempt Err(e);
+                }
+            }
+            Ok(response)
+        };
+
+        match outcome {
+            Ok(response) => return (chain, Ok(response)),
+            Err(e) => {
+                if !e.retryable() || failed + 1 >= retry.max_attempts {
+                    return (chain, Err(e));
+                }
+                failed += 1;
+                sink.retries.fetch_add(1, Ordering::Relaxed);
+                let jitter = match (plan, seq) {
+                    (Some(p), Some(s)) => p.jitter(peer, s),
+                    _ => 0.0,
+                };
+                chain += retry.backoff(failed, jitter);
+                if chain >= retry.deadline {
+                    return (
+                        chain,
+                        Err(XrpcError::Cancelled {
+                            peer: peer.to_string(),
+                            reason: format!(
+                                "retry budget exhausted after {failed} failed attempt(s)"
+                            ),
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rewrites a call body for coordinator-side evaluation: every literal
+/// plain-name `fn:doc` argument becomes the canonical `xrpc://<peer>/<name>`
+/// URI so the coordinator's resolver data-ships it. Returns `None` when
+/// the body is ineligible for degradation — nested `execute at`, computed
+/// document URIs, or URIs on foreign schemes.
+fn degrade_module(module: &QueryModule, peer: &str) -> Option<QueryModule> {
+    fn rewrite(e: &Expr, peer: &str, ok: &mut bool) -> Expr {
+        match e {
+            Expr::Execute { .. } => {
+                *ok = false;
+                e.clone()
+            }
+            Expr::FunCall { name, args } if name == "doc" || name == "fn:doc" => {
+                match args.as_slice() {
+                    [Expr::Literal(a)] => {
+                        let uri = a.to_lexical();
+                        if uri.starts_with("xrpc://") {
+                            e.clone()
+                        } else if !uri.contains("://") {
+                            Expr::FunCall {
+                                name: name.clone(),
+                                args: vec![Expr::Literal(Atomic::Str(format!(
+                                    "xrpc://{peer}/{uri}"
+                                )))],
+                            }
+                        } else {
+                            *ok = false;
+                            e.clone()
+                        }
+                    }
+                    _ => {
+                        *ok = false;
+                        e.clone()
+                    }
+                }
+            }
+            other => {
+                xqd_xquery::normalize::map_children_infallible(other, &mut |c| {
+                    rewrite(c, peer, ok)
+                })
+            }
+        }
+    }
+    let mut ok = true;
+    let body = rewrite(&module.body, peer, &mut ok);
+    let functions = module
+        .functions
+        .iter()
+        .map(|f| {
+            let mut nf = f.clone();
+            nf.body = rewrite(&f.body, peer, &mut ok);
+            nf
+        })
+        .collect();
+    if ok {
+        Some(QueryModule { functions, body })
+    } else {
+        None
+    }
+}
+
+/// Graceful degradation: when a peer cannot *answer* (down, corrupt link,
+/// deadline exhausted), fetch the documents the body needs (data shipping —
+/// itself fault-injected and retried), evaluate the body locally, then
+/// round-trip the results through the same wire codec a remote answer
+/// would have used. The loopback round-trip is what makes the fallback
+/// semantics-preserving bit-for-bit: by-value copies still lose ancestry,
+/// fragments still gain it, projections still prune — exactly as if the
+/// peer had answered.
+///
+/// Returns `Ok(None)` when the body is ineligible (see [`degrade_module`]);
+/// the caller then surfaces the typed transport error instead.
+#[allow(clippy::too_many_arguments)]
+fn fallback_local(
+    core: &Arc<FedCore>,
+    local: &mut Store,
+    static_ctx: &StaticContext,
+    peer: &str,
+    body_src: &str,
+    calls: &[Vec<(String, Sequence)>],
+    projection: Option<&ExecProjection>,
+    wire: WireSemantics,
+) -> EvalResult<Option<Vec<Sequence>>> {
+    let Ok(module) = parse_query(body_src) else { return Ok(None) };
+    let Some(module) = degrade_module(&module, peer) else { return Ok(None) };
+    let use_indexes = core.options().use_indexes;
+    let mut results = Vec::with_capacity(calls.len());
+    for params in calls {
+        let mut resolver = FedLink { core: Arc::clone(core), peer: String::new() };
+        let mut nested = FedLink { core: Arc::clone(core), peer: String::new() };
+        let mut ev = Evaluator::new(local, &module.functions, &mut resolver)
+            .with_remote(&mut nested)
+            .with_static_context(static_ctx.clone())
+            .with_indexes(use_indexes);
+        for (name, value) in params {
+            ev.bind(name, value.clone());
+        }
+        let seq = ev.eval(&module.body).map_err(|e| {
+            if e.code.is_some() {
+                e
+            } else {
+                // keep the "typed error or correct answer" invariant: a
+                // dynamic error during degraded evaluation is the same
+                // fault the peer would have reported
+                EvalError::from(XrpcError::RemoteFault {
+                    peer: peer.to_string(),
+                    code: "err:dynamic".to_string(),
+                    message: e.message,
+                })
+            }
+        })?;
+        results.push(seq);
+    }
+    let response = encode_response(local, wire, &results, projection.map(|p| &p.result))?;
+    let decoded = decode_response(local, &response)?;
+    core.metrics.fallbacks.fetch_add(1, Ordering::Relaxed);
+    Ok(Some(decoded))
 }
 
 impl RemoteHandler for FedLink {
@@ -636,29 +1239,52 @@ impl RemoteHandler for FedLink {
         )?;
         let sink = &self.core.metrics;
         sink.serialize_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
-        sink.message_bytes.fetch_add(request.len() as u64, Ordering::Relaxed);
         sink.remote_calls.fetch_add(calls.len() as u64, Ordering::Relaxed);
-        sink.count_transfer(self.core.model.transfer_time(request.len() as u64));
 
-        // ---- execute on the target peer ----
-        let response = if peer == self.peer {
-            // re-entrant call: the caller *is* this peer, so its store is on
-            // our stack — evaluate directly instead of taking the (empty)
-            // slot. The message still crosses the (loopback) wire above.
-            process_request(&self.core, peer, local, &request)?
-        } else {
-            let mut remote = self.core.take_peer(peer)?;
-            let outcome = process_request(&self.core, peer, &mut remote.store, &request);
-            // put the peer back regardless of the outcome
-            self.core.put_peer(remote);
-            outcome?
+        // ---- deliver through the fault-injecting transport ----
+        let core = Arc::clone(&self.core);
+        let own = self.peer.clone();
+        let deadline = self.core.options().retry.deadline;
+        let mut process = |req: &str| -> EvalResult<String> {
+            if peer == own {
+                // re-entrant call: the caller *is* this peer, so its store
+                // is on our stack — evaluate directly instead of taking the
+                // (empty) slot. The message still crossed the loopback wire.
+                process_request(&core, peer, local, req)
+            } else {
+                let mut remote = core.take_peer(peer, deadline).map_err(EvalError::from)?;
+                let outcome = process_request(&core, peer, &mut remote.store, req);
+                // put the peer back regardless of the outcome
+                core.put_peer(remote);
+                outcome
+            }
+        };
+        let (chain, outcome) = transport_call(&self.core, peer, &request, &mut process);
+        self.core.metrics.charge_chain(chain);
+
+        let response = match outcome {
+            Ok(r) => r,
+            Err(e) => {
+                if e.degradable() {
+                    if let Some(sequences) = fallback_local(
+                        &self.core,
+                        local,
+                        static_ctx,
+                        peer,
+                        &body_src,
+                        calls,
+                        projection,
+                        wire,
+                    )? {
+                        return Ok(sequences);
+                    }
+                }
+                return Err(e.into());
+            }
         };
 
-        let sink = &self.core.metrics;
-        sink.message_bytes.fetch_add(response.len() as u64, Ordering::Relaxed);
-        sink.count_transfer(self.core.model.transfer_time(response.len() as u64));
-
         // ---- decode response (caller side) ----
+        let sink = &self.core.metrics;
         let t0 = Instant::now();
         let sequences = decode_response(local, &response)?;
         sink.shred_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
@@ -711,13 +1337,14 @@ impl RemoteHandler for FedLink {
                 c.projection.map(|p| &p.result),
             )?;
             sink.serialize_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
-            sink.message_bytes.fetch_add(request.len() as u64, Ordering::Relaxed);
             sink.remote_calls.fetch_add(1, Ordering::Relaxed);
-            sink.transfers.fetch_add(1, Ordering::Relaxed);
             requests.push(request);
         }
 
         // ---- fan out: one scoped thread per distinct peer ----
+        // Each worker drives its calls through the same fault-injecting
+        // transport as sequential execution; per-peer fault ordinals make
+        // the schedule independent of thread interleaving.
         let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
         for (i, c) in calls.iter().enumerate() {
             match groups.iter_mut().find(|(p, _)| *p == c.peer) {
@@ -725,76 +1352,127 @@ impl RemoteHandler for FedLink {
                 None => groups.push((&c.peer, vec![i])),
             }
         }
-        let mut responses: Vec<Option<EvalResult<String>>> =
-            (0..calls.len()).map(|_| None).collect();
+        let deadline = self.core.options().retry.deadline;
+        type Slot = (Duration, Result<String, XrpcError>);
+        let mut slots: Vec<Option<Slot>> = (0..calls.len()).map(|_| None).collect();
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(groups.len());
-            for (peer, idxs) in &groups {
+            for (gi, group) in groups.iter().enumerate() {
+                let (peer, idxs) = (group.0, &group.1);
                 let core = Arc::clone(&self.core);
                 let requests = &requests;
-                handles.push(s.spawn(move || -> Vec<(usize, EvalResult<String>)> {
-                    let mut peer_obj = match core.take_peer(peer) {
-                        Ok(p) => p,
-                        Err(e) => return idxs.iter().map(|&i| (i, Err(e.clone()))).collect(),
-                    };
-                    let out = idxs
-                        .iter()
-                        .map(|&i| {
-                            (i, process_request(&core, peer, &mut peer_obj.store, &requests[i]))
-                        })
-                        .collect();
-                    core.put_peer(peer_obj);
-                    out
-                }));
+                handles.push((
+                    gi,
+                    s.spawn(move || -> Vec<(usize, Slot)> {
+                        let mut peer_obj = match core.take_peer(peer, deadline) {
+                            Ok(p) => p,
+                            Err(e) => {
+                                return idxs
+                                    .iter()
+                                    .map(|&i| (i, (Duration::ZERO, Err(e.clone()))))
+                                    .collect();
+                            }
+                        };
+                        let out = idxs
+                            .iter()
+                            .map(|&i| {
+                                let mut process = |req: &str| {
+                                    process_request(&core, peer, &mut peer_obj.store, req)
+                                };
+                                let (chain, r) =
+                                    transport_call(&core, peer, &requests[i], &mut process);
+                                (i, (chain, r))
+                            })
+                            .collect();
+                        core.put_peer(peer_obj);
+                        out
+                    }),
+                ));
             }
-            for handle in handles {
-                for (i, r) in handle.join().expect("scatter worker panicked") {
-                    responses[i] = Some(r);
+            for (gi, handle) in handles {
+                match handle.join() {
+                    Ok(rows) => {
+                        for (i, slot) in rows {
+                            slots[i] = Some(slot);
+                        }
+                    }
+                    Err(payload) => {
+                        // a poisoned worker must not kill the federation:
+                        // its calls fail with a typed remote fault instead
+                        let err = XrpcError::RemoteFault {
+                            peer: groups[gi].0.to_string(),
+                            code: "xrpc:panic".to_string(),
+                            message: format!(
+                                "scatter worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            ),
+                        };
+                        for &i in &groups[gi].1 {
+                            slots[i] = Some((Duration::ZERO, Err(err.clone())));
+                        }
+                    }
                 }
             }
         });
+        let rows: Vec<Slot> = slots
+            .into_iter()
+            .map(|r| r.expect("every call belongs to exactly one peer group"))
+            .collect();
 
-        // ---- gather: account and decode in deterministic call order ----
-        let mut gathered: Vec<String> = Vec::with_capacity(calls.len());
-        for r in responses {
-            gathered.push(r.expect("every call belongs to exactly one peer group")?);
-        }
-        // serialized network: the exact sum over every transfer; overlapped:
-        // the slowest peer's request→response chain dominates the round
+        // ---- account the round ----
+        // serialized network: the exact sum over every call chain (transfer
+        // legs, stalls and backoff waits); overlapped: the slowest peer's
+        // chain dominates the round
+        let mut serialized_sum = Duration::ZERO;
         let mut slowest_chain = Duration::ZERO;
         for (_, idxs) in &groups {
-            let mut chain = Duration::ZERO;
-            for &i in idxs {
-                chain += self.core.model.transfer_time(requests[i].len() as u64);
-                chain += self.core.model.transfer_time(gathered[i].len() as u64);
-            }
+            let chain: Duration = idxs.iter().map(|&i| rows[i].0).sum();
+            serialized_sum += chain;
             slowest_chain = slowest_chain.max(chain);
-        }
-        let mut serialized_sum = Duration::ZERO;
-        for (request, response) in requests.iter().zip(&gathered) {
-            serialized_sum += self.core.model.transfer_time(request.len() as u64);
-            serialized_sum += self.core.model.transfer_time(response.len() as u64);
         }
         sink.network_ns.fetch_add(as_ns(serialized_sum), Ordering::Relaxed);
         sink.network_overlapped_ns
             .fetch_add(as_ns(slowest_chain), Ordering::Relaxed);
         sink.scatter_rounds.fetch_add(1, Ordering::Relaxed);
 
+        // ---- gather: decode or degrade per slot, in call order ----
         let mut results = Vec::with_capacity(calls.len());
-        for (response, c) in gathered.iter().zip(calls) {
-            sink.message_bytes.fetch_add(response.len() as u64, Ordering::Relaxed);
-            sink.transfers.fetch_add(1, Ordering::Relaxed);
-            let t0 = Instant::now();
-            let mut sequences = decode_response(local, response)?;
-            sink.shred_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
-            if sequences.len() != 1 {
-                return Err(EvalError::new(format!(
-                    "scatter response for peer {} carries {} sequences for 1 call",
-                    c.peer,
-                    sequences.len()
-                )));
+        for ((_, outcome), c) in rows.into_iter().zip(calls) {
+            match outcome {
+                Ok(response) => {
+                    let t0 = Instant::now();
+                    let mut sequences = decode_response(local, &response)?;
+                    sink.shred_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+                    if sequences.len() != 1 {
+                        return Err(EvalError::new(format!(
+                            "scatter response for peer {} carries {} sequences for 1 call",
+                            c.peer,
+                            sequences.len()
+                        )));
+                    }
+                    results.push(sequences.pop().unwrap());
+                }
+                Err(e) => {
+                    if e.degradable() {
+                        let body_src = c.body.to_string();
+                        let one_call = vec![c.params.clone()];
+                        if let Some(mut sequences) = fallback_local(
+                            &self.core,
+                            local,
+                            static_ctx,
+                            &c.peer,
+                            &body_src,
+                            &one_call,
+                            c.projection,
+                            wire,
+                        )? {
+                            results.push(sequences.pop().unwrap_or_default());
+                            continue;
+                        }
+                    }
+                    return Err(e.into());
+                }
             }
-            results.push(sequences.pop().unwrap());
         }
         Ok(results)
     }

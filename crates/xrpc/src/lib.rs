@@ -8,11 +8,14 @@
 //!   bytes and shredded back;
 //! * [`wire`] — `fragid`/`nodeid` addressing, fragment deduplication and
 //!   relative projection-path evaluation;
-//! * [`net`] — the link cost model replacing the paper's 1 Gb/s testbed and
-//!   the Figure-8 metric categories;
+//! * [`net`] — the link cost model replacing the paper's 1 Gb/s testbed,
+//!   the Figure-8 metric categories, the typed [`XrpcError`] failure
+//!   taxonomy and the deterministic [`FaultPlan`] fault schedule;
 //! * [`exec`] — the [`Federation`] of peers, the `RemoteHandler` /
 //!   `DocResolver` implementations (including Bulk RPC and data-shipping
-//!   document fetches), and canonical result serialization.
+//!   document fetches), the fault-injecting transport with
+//!   [`RetryPolicy`]-driven retries and graceful degradation, and
+//!   canonical result serialization.
 //!
 //! ```no_run
 //! use xqd_xrpc::{Federation, NetworkModel};
@@ -29,6 +32,9 @@ pub mod message;
 pub mod net;
 pub mod wire;
 
-pub use exec::{canonical_item, ExecOptions, Federation, Peer, RunOutcome};
-pub use message::{decode_request, decode_response, encode_request, encode_response, WireSemantics};
-pub use net::{Metrics, NetworkModel};
+pub use exec::{canonical_item, ExecOptions, Federation, Peer, RetryPolicy, RunOutcome};
+pub use message::{
+    decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
+    WireSemantics,
+};
+pub use net::{Fault, FaultPlan, Metrics, NetworkModel, XrpcError};

@@ -1,4 +1,5 @@
-//! Simulated network and execution metrics.
+//! Simulated network, fault injection, typed failure semantics and
+//! execution metrics.
 //!
 //! The paper's testbed was three machines on 1 Gb/s Ethernet. We replace
 //! the wire with a cost model — `latency + bytes / bandwidth` per message —
@@ -6,8 +7,333 @@
 //! XML bytes and re-parsed on the other side, so the byte counts driving
 //! Figures 7 and 10 are exact, and the CPU portions of the Figure 8
 //! breakdown (shred / exec / (de)serialize) are measured wall-clock times.
+//!
+//! Beyond the paper's cooperative-LAN assumption this module adds the
+//! federation's **failure model**:
+//!
+//! * [`XrpcError`] — the typed taxonomy every RPC-path failure collapses
+//!   into. Faults are encoded on the wire as XRPC fault responses (SOAP-
+//!   fault style) and round-trip through the real message codecs.
+//! * [`FaultPlan`] — deterministic, seeded fault injection driven by the
+//!   in-tree `xqd-prng`. A fault decision is a pure function of
+//!   `(seed, peer, per-peer attempt ordinal)`, so a schedule replays
+//!   identically regardless of thread interleaving — the property the
+//!   chaos suite builds on.
 
+use std::fmt;
 use std::time::Duration;
+
+use xqd_prng::Rng;
+use xqd_xquery::value::EvalError;
+
+// ---------------------------------------------------------------------------
+// typed failure taxonomy
+// ---------------------------------------------------------------------------
+
+/// Typed XRPC-path failure. Every error the distributed executor can
+/// surface is one of these; stringly failures only exist *inside* remote
+/// evaluation, where they are wrapped into [`XrpcError::RemoteFault`] and
+/// shipped back as a wire-encoded fault response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XrpcError {
+    /// The target peer is not part of the federation. Not retryable: no
+    /// amount of waiting makes an unconfigured peer appear.
+    UnknownPeer { peer: String },
+    /// The peer exists but could not be engaged (slot held past the
+    /// deadline, or the fault plan declared it down). Retryable.
+    PeerBusy { peer: String, detail: String },
+    /// The call did not complete within its per-call deadline (hang, or
+    /// injected latency pushing the chain past the budget).
+    Timeout { peer: String, deadline: Duration },
+    /// A message was truncated or corrupted in flight and could not be
+    /// decoded. Retryable: replays are safe because remote calls are pure.
+    TransportCorrupt { peer: String, detail: String },
+    /// The remote side evaluated the call and failed; `code` carries the
+    /// remote error code (or `xrpc:panic` for a captured worker panic).
+    /// Not retryable: remote evaluation is deterministic.
+    RemoteFault { peer: String, code: String, message: String },
+    /// The call was abandoned before another attempt could start (its
+    /// retry/backoff budget was exhausted by earlier attempts).
+    Cancelled { peer: String, reason: String },
+}
+
+impl XrpcError {
+    /// The wire/`EvalError` code of this error. [`XrpcError::RemoteFault`]
+    /// propagates the remote code verbatim.
+    pub fn code(&self) -> String {
+        match self {
+            XrpcError::UnknownPeer { .. } => "xrpc:unknown-peer".into(),
+            XrpcError::PeerBusy { .. } => "xrpc:peer-busy".into(),
+            XrpcError::Timeout { .. } => "xrpc:timeout".into(),
+            XrpcError::TransportCorrupt { .. } => "xrpc:transport-corrupt".into(),
+            XrpcError::RemoteFault { code, .. } => code.clone(),
+            XrpcError::Cancelled { .. } => "xrpc:cancelled".into(),
+        }
+    }
+
+    /// The peer the failure is attributed to.
+    pub fn peer(&self) -> &str {
+        match self {
+            XrpcError::UnknownPeer { peer }
+            | XrpcError::PeerBusy { peer, .. }
+            | XrpcError::Timeout { peer, .. }
+            | XrpcError::TransportCorrupt { peer, .. }
+            | XrpcError::RemoteFault { peer, .. }
+            | XrpcError::Cancelled { peer, .. } => peer,
+        }
+    }
+
+    /// True if another attempt of the same call may succeed: the failure
+    /// was in transport, not in evaluation.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            XrpcError::PeerBusy { .. }
+                | XrpcError::Timeout { .. }
+                | XrpcError::TransportCorrupt { .. }
+        )
+    }
+
+    /// True if graceful degradation (data shipping + local evaluation) is a
+    /// sound response: the peer could not *answer*, as opposed to having
+    /// answered with an evaluation error that local evaluation would
+    /// reproduce.
+    pub fn degradable(&self) -> bool {
+        self.retryable() || matches!(self, XrpcError::Cancelled { .. })
+    }
+
+    /// Reconstructs the typed error from a wire code plus human-readable
+    /// message (the inverse of encoding a fault response). Unknown codes
+    /// become [`XrpcError::RemoteFault`] carrying the code verbatim.
+    pub fn from_code(code: &str, peer: &str, message: &str) -> XrpcError {
+        let peer = peer.to_string();
+        match code {
+            "xrpc:unknown-peer" => XrpcError::UnknownPeer { peer },
+            "xrpc:peer-busy" => XrpcError::PeerBusy { peer, detail: message.to_string() },
+            "xrpc:timeout" => XrpcError::Timeout { peer, deadline: Duration::ZERO },
+            "xrpc:transport-corrupt" => {
+                XrpcError::TransportCorrupt { peer, detail: message.to_string() }
+            }
+            "xrpc:cancelled" => XrpcError::Cancelled { peer, reason: message.to_string() },
+            other => XrpcError::RemoteFault {
+                peer,
+                code: other.to_string(),
+                message: message.to_string(),
+            },
+        }
+    }
+
+    /// Lifts a caller-side [`EvalError`] back into the taxonomy using its
+    /// code tag; untagged errors are remote evaluation faults.
+    pub fn from_eval(peer: &str, e: &EvalError) -> XrpcError {
+        match &e.code {
+            Some(code) => XrpcError::from_code(code, peer, &e.message),
+            None => XrpcError::RemoteFault {
+                peer: peer.to_string(),
+                code: "err:dynamic".to_string(),
+                message: e.message.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for XrpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XrpcError::UnknownPeer { peer } => write!(f, "unknown peer {peer}"),
+            XrpcError::PeerBusy { peer, detail } => {
+                write!(f, "peer {peer} unavailable: {detail}")
+            }
+            XrpcError::Timeout { peer, deadline } => {
+                write!(f, "call to peer {peer} timed out after {deadline:?}")
+            }
+            XrpcError::TransportCorrupt { peer, detail } => {
+                write!(f, "corrupt transport to/from peer {peer}: {detail}")
+            }
+            XrpcError::RemoteFault { peer, code, message } => {
+                write!(f, "remote fault on peer {peer} ({code}): {message}")
+            }
+            XrpcError::Cancelled { peer, reason } => {
+                write!(f, "call to peer {peer} cancelled: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XrpcError {}
+
+impl From<XrpcError> for EvalError {
+    fn from(e: XrpcError) -> EvalError {
+        EvalError::with_code(e.code(), e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// One injected per-call fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The peer does not react at all; the request is lost.
+    PeerDown,
+    /// The request arrives truncated at a random point.
+    TruncateRequest,
+    /// One request byte is overwritten with an invalid UTF-8 byte.
+    CorruptRequest,
+    /// The response arrives truncated at a random point.
+    TruncateResponse,
+    /// One response byte is overwritten with an invalid UTF-8 byte.
+    CorruptResponse,
+    /// The link stalls for [`FaultPlan::extra_latency`] on top of the
+    /// modeled transfer time.
+    Latency,
+    /// The call hangs past its deadline; the caller gives up at the
+    /// deadline (simulated — no real wait).
+    Hang,
+    /// The remote worker panics mid-call (captured and converted into
+    /// [`XrpcError::RemoteFault`] with code `xrpc:panic`).
+    RemotePanic,
+}
+
+impl Fault {
+    const ALL: [Fault; 8] = [
+        Fault::PeerDown,
+        Fault::TruncateRequest,
+        Fault::CorruptRequest,
+        Fault::TruncateResponse,
+        Fault::CorruptResponse,
+        Fault::Latency,
+        Fault::Hang,
+        Fault::RemotePanic,
+    ];
+}
+
+/// Seeded, fully deterministic fault schedule.
+///
+/// Each per-peer call attempt consumes one ordinal from that peer's
+/// counter; the fault decision (and any jitter / mangling positions) for
+/// ordinal `n` is drawn from a fresh `xqd-prng` stream seeded by
+/// `mix(seed, hash(peer), n)`. Because per-peer attempt order is
+/// deterministic in both the sequential and scatter executors, the same
+/// `(seed, plan)` replays the same schedule — including under thread
+/// interleaving — which is what makes the chaos suite's metrics
+/// reproducible bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Per-attempt probability of each fault kind, in [`Fault::ALL`] order
+    /// implied by the individual fields below.
+    pub p_peer_down: f64,
+    pub p_truncate_request: f64,
+    pub p_corrupt_request: f64,
+    pub p_truncate_response: f64,
+    pub p_corrupt_response: f64,
+    pub p_latency: f64,
+    pub p_hang: f64,
+    pub p_panic: f64,
+    /// Stall added by [`Fault::Latency`].
+    pub extra_latency: Duration,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults (useful as a base for struct update).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            p_peer_down: 0.0,
+            p_truncate_request: 0.0,
+            p_corrupt_request: 0.0,
+            p_truncate_response: 0.0,
+            p_corrupt_response: 0.0,
+            p_latency: 0.0,
+            p_hang: 0.0,
+            p_panic: 0.0,
+            extra_latency: Duration::from_millis(50),
+        }
+    }
+
+    /// A plan where every fault kind is equally likely and `total_rate` is
+    /// the per-attempt probability that *some* fault fires.
+    pub fn uniform(seed: u64, total_rate: f64) -> Self {
+        let p = (total_rate / Fault::ALL.len() as f64).clamp(0.0, 1.0);
+        FaultPlan {
+            p_peer_down: p,
+            p_truncate_request: p,
+            p_corrupt_request: p,
+            p_truncate_response: p,
+            p_corrupt_response: p,
+            p_latency: p,
+            p_hang: p,
+            p_panic: p,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    fn probs(&self) -> [f64; 8] {
+        [
+            self.p_peer_down,
+            self.p_truncate_request,
+            self.p_corrupt_request,
+            self.p_truncate_response,
+            self.p_corrupt_response,
+            self.p_latency,
+            self.p_hang,
+            self.p_panic,
+        ]
+    }
+
+    /// The per-attempt PRNG stream for `(peer, seq)`.
+    fn stream(&self, peer: &str, seq: u64) -> Rng {
+        // FNV-1a over the peer name, then SplitMix-style mixing with the
+        // seed and ordinal so nearby (seed, seq) pairs decorrelate.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in peer.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mixed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h)
+            .wrapping_add(seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        Rng::seed_from_u64(mixed)
+    }
+
+    /// The fault (if any) injected into attempt `seq` against `peer`.
+    pub fn decide(&self, peer: &str, seq: u64) -> Option<Fault> {
+        let mut rng = self.stream(peer, seq);
+        let draw = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let mut acc = 0.0;
+        for (fault, p) in Fault::ALL.iter().zip(self.probs()) {
+            acc += p;
+            if draw < acc {
+                return Some(*fault);
+            }
+        }
+        None
+    }
+
+    /// Deterministic jitter fraction in `[0, 1)` for the backoff following
+    /// attempt `seq` against `peer`.
+    pub fn jitter(&self, peer: &str, seq: u64) -> f64 {
+        let mut rng = self.stream(peer, seq);
+        rng.next_u64(); // skip the fault draw
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Deterministic mangling position in `[0, len)` for truncation or
+    /// corruption of a `len`-byte message on attempt `seq`.
+    pub fn mangle_position(&self, peer: &str, seq: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let mut rng = self.stream(peer, seq);
+        rng.next_u64(); // skip the fault draw
+        rng.next_u64(); // skip the jitter draw
+        rng.gen_range_usize(0..len)
+    }
+}
 
 /// Link cost model.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +397,13 @@ pub struct Metrics {
     /// scatter rounds this accrues identically to `network`, so for a fully
     /// sequential run `network_overlapped == network`.
     pub network_overlapped: Duration,
+    /// Call attempts replayed after a retryable transport failure.
+    pub retries: u64,
+    /// Faults the [`FaultPlan`] injected into this run.
+    pub faults_injected: u64,
+    /// Calls answered by graceful degradation (document fetched, body
+    /// evaluated locally) after retries were exhausted.
+    pub fallbacks: u64,
     /// End-to-end wall-clock time of the run.
     pub total: Duration,
 }
@@ -114,7 +447,26 @@ impl Metrics {
         self.remote_exec += other.remote_exec;
         self.network += other.network;
         self.network_overlapped += other.network_overlapped;
+        self.retries += other.retries;
+        self.faults_injected += other.faults_injected;
+        self.fallbacks += other.fallbacks;
         self.total += other.total;
+    }
+
+    /// The counter-valued fields (everything deterministic under a fixed
+    /// seed and fault plan — measured durations are excluded). The retry
+    /// determinism suite compares these across repeated runs.
+    pub fn counters(&self) -> [u64; 8] {
+        [
+            self.message_bytes,
+            self.document_bytes,
+            self.transfers,
+            self.remote_calls,
+            self.scatter_rounds,
+            self.retries,
+            self.faults_injected,
+            self.fallbacks,
+        ]
     }
 }
 
@@ -175,5 +527,111 @@ mod tests {
         assert_eq!(m.wall_clock_serialized(), Duration::from_millis(90));
         assert_eq!(m.wall_clock_overlapped(), Duration::from_millis(35));
         assert!(m.wall_clock_overlapped() <= m.wall_clock_serialized());
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic() {
+        let plan = FaultPlan::uniform(42, 0.5);
+        for seq in 0..200 {
+            assert_eq!(plan.decide("p1", seq), plan.decide("p1", seq));
+            assert_eq!(plan.jitter("p1", seq), plan.jitter("p1", seq));
+            assert_eq!(
+                plan.mangle_position("p1", seq, 1000),
+                plan.mangle_position("p1", seq, 1000)
+            );
+        }
+        // different peers and seeds see different schedules
+        let other_seed = FaultPlan::uniform(43, 0.5);
+        let diverges = (0..200).any(|seq| {
+            plan.decide("p1", seq) != plan.decide("p2", seq)
+                || plan.decide("p1", seq) != other_seed.decide("p1", seq)
+        });
+        assert!(diverges, "schedules must depend on peer and seed");
+    }
+
+    #[test]
+    fn fault_rate_is_roughly_honored() {
+        let plan = FaultPlan::uniform(7, 0.25);
+        let fired = (0..10_000).filter(|&s| plan.decide("p", s).is_some()).count();
+        assert!((1_800..3_200).contains(&fired), "fired={fired}");
+        let none = FaultPlan::none(7);
+        assert!((0..10_000).all(|s| none.decide("p", s).is_none()));
+    }
+
+    #[test]
+    fn xrpc_error_code_roundtrip() {
+        let cases = [
+            XrpcError::UnknownPeer { peer: "a".into() },
+            XrpcError::PeerBusy { peer: "a".into(), detail: "slot held".into() },
+            XrpcError::TransportCorrupt { peer: "a".into(), detail: "bad utf-8".into() },
+            XrpcError::RemoteFault {
+                peer: "a".into(),
+                code: "err:FOAR0001".into(),
+                message: "division by zero".into(),
+            },
+            XrpcError::Cancelled { peer: "a".into(), reason: "budget spent".into() },
+        ];
+        for e in cases {
+            let back = XrpcError::from_code(&e.code(), e.peer(), match &e {
+                XrpcError::PeerBusy { detail, .. }
+                | XrpcError::TransportCorrupt { detail, .. } => detail,
+                XrpcError::RemoteFault { message, .. } => message,
+                XrpcError::Cancelled { reason, .. } => reason,
+                _ => "",
+            });
+            assert_eq!(back, e);
+        }
+        // Timeout round-trips its variant (the deadline value is not wired)
+        let t = XrpcError::Timeout { peer: "a".into(), deadline: Duration::from_secs(1) };
+        assert!(matches!(
+            XrpcError::from_code(&t.code(), "a", ""),
+            XrpcError::Timeout { .. }
+        ));
+    }
+
+    #[test]
+    fn retryability_classes() {
+        let busy = XrpcError::PeerBusy { peer: "a".into(), detail: String::new() };
+        let timeout = XrpcError::Timeout { peer: "a".into(), deadline: Duration::ZERO };
+        let corrupt = XrpcError::TransportCorrupt { peer: "a".into(), detail: String::new() };
+        let unknown = XrpcError::UnknownPeer { peer: "a".into() };
+        let remote = XrpcError::RemoteFault {
+            peer: "a".into(),
+            code: "err:x".into(),
+            message: String::new(),
+        };
+        let cancelled = XrpcError::Cancelled { peer: "a".into(), reason: String::new() };
+        for e in [&busy, &timeout, &corrupt] {
+            assert!(e.retryable() && e.degradable(), "{e}");
+        }
+        for e in [&unknown, &remote] {
+            assert!(!e.retryable() && !e.degradable(), "{e}");
+        }
+        assert!(!cancelled.retryable() && cancelled.degradable());
+    }
+
+    #[test]
+    fn eval_error_conversion_carries_code() {
+        let e: EvalError =
+            XrpcError::Timeout { peer: "p9".into(), deadline: Duration::from_millis(5) }.into();
+        assert!(e.has_code("xrpc:timeout"));
+        assert!(e.message.contains("p9"), "{e}");
+        let back = XrpcError::from_eval("p9", &e);
+        assert!(matches!(back, XrpcError::Timeout { .. }));
+        // untagged errors become remote faults
+        let plain = EvalError::new("division by zero");
+        let rf = XrpcError::from_eval("p1", &plain);
+        assert!(matches!(&rf, XrpcError::RemoteFault { message, .. } if message.contains("division")));
+    }
+
+    #[test]
+    fn metrics_counters_include_robustness_fields() {
+        let mut a = Metrics { retries: 1, faults_injected: 2, fallbacks: 3, ..Default::default() };
+        let b = Metrics { retries: 10, faults_injected: 20, fallbacks: 30, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.retries, 11);
+        assert_eq!(a.faults_injected, 22);
+        assert_eq!(a.fallbacks, 33);
+        assert_eq!(a.counters()[5..], [11, 22, 33]);
     }
 }

@@ -19,6 +19,9 @@ use xqd_xquery::ast::{NameTest, RelPath, RelStep};
 /// (preorder). Returns `None` when `target` is outside the range or is an
 /// attribute.
 pub fn nodeid_in_range(doc: &Document, start: u32, end: u32, target: u32) -> Option<u32> {
+    if target >= doc.len() as u32 {
+        return None;
+    }
     if target < start || target > end || doc.kind(target) == NodeKind::Attribute {
         return None;
     }
@@ -31,10 +34,13 @@ pub fn nodeid_in_range(doc: &Document, start: u32, end: u32, target: u32) -> Opt
     Some(rank)
 }
 
-/// Inverse of [`nodeid_in_range`].
+/// Inverse of [`nodeid_in_range`]. Total for arbitrary (possibly hostile)
+/// `start`/`end`/`nodeid` inputs: out-of-range references from a mangled
+/// message yield `None`, never an out-of-bounds access.
 pub fn node_at_nodeid(doc: &Document, start: u32, end: u32, nodeid: u32) -> Option<u32> {
+    let last = (doc.len() as u32).checked_sub(1)?;
     let mut rank = 0u32;
-    for i in start..=end.min(doc.len() as u32 - 1) {
+    for i in start..=end.min(last) {
         if doc.kind(i) != NodeKind::Attribute {
             rank += 1;
             if rank == nodeid {

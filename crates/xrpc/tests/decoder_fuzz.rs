@@ -1,0 +1,182 @@
+//! Decoder robustness under hostile bytes: seeded `xqd-prng` mutations of
+//! valid wire messages must make `decode_request` / `decode_response` /
+//! `decode_fault` return an error (or, for semantics-preserving byte
+//! flips, any non-panicking outcome) — never panic, across all three wire
+//! semantics. Truncation anywhere strictly inside the message must always
+//! be *detected*: the envelope's closing bytes are gone.
+
+use xqd_prng::Rng;
+use xqd_xml::Store;
+use xqd_xquery::eval::{DocResolver, Evaluator, StaticContext};
+use xqd_xquery::parse_query;
+use xqd_xquery::value::{EvalError, EvalResult, Sequence};
+
+/// Resolver serving only documents already shredded into the store.
+struct LocalDocs;
+
+impl DocResolver for LocalDocs {
+    fn resolve(&mut self, store: &mut Store, uri: &str) -> EvalResult<xqd_xml::DocId> {
+        store.doc_by_uri(uri).ok_or_else(|| EvalError::new(format!("no document {uri}")))
+    }
+}
+use xqd_xrpc::{
+    decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
+    WireSemantics, XrpcError,
+};
+
+const SEMANTICS: [WireSemantics; 3] =
+    [WireSemantics::Value, WireSemantics::Fragment, WireSemantics::Projection];
+
+/// A store with one document plus a node-valued parameter sequence, so the
+/// encoded messages exercise node shipping (fragids, hrefs, projections).
+fn fixture() -> (Store, Sequence) {
+    let mut store = Store::new();
+    xqd_xml::parse_document(
+        &mut store,
+        "<a id=\"1\"><b><c>text &amp; more</c></b><b/></a>",
+        Some("xrpc://p/d.xml"),
+    )
+    .unwrap();
+    let module = parse_query("doc(\"xrpc://p/d.xml\")//b").unwrap();
+    let functions = Vec::new();
+    let mut resolver = LocalDocs;
+    let seq = Evaluator::new(&mut store, &functions, &mut resolver).eval(&module.body).unwrap();
+    (store, seq)
+}
+
+fn valid_messages() -> Vec<String> {
+    let mut messages = Vec::new();
+    for semantics in SEMANTICS {
+        let (store, seq) = fixture();
+        let calls = vec![vec![("x".to_string(), seq.clone())]];
+        let request = encode_request(
+            &store,
+            semantics,
+            &StaticContext::default(),
+            "count($x//c)",
+            &calls,
+            None,
+            None,
+        )
+        .unwrap();
+        let response = encode_response(&store, semantics, &[seq], None).unwrap();
+        messages.push(request);
+        messages.push(response);
+    }
+    messages.push(encode_fault(&XrpcError::TransportCorrupt {
+        peer: "p".to_string(),
+        detail: "detail with <angle> & \"quotes\"".to_string(),
+    }));
+    messages
+}
+
+fn char_floor(s: &str, pos: usize) -> usize {
+    let mut p = pos.min(s.len());
+    while p > 0 && !s.is_char_boundary(p) {
+        p -= 1;
+    }
+    p
+}
+
+/// Runs every decoder over `mutant`; returns whether *any* accepted it.
+/// The decoders must not panic — reaching the return is the property.
+fn decode_all(mutant: &str) -> bool {
+    let mut accepted = false;
+    let mut store = Store::new();
+    accepted |= decode_request(&mut store, mutant).is_ok();
+    let mut store = Store::new();
+    accepted |= decode_response(&mut store, mutant).is_ok();
+    accepted |= decode_fault(mutant).is_some();
+    accepted
+}
+
+#[test]
+fn truncated_messages_always_decode_as_errors() {
+    let mut rng = Rng::seed_from_u64(0xDEC0DE);
+    for message in valid_messages() {
+        for _ in 0..200 {
+            let cut = char_floor(&message, rng.gen_range_usize(0..message.len()));
+            let mutant = &message[..cut];
+            let mut store = Store::new();
+            assert!(
+                decode_request(&mut store, mutant).is_err(),
+                "truncated request accepted at byte {cut}: {mutant:?}"
+            );
+            let mut store = Store::new();
+            assert!(
+                decode_response(&mut store, mutant).is_err(),
+                "truncated response accepted at byte {cut}: {mutant:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_errors_are_tagged_transport_corrupt() {
+    let mut rng = Rng::seed_from_u64(0xBADC0DE);
+    for message in valid_messages() {
+        for _ in 0..50 {
+            let cut = char_floor(&message, rng.gen_range_usize(0..message.len()));
+            let mut store = Store::new();
+            let err = decode_response(&mut store, &message[..cut]).unwrap_err();
+            assert_eq!(err.code.as_deref(), Some("xrpc:transport-corrupt"), "cut={cut}");
+        }
+    }
+}
+
+#[test]
+fn byte_flipped_messages_never_panic_the_decoders() {
+    let mut rng = Rng::seed_from_u64(0xF1A5);
+    // printable ASCII replacements keep the mutant valid UTF-8 (invalid
+    // UTF-8 never reaches a decoder: the transport rejects it earlier)
+    let replacements: Vec<u8> = (0x20u8..0x7f).collect();
+    for message in valid_messages() {
+        for _ in 0..300 {
+            let mut bytes = message.clone().into_bytes();
+            // flip 1–4 bytes, only at ASCII positions so UTF-8 stays valid
+            for _ in 0..(1 + rng.gen_range_usize(0..4)) {
+                let pos = rng.gen_range_usize(0..bytes.len());
+                if bytes[pos].is_ascii() {
+                    bytes[pos] = replacements[rng.gen_range_usize(0..replacements.len())];
+                }
+            }
+            let mutant = String::from_utf8(bytes).unwrap();
+            // must not panic; accept-or-reject are both fine for flips
+            // that happen to keep the message well-formed
+            decode_all(&mutant);
+        }
+    }
+}
+
+#[test]
+fn shuffled_fragments_of_messages_never_panic_the_decoders() {
+    let mut rng = Rng::seed_from_u64(0x5AFE);
+    for message in valid_messages() {
+        for _ in 0..100 {
+            // splice two random char-aligned windows of the message
+            let a = char_floor(&message, rng.gen_range_usize(0..message.len()));
+            let b = char_floor(&message, rng.gen_range_usize(0..message.len()));
+            let (lo, hi) = (a.min(b), a.max(b));
+            let mutant = format!("{}{}", &message[hi..], &message[..lo]);
+            decode_all(&mutant);
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_never_panic_the_decoders() {
+    for mutant in [
+        "",
+        "<",
+        ">",
+        "<env>",
+        "<env></env>",
+        "<env><fault></fault></env>",
+        "<env><fault code=\"\"/></env>",
+        "<env><response/></env>",
+        "not xml at all",
+        "<env><fault code=\"xrpc:timeout\" peer=\"p\"><message>m</message></fault></env> trailing",
+    ] {
+        decode_all(mutant);
+    }
+}

@@ -1,0 +1,156 @@
+//! Chaos tour: a seeded fault-injection sweep over the federation,
+//! demonstrating the failure model end to end and checking the core
+//! robustness invariant as it goes:
+//!
+//! > under any fault schedule a query returns results **bit-identical** to
+//! > the fault-free run, or a **typed** error — never a panic, a hang, or
+//! > a wrong answer.
+//!
+//! ```sh
+//! cargo run --release --example chaos_tour                 # default sweep
+//! cargo run --release --example chaos_tour -- --seeds 100  # wider sweep
+//! cargo run --release --example chaos_tour -- --quiet      # summary only
+//! ```
+//!
+//! Exits non-zero if any schedule violates the invariant.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use xqd::{FaultPlan, Federation, Metrics, NetworkModel, Strategy};
+
+const FAULT_RATE: f64 = 0.3;
+
+const STRATEGIES: [Strategy; 3] =
+    [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection];
+
+const QUERIES: [(&str, &str); 2] = [
+    (
+        "ancestry",
+        "let $b := execute at {\"p\"} params () { doc(\"d.xml\")/a/b[1] } \
+         return (count($b/parent::a), $b//c)",
+    ),
+    (
+        "scatter",
+        "(execute at {\"a\"} params () { count(doc(\"da.xml\")//x) }) + \
+         (execute at {\"b\"} params () { count(doc(\"db.xml\")//x) })",
+    ),
+];
+
+fn federation() -> Federation {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.load_document("p", "d.xml", "<a><b><c>one</c></b><b><c>two</c></b></a>").unwrap();
+    f.load_document("a", "da.xml", "<r><x/><x/></r>").unwrap();
+    f.load_document("b", "db.xml", "<r><x/></r>").unwrap();
+    f
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds = 50u64;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                seeds = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seeds requires a number");
+                i += 2;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown option {other:?} (supported: --seeds N, --quiet)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // the injected worker panics are captured and converted into typed
+    // errors; silence their default-hook noise
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("injected fault"))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let mut schedules = 0u64;
+    let mut clean_runs = 0u64;
+    let mut typed_errors: BTreeMap<String, u64> = BTreeMap::new();
+    let mut violations = 0u64;
+    let mut total = Metrics::default();
+
+    for (label, query) in QUERIES {
+        for strategy in STRATEGIES {
+            let baseline = federation().run(query, strategy).expect("fault-free run succeeds");
+            for seed in 0..seeds {
+                schedules += 1;
+                let mut f = federation();
+                f.set_fault_plan(Some(FaultPlan::uniform(seed, FAULT_RATE)));
+                match f.run(query, strategy) {
+                    Ok(out) => {
+                        total.add(&out.metrics);
+                        if out.result == baseline.result {
+                            clean_runs += 1;
+                        } else {
+                            violations += 1;
+                            eprintln!(
+                                "VIOLATION [{label}/{}/seed {seed}]: wrong answer {:?} != {:?}",
+                                strategy.name(),
+                                out.result,
+                                baseline.result
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        total.add(&f.metrics());
+                        match e.code {
+                            Some(code) => *typed_errors.entry(code).or_insert(0) += 1,
+                            None => {
+                                violations += 1;
+                                eprintln!(
+                                    "VIOLATION [{label}/{}/seed {seed}]: untyped error {:?}",
+                                    strategy.name(),
+                                    e.message
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            if !quiet {
+                println!("swept {label} under {} ({seeds} seeds)", strategy.name());
+            }
+        }
+    }
+
+    println!("chaos tour: {schedules} schedules at fault rate {FAULT_RATE}");
+    println!(
+        "  {clean_runs} correct results, {} typed errors, {violations} violations",
+        schedules - clean_runs,
+    );
+    println!(
+        "  {} faults injected, {} retries, {} graceful degradations",
+        total.faults_injected, total.retries, total.fallbacks,
+    );
+    for (code, count) in &typed_errors {
+        println!("    {code}: {count}");
+    }
+    if violations == 0 {
+        println!("invariant holds: bit-identical results or typed errors, no panics");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("invariant VIOLATED {violations} time(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -12,8 +12,9 @@
 //! (1 Gb/s, default) or `wan` (10 Mb/s).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use xqd::{Federation, NetworkModel, Strategy};
+use xqd::{FaultPlan, Federation, NetworkModel, RetryPolicy, Strategy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +48,12 @@ OPTIONS:
                            (default: projection)
   --network lan|wan        link model for simulated transfer times
   --metrics                print byte/time accounting after the run
+  --fault-seed N           inject deterministic faults from seed N
+  --fault-rate P           per-attempt fault probability 0..1 (default 0.2;
+                           only meaningful with --fault-seed)
+  --retries N              attempts per remote call (default 3)
+  --deadline-ms N          per-call deadline in simulated ms (default 10000)
+  --backoff-ms N           base retry backoff in simulated ms (default 10)
 ";
 
 struct RunOptions {
@@ -55,6 +62,9 @@ struct RunOptions {
     strategies: Vec<Strategy>,
     network: NetworkModel,
     metrics: bool,
+    fault_seed: Option<u64>,
+    fault_rate: f64,
+    retry: RetryPolicy,
 }
 
 fn parse_strategy(s: &str) -> Option<Vec<Strategy>> {
@@ -75,7 +85,15 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         strategies: vec![Strategy::ByProjection],
         network: NetworkModel::lan(),
         metrics: false,
+        fault_seed: None,
+        fault_rate: 0.2,
+        retry: RetryPolicy::default(),
     };
+    fn num_arg<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
+        args.get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("{flag} requires a number"))
+    }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -111,6 +129,30 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             "--metrics" => {
                 opts.metrics = true;
                 i += 1;
+            }
+            "--fault-seed" => {
+                opts.fault_seed = Some(num_arg(args, i, "--fault-seed")?);
+                i += 2;
+            }
+            "--fault-rate" => {
+                let rate: f64 = num_arg(args, i, "--fault-rate")?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--fault-rate must be in 0..1, got {rate}"));
+                }
+                opts.fault_rate = rate;
+                i += 2;
+            }
+            "--retries" => {
+                opts.retry.max_attempts = num_arg(args, i, "--retries")?;
+                i += 2;
+            }
+            "--deadline-ms" => {
+                opts.retry.deadline = Duration::from_millis(num_arg(args, i, "--deadline-ms")?);
+                i += 2;
+            }
+            "--backoff-ms" => {
+                opts.retry.base_backoff = Duration::from_millis(num_arg(args, i, "--backoff-ms")?);
+                i += 2;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
             file => {
@@ -179,6 +221,10 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
 
     for strategy in &opts.strategies {
         let mut fed = Federation::new(opts.network);
+        fed.set_retry_policy(opts.retry);
+        if let Some(seed) = opts.fault_seed {
+            fed.set_fault_plan(Some(FaultPlan::uniform(seed, opts.fault_rate)));
+        }
         for (peer, doc, file) in &opts.peers {
             let xml = match std::fs::read_to_string(file) {
                 Ok(x) => x,
@@ -214,6 +260,15 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
                         m.network,
                         m.total + m.network,
                     );
+                    if opts.fault_seed.is_some() || m.faults_injected > 0 {
+                        eprintln!(
+                            "# {}: {} faults injected, {} retries, {} fallbacks",
+                            strategy.name(),
+                            m.faults_injected,
+                            m.retries,
+                            m.fallbacks,
+                        );
+                    }
                 }
             }
             Err(e) => {

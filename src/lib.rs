@@ -42,4 +42,7 @@ pub use xqd_xrpc as xrpc;
 
 pub use xqd_core::{decompose, Decomposition, Semantics, Strategy};
 pub use xqd_xquery::{eval_query, parse_query, EvalError, Item, QueryModule, Sequence};
-pub use xqd_xrpc::{ExecOptions, Federation, Metrics, NetworkModel, RunOutcome};
+pub use xqd_xrpc::{
+    ExecOptions, Fault, FaultPlan, Federation, Metrics, NetworkModel, RetryPolicy, RunOutcome,
+    XrpcError,
+};

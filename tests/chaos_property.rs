@@ -1,0 +1,145 @@
+//! Chaos property suite — the PR's headline invariant:
+//!
+//! > Under **any** seeded fault schedule, a query either returns results
+//! > bit-identical to the fault-free run or a **typed** error — never a
+//! > panic, a hang, or a silently wrong answer.
+//!
+//! The sweep drives 240 seeded fault schedules (40 seeds × 3 wire
+//! semantics × 2 fixture queries) through the full stack — real wire
+//! encodings, retries with deterministic backoff, graceful degradation —
+//! and additionally replays every schedule on a fresh federation to prove
+//! the whole run (results *and* counter-valued metrics, including retries
+//! and fallbacks) is a pure function of the seed.
+
+use xqd::{FaultPlan, Federation, Metrics, NetworkModel, Strategy};
+
+const SEEDS: u64 = 40;
+const FAULT_RATE: f64 = 0.3;
+
+const STRATEGIES: [Strategy; 3] =
+    [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection];
+
+/// Fixture queries: one strategy-divergent single call (the shipped node's
+/// ancestry differs across wire semantics, so a degradation that is not
+/// strategy-faithful would be caught), one two-peer scatter.
+const QUERIES: [&str; 2] = [
+    "let $b := execute at {\"p\"} params () { doc(\"d.xml\")/a/b[1] } \
+     return (count($b/parent::a), $b//c)",
+    "(execute at {\"a\"} params () { count(doc(\"da.xml\")//x) }) + \
+     (execute at {\"b\"} params () { count(doc(\"db.xml\")//x) })",
+];
+
+fn federation() -> Federation {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.load_document("p", "d.xml", "<a><b><c>one</c></b><b><c>two</c></b></a>").unwrap();
+    f.load_document("a", "da.xml", "<r><x/><x/></r>").unwrap();
+    f.load_document("b", "db.xml", "<r><x/></r>").unwrap();
+    f
+}
+
+/// Silences the intentional `injected fault` worker panics (they are
+/// captured and converted to typed errors); real panics still print.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("injected fault"))
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn run_chaos(query: &str, strategy: Strategy, seed: u64) -> (Result<Vec<String>, String>, Metrics) {
+    let mut f = federation();
+    f.set_fault_plan(Some(FaultPlan::uniform(seed, FAULT_RATE)));
+    match f.run(query, strategy) {
+        Ok(out) => (Ok(out.result), out.metrics),
+        Err(e) => {
+            let code = e.code.unwrap_or_else(|| {
+                panic!("seed {seed} {strategy:?}: untyped error {:?}", e.message)
+            });
+            (Err(code), f.metrics())
+        }
+    }
+}
+
+#[test]
+fn every_fault_schedule_yields_baseline_results_or_a_typed_error() {
+    quiet_injected_panics();
+    let mut schedules = 0u64;
+    let mut succeeded = 0u64;
+    let mut total = Metrics::default();
+    for query in QUERIES {
+        for strategy in STRATEGIES {
+            let baseline = federation().run(query, strategy).unwrap();
+            assert_eq!(baseline.metrics.faults_injected, 0);
+            for seed in 0..SEEDS {
+                schedules += 1;
+                let (outcome, metrics) = run_chaos(query, strategy, seed);
+                total.add(&metrics);
+                match outcome {
+                    Ok(result) => {
+                        succeeded += 1;
+                        assert_eq!(
+                            result, baseline.result,
+                            "seed {seed} {strategy:?}: wrong answer under faults"
+                        );
+                    }
+                    Err(code) => assert!(
+                        code.starts_with("xrpc:") || code == "err:dynamic",
+                        "seed {seed} {strategy:?}: unexpected error code {code:?}"
+                    ),
+                }
+            }
+        }
+    }
+    assert_eq!(schedules, SEEDS * 3 * 2);
+    assert!(schedules >= 200, "acceptance floor: at least 200 schedules");
+    // the sweep must actually exercise the machinery, not just survive it
+    assert!(total.faults_injected > 0, "no faults injected across the sweep");
+    assert!(total.retries > 0, "no retries across the sweep");
+    assert!(total.fallbacks > 0, "no graceful degradations across the sweep");
+    assert!(succeeded > 0, "every schedule errored — retry/degradation never rescued a run");
+}
+
+#[test]
+fn identical_seeds_replay_identical_runs_including_metrics() {
+    quiet_injected_panics();
+    for query in QUERIES {
+        for strategy in STRATEGIES {
+            for seed in 0..SEEDS {
+                let (first, m1) = run_chaos(query, strategy, seed);
+                let (second, m2) = run_chaos(query, strategy, seed);
+                assert_eq!(first, second, "seed {seed} {strategy:?}: outcome not replayable");
+                assert_eq!(
+                    m1.counters(),
+                    m2.counters(),
+                    "seed {seed} {strategy:?}: counters (bytes/transfers/retries/faults/fallbacks) drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_free_runs_are_unchanged_by_an_installed_empty_plan() {
+    // a plan with all probabilities zero must be byte-identical to no plan
+    for query in QUERIES {
+        for strategy in STRATEGIES {
+            let bare = federation().run(query, strategy).unwrap();
+            let mut f = federation();
+            f.set_fault_plan(Some(FaultPlan::none(123)));
+            let planned = f.run(query, strategy).unwrap();
+            assert_eq!(bare.result, planned.result, "{strategy:?}");
+            assert_eq!(bare.metrics.counters(), planned.metrics.counters(), "{strategy:?}");
+        }
+    }
+}
