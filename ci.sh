@@ -24,10 +24,12 @@ if grep -q '"results_identical": false' target/BENCH_paths.ci.json; then
     exit 1
 fi
 
-echo "== chaos smoke (seeded fault sweep, offline) =="
-# Small-N seeded fault-injection sweep across all three wire semantics.
-# The example exits non-zero if any schedule returns a wrong answer, an
-# untyped error, or panics — the robustness invariant.
+echo "== chaos smoke (seeded fault sweep + replica failover, offline) =="
+# Small-N seeded fault-injection sweep across all three wire semantics,
+# followed by the replicated scene: every peer's documents live on a
+# stand-in host and the schedule kills the elected primary. The example
+# exits non-zero if any schedule returns a wrong answer, an untyped error,
+# panics, or degrades to data shipping while a healthy replica is up.
 cargo run --release --offline --example chaos_tour -- --seeds 25 --quiet
 
 echo "== ci OK =="

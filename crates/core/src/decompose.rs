@@ -74,6 +74,10 @@ pub struct RemoteCall {
     pub params: Vec<XrpcParam>,
     pub body: String,
     pub projection: Option<ExecProjection>,
+    /// Hosts able to answer this call, in seeded preference order (empty
+    /// until [`Decomposition::resolve_replicas`] runs, or when the catalog
+    /// names no stand-in for `peer`).
+    pub replicas: Vec<String>,
 }
 
 /// A decomposed query plus its plan description.
@@ -160,6 +164,62 @@ pub fn decompose_with(
     Ok(Decomposition { rewritten, normalized: moved, calls, strategy, scatter_rounds })
 }
 
+impl Decomposition {
+    /// Resolves every generated call's destination to a **replica set**:
+    /// the intersection, over the `doc()` URIs its shipped body opens on
+    /// the target peer, of the catalog's host sets — ordered by the seeded
+    /// rendezvous policy. Bodies opening no literal URI (parameter-only
+    /// calls) fall back to the hosts able to serve the peer entirely.
+    ///
+    /// This replaces the paper's single-destination assumption: the peer
+    /// named by `execute at` becomes merely the *canonical* destination,
+    /// and the executor is free to elect any host in the set.
+    pub fn resolve_replicas(&mut self, catalog: &crate::replicas::ReplicaCatalog, seed: u64) {
+        if catalog.is_empty() || self.calls.is_empty() {
+            return;
+        }
+        let calls = &mut self.calls;
+        let mut idx = 0usize;
+        self.rewritten.walk(&mut |x| {
+            if let Expr::Execute { peer, body, .. } = x {
+                let peer_name = match peer.as_ref() {
+                    Expr::Literal(a) => a.to_lexical(),
+                    other => other.to_string(),
+                };
+                // intersect host sets over the body's literal doc() URIs
+                // that live on the canonical destination
+                let mut candidates: Option<Vec<String>> = None;
+                body.walk(&mut |b| {
+                    let Expr::FunCall { name, args } = b else { return };
+                    let bare = name.strip_prefix("fn:").unwrap_or(name);
+                    let Some(Expr::Literal(a)) = args.first() else { return };
+                    if bare != "doc" {
+                        return;
+                    }
+                    let uri = a.to_lexical();
+                    match crate::uris::split_xrpc_uri(&uri) {
+                        Some((host, _)) if host == peer_name => {}
+                        _ => return,
+                    }
+                    let hosts = catalog.hosts_for(&uri);
+                    candidates = Some(match candidates.take() {
+                        None => hosts,
+                        Some(prev) => {
+                            prev.into_iter().filter(|h| hosts.iter().any(|x| x == h)).collect()
+                        }
+                    });
+                });
+                let set =
+                    candidates.unwrap_or_else(|| catalog.hosts_serving_peer(&peer_name));
+                if let Some(call) = calls.get_mut(idx) {
+                    call.replicas = crate::replicas::rendezvous_order(seed, &set);
+                }
+                idx += 1;
+            }
+        });
+    }
+}
+
 fn collect_calls(e: &Expr) -> Vec<RemoteCall> {
     let mut out = Vec::new();
     e.walk(&mut |x| {
@@ -173,6 +233,7 @@ fn collect_calls(e: &Expr) -> Vec<RemoteCall> {
                 params: params.clone(),
                 body: body.to_string(),
                 projection: projection.as_deref().cloned(),
+                replicas: Vec::new(),
             });
         }
     });
@@ -317,6 +378,29 @@ mod tests {
             let d = decompose(&m, s).unwrap();
             assert!(d.calls.is_empty(), "{s:?}");
         }
+    }
+
+    /// Replica resolution turns each call's single destination into a
+    /// seeded-ordered candidate set.
+    #[test]
+    fn replica_resolution_orders_candidates() {
+        use crate::replicas::{rendezvous_order, ReplicaCatalog};
+        let mut cat = ReplicaCatalog::new();
+        cat.register("xrpc://A/students.xml", "A2");
+        cat.register("xrpc://B/course42.xml", "B2");
+        let mut d = decompose(&q2(), Strategy::ByFragment).unwrap();
+        assert!(d.calls.iter().all(|c| c.replicas.is_empty()), "unresolved plans carry none");
+        d.resolve_replicas(&cat, 7);
+        let a = d.calls.iter().find(|c| c.peer == "A").unwrap();
+        let hosts: Vec<String> = ["A", "A2"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(a.replicas, rendezvous_order(7, &hosts));
+        let b = d.calls.iter().find(|c| c.peer == "B").unwrap();
+        assert_eq!(b.replicas.len(), 2, "{:?}", b.replicas);
+        assert!(b.replicas.contains(&"B".to_string()) && b.replicas.contains(&"B2".to_string()));
+        // an empty catalog leaves plans untouched
+        let mut d2 = decompose(&q2(), Strategy::ByFragment).unwrap();
+        d2.resolve_replicas(&ReplicaCatalog::new(), 7);
+        assert!(d2.calls.iter().all(|c| c.replicas.is_empty()));
     }
 
     /// The intro's motivating example: predicate pushed to example.org.

@@ -12,6 +12,8 @@
 //! * [`letmotion`] — let-motion normalization (Section IV);
 //! * [`codemotion`] — distributed code motion (Section IV, Example 4.3);
 //! * [`paths`] — relative projection-path analysis (Section VI);
+//! * [`replicas`] — replicated document placement and seeded replica
+//!   selection (beyond the paper's single-host assumption);
 //! * [`mod@decompose`] — the end-to-end decomposer.
 
 pub mod codemotion;
@@ -21,7 +23,9 @@ pub mod dgraph;
 pub mod insertion;
 pub mod letmotion;
 pub mod paths;
+pub mod replicas;
 pub mod uris;
 
 pub use conditions::Semantics;
 pub use decompose::{decompose, decompose_with, Decomposition, DecomposeOptions, Strategy};
+pub use replicas::{rendezvous_order, ReplicaCatalog};

@@ -62,6 +62,11 @@ use xqd_xquery::eval::{DocResolver, Evaluator, RemoteHandler, ScatterCall, Stati
 use xqd_xquery::value::{EvalError, EvalResult, Item, Sequence};
 use xqd_xquery::{parse_query, Expr, QueryModule};
 
+use xqd_core::replicas::{mix_score, ReplicaCatalog};
+
+use crate::health::{
+    seeded_fraction, Admission, BreakerPolicy, BreakerState, Observation, Scoreboard,
+};
 use crate::message::{
     decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
     WireSemantics,
@@ -114,6 +119,17 @@ pub struct ExecOptions {
     /// and leaves the transport byte-for-byte identical to the fault-free
     /// model.
     pub fault: Option<FaultPlan>,
+    /// Hedged requests: after this base delay (jittered deterministically
+    /// per call to 50–100%), a slot whose preferred replica has not
+    /// answered dispatches a secondary attempt to the next healthy replica
+    /// and the first valid response wins. `None` (the default) never
+    /// hedges.
+    pub hedge: Option<Duration>,
+    /// Circuit-breaker tuning for the peer health scoreboard.
+    pub breaker: BreakerPolicy,
+    /// Seed of the rendezvous replica-selection policy (see
+    /// [`xqd_core::replicas::rendezvous_order`]).
+    pub replica_seed: u64,
 }
 
 impl Default for ExecOptions {
@@ -124,6 +140,9 @@ impl Default for ExecOptions {
             use_indexes: true,
             retry: RetryPolicy::default(),
             fault: None,
+            hedge: None,
+            breaker: BreakerPolicy::default(),
+            replica_seed: 0,
         }
     }
 }
@@ -179,6 +198,11 @@ struct MetricsSink {
     retries: AtomicU64,
     faults_injected: AtomicU64,
     fallbacks: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_probes: AtomicU64,
+    replica_failovers: AtomicU64,
     shred_ns: AtomicU64,
     serialize_ns: AtomicU64,
     remote_exec_ns: AtomicU64,
@@ -201,6 +225,11 @@ impl MetricsSink {
             &self.retries,
             &self.faults_injected,
             &self.fallbacks,
+            &self.hedges,
+            &self.hedge_wins,
+            &self.breaker_trips,
+            &self.breaker_probes,
+            &self.replica_failovers,
             &self.shred_ns,
             &self.serialize_ns,
             &self.remote_exec_ns,
@@ -221,6 +250,11 @@ impl MetricsSink {
             retries: self.retries.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
+            replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
             shred: Duration::from_nanos(self.shred_ns.load(Ordering::Relaxed)),
             serialize: Duration::from_nanos(self.serialize_ns.load(Ordering::Relaxed)),
             remote_exec: Duration::from_nanos(self.remote_exec_ns.load(Ordering::Relaxed)),
@@ -251,10 +285,26 @@ struct FedCore {
     metrics: MetricsSink,
     wire: Mutex<WireSemantics>,
     options: Mutex<ExecOptions>,
-    /// Per-peer fault-schedule ordinals (reset per run): attempt `n`
-    /// against a peer consumes ordinal `n` regardless of which thread runs
-    /// it, which is what keeps the schedule replayable under scatter.
-    fault_seq: Mutex<HashMap<String, u64>>,
+    /// Lane allocator for fault-schedule streams (reset per run): each
+    /// logical ladder — one Bulk RPC, one scatter slot, one document fetch —
+    /// draws its ordinals from its own lane, so the schedule stays
+    /// replayable under any thread interleaving even when two slots fail
+    /// over to the same replica concurrently.
+    lanes: AtomicU64,
+    /// Peer health scoreboard: EWMA latency and circuit breakers on the
+    /// simulated clock. Mutated only from coordinator call sites —
+    /// sequentially between calls, or at the scatter gather in slot order —
+    /// so its evolution is a pure function of the run's fault seed.
+    board: Mutex<Scoreboard>,
+    /// Replicated document placement (see [`ReplicaCatalog`]).
+    catalog: Mutex<ReplicaCatalog>,
+}
+
+/// Fault-schedule ordinal of one attempt: the ladder's lane, the rung
+/// within the ladder, and the attempt within the rung, packed so no two
+/// attempts of a run ever share a `(peer, ordinal)` stream.
+fn fault_seq(lane: u64, rung: u32, attempt: u32) -> u64 {
+    (lane << 16) | (u64::from(rung & 0xff) << 8) | u64::from(attempt.min(255))
 }
 
 impl FedCore {
@@ -266,18 +316,49 @@ impl FedCore {
         *self.options.lock().unwrap()
     }
 
-    /// The next fault-schedule ordinal for `peer` (only consulted when a
-    /// fault plan is installed).
-    fn next_fault_seq(&self, peer: &str) -> u64 {
-        let mut seqs = self.fault_seq.lock().unwrap();
-        let counter = seqs.entry(peer.to_string()).or_insert(0);
-        let seq = *counter;
-        *counter += 1;
-        seq
+    /// Allocates the fault-schedule lane for one ladder. Lanes are handed
+    /// out in coordinator program order (scatter rounds reserve a
+    /// contiguous block per slot before spawning), which keeps the mapping
+    /// deterministic.
+    fn next_lane(&self) -> u64 {
+        self.lanes.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn reset_fault_schedule(&self) {
-        self.fault_seq.lock().unwrap().clear();
+    /// Reserves `n` consecutive lanes (scatter: slot `i` uses `base + i`).
+    fn reserve_lanes(&self, n: u64) -> u64 {
+        self.lanes.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the health scoreboard for admission decisions
+    /// inside a ladder or scatter round — workers never lock the live one.
+    fn board_snapshot(&self) -> Scoreboard {
+        self.board.lock().unwrap().clone()
+    }
+
+    /// Applies a ladder's (or a whole round's) health observations to the
+    /// shared scoreboard after advancing the simulated clock by the wall
+    /// clock the ladder occupied; breaker trips are counted as they land.
+    fn apply_observations<'a>(
+        &self,
+        elapsed: Duration,
+        observations: impl IntoIterator<Item = &'a Observation>,
+    ) {
+        let mut board = self.board.lock().unwrap();
+        board.advance(elapsed);
+        for obs in observations {
+            if board.observe(obs) {
+                self.metrics.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Bills a ladder's availability counters (hedges, probes, failovers).
+    fn charge_ladder_counters(&self, ladder: &LadderOutcome) {
+        let sink = &self.metrics;
+        sink.hedges.fetch_add(ladder.hedges, Ordering::Relaxed);
+        sink.hedge_wins.fetch_add(ladder.hedge_wins, Ordering::Relaxed);
+        sink.breaker_probes.fetch_add(ladder.probes, Ordering::Relaxed);
+        sink.replica_failovers.fetch_add(ladder.failovers, Ordering::Relaxed);
     }
 
     /// Takes `name`'s peer out of its slot, waiting up to `wait` (the
@@ -342,7 +423,9 @@ impl Federation {
                 metrics: MetricsSink::default(),
                 wire: Mutex::new(WireSemantics::Value),
                 options: Mutex::new(ExecOptions::default()),
-                fault_seq: Mutex::new(HashMap::new()),
+                lanes: AtomicU64::new(0),
+                board: Mutex::new(Scoreboard::new(BreakerPolicy::default())),
+                catalog: Mutex::new(ReplicaCatalog::new()),
             }),
         }
     }
@@ -362,6 +445,110 @@ impl Federation {
     /// Replaces the retry/backoff/deadline policy for subsequent runs.
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
         self.core.options.lock().unwrap().retry = retry;
+    }
+
+    /// Installs (or clears) the hedged-request delay for subsequent runs.
+    pub fn set_hedge(&mut self, hedge: Option<Duration>) {
+        self.core.options.lock().unwrap().hedge = hedge;
+    }
+
+    /// Replaces the circuit-breaker policy for subsequent runs
+    /// (`threshold: 0` disables breakers entirely).
+    pub fn set_breaker_policy(&mut self, breaker: BreakerPolicy) {
+        self.core.options.lock().unwrap().breaker = breaker;
+    }
+
+    /// Seeds the rendezvous replica-selection order for subsequent runs.
+    pub fn set_replica_seed(&mut self, seed: u64) {
+        self.core.options.lock().unwrap().replica_seed = seed;
+    }
+
+    /// The replica catalog as currently registered.
+    pub fn replica_catalog(&self) -> ReplicaCatalog {
+        self.core.catalog.lock().unwrap().clone()
+    }
+
+    /// Breaker state of `peer` on the scoreboard left by the last run.
+    pub fn breaker_state(&self, peer: &str) -> BreakerState {
+        self.core.board.lock().unwrap().state(peer)
+    }
+
+    /// The health scoreboard left behind by the last run (EWMA latency,
+    /// breaker states, final simulated clock).
+    pub fn scoreboard(&self) -> Scoreboard {
+        self.core.board.lock().unwrap().clone()
+    }
+
+    /// Replicates document `doc_name` of `primary` onto `replica` (added if
+    /// absent). The copy is parsed from the primary's serialized form and
+    /// registered under the primary's **canonical** `xrpc://` URI — it is
+    /// still *the* primary's document, merely served from another host — and
+    /// the placement is recorded in the replica catalog so the failover
+    /// ladder and the decomposer's destination resolution can elect the new
+    /// host. Replicating an already-replicated document is idempotent.
+    pub fn replicate_document(
+        &mut self,
+        primary: &str,
+        doc_name: &str,
+        replica: &str,
+    ) -> Result<(), EvalError> {
+        let canonical = format!("xrpc://{primary}/{doc_name}");
+        let mut peers = self.core.peers.lock().unwrap();
+        let xml = {
+            let p = peers
+                .get(primary)
+                .and_then(|slot| slot.as_ref())
+                .ok_or_else(|| EvalError::new(format!("unknown or busy peer: {primary}")))?;
+            let d = p
+                .store
+                .doc_by_uri(&canonical)
+                .or_else(|| p.store.doc_by_uri(doc_name))
+                .ok_or_else(|| {
+                    EvalError::new(format!("document not found on {primary}: {doc_name}"))
+                })?;
+            xqd_xml::serialize_document(p.store.doc(d), &p.store.names)
+        };
+        let entry = peers
+            .entry(replica.to_string())
+            .or_insert_with(|| Some(Peer::new(replica)));
+        let rp = entry
+            .as_mut()
+            .ok_or_else(|| EvalError::new(format!("peer {replica} is busy")))?;
+        if rp.store.doc_by_uri(&canonical).is_none() {
+            xqd_xml::parse_document(&mut rp.store, &xml, Some(&canonical))
+                .map_err(|e| EvalError::new(format!("replicating {canonical}: {e}")))?;
+        }
+        drop(peers);
+        self.core.catalog.lock().unwrap().register(&canonical, replica);
+        Ok(())
+    }
+
+    /// Replicates every canonically-registered document of `primary` onto
+    /// `replica`, making it a full stand-in for shipped call bodies (the
+    /// ladder only routes a *call* to hosts serving all of the primary's
+    /// documents — see [`ReplicaCatalog::hosts_serving_peer`]).
+    pub fn replicate_peer(&mut self, primary: &str, replica: &str) -> Result<(), EvalError> {
+        let names: Vec<String> = {
+            let peers = self.core.peers.lock().unwrap();
+            let p = peers
+                .get(primary)
+                .and_then(|slot| slot.as_ref())
+                .ok_or_else(|| EvalError::new(format!("unknown or busy peer: {primary}")))?;
+            let prefix = format!("xrpc://{primary}/");
+            p.store
+                .docs()
+                .filter_map(|(_, doc)| Some(doc.uri.as_ref()?.strip_prefix(&prefix)?.to_string()))
+                .collect()
+        };
+        if names.is_empty() {
+            return Err(EvalError::new(format!(
+                "peer {primary} has no canonical documents to replicate"
+            )));
+        }
+        for name in names {
+            self.replicate_document(primary, &name, replica)?;
+        }
+        Ok(())
     }
 
     pub fn exec_options(&self) -> ExecOptions {
@@ -419,9 +606,17 @@ impl Federation {
         strategy: Strategy,
         options: xqd_core::DecomposeOptions,
     ) -> EvalResult<RunOutcome> {
-        let plan = xqd_core::decompose_with(module, strategy, options)?;
+        let mut plan = xqd_core::decompose_with(module, strategy, options)?;
+        let exec_options = self.core.options();
+        {
+            // annotate each remote call with its replica candidates (explain
+            // output; the executor re-derives the same order per ladder)
+            let catalog = self.core.catalog.lock().unwrap();
+            plan.resolve_replicas(&catalog, exec_options.replica_seed);
+        }
         self.core.metrics.reset();
-        self.core.reset_fault_schedule();
+        self.core.lanes.store(0, Ordering::Relaxed);
+        self.core.board.lock().unwrap().reset(exec_options.breaker);
         *self.core.wire.lock().unwrap() = match strategy {
             Strategy::ByFragment => WireSemantics::Fragment,
             Strategy::ByProjection => WireSemantics::Projection,
@@ -490,153 +685,68 @@ impl DocResolver for FedLink {
             }
             // data shipping: fetch the whole document — itself subject to
             // the fault plan and retry policy (fetches are pure reads, so
-            // replaying one is always safe)
+            // replaying one is always safe). Every host serving the URI is
+            // a candidate; the ladder walks them healthiest-first.
             let options = self.core.options();
             let retry = options.retry;
-            let plan = options.fault;
             let sink = &self.core.metrics;
-            let model = self.core.model;
-            let mut chain = Duration::ZERO;
-            let mut failed = 0u32;
-            let fetched: Result<String, XrpcError> = loop {
-                let seq = plan.map(|_| self.core.next_fault_seq(host));
-                let fault = match (plan, seq) {
-                    (Some(p), Some(s)) => p.decide(host, s),
-                    _ => None,
-                };
-                if fault.is_some() {
-                    sink.faults_injected.fetch_add(1, Ordering::Relaxed);
+            let board = self.core.board_snapshot();
+            let lane = self.core.next_lane();
+            let hosts = self.core.catalog.lock().unwrap().hosts_for(uri);
+            let (mut candidates, _) =
+                admitted_candidates(&board, options.replica_seed, hosts);
+            if candidates.is_empty() {
+                // fetches back the degradation path — the last resort. With
+                // every breaker open, force one attempt on the primary
+                // rather than failing the whole query without trying.
+                candidates.push((host.to_string(), false));
+            }
+            let mut observations: Vec<Observation> = Vec::new();
+            let mut total_chain = Duration::ZERO;
+            let mut fetched: Option<Result<String, XrpcError>> = None;
+            for (rung, (fhost, probe)) in candidates.iter().enumerate() {
+                if *probe {
+                    sink.breaker_probes.fetch_add(1, Ordering::Relaxed);
                 }
-                let budget = retry.deadline.saturating_sub(chain);
-                let attempt: Result<String, XrpcError> = 'attempt: {
-                    match fault {
-                        Some(Fault::PeerDown) => {
-                            chain += model.latency;
-                            break 'attempt Err(XrpcError::PeerBusy {
-                                peer: host.to_string(),
-                                detail: "peer down (injected fault)".to_string(),
-                            });
-                        }
-                        Some(Fault::Hang) => {
-                            chain += budget;
-                            break 'attempt Err(XrpcError::Timeout {
-                                peer: host.to_string(),
-                                deadline: retry.deadline,
-                            });
-                        }
-                        Some(Fault::RemotePanic) => {
-                            break 'attempt Err(XrpcError::RemoteFault {
-                                peer: host.to_string(),
-                                code: "xrpc:panic".to_string(),
-                                message: format!(
-                                    "peer {host} crashed while serializing {name}"
-                                ),
-                            });
-                        }
-                        _ => {}
-                    }
-                    let peer_obj = match self.core.take_peer(host, retry.deadline) {
-                        Ok(p) => p,
-                        Err(e) => break 'attempt Err(e),
-                    };
-                    let t0 = Instant::now();
-                    let result = peer_obj
-                        .store
-                        .doc_by_uri(uri)
-                        .or_else(|| peer_obj.store.doc_by_uri(name))
-                        .map(|d| {
-                            xqd_xml::serialize_document(
-                                peer_obj.store.doc(d),
-                                &peer_obj.store.names,
-                            )
-                        })
-                        .ok_or_else(|| XrpcError::RemoteFault {
-                            peer: host.to_string(),
-                            code: "xrpc:document-not-found".to_string(),
-                            message: format!("document not found on {host}: {name}"),
-                        });
-                    sink.serialize_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
-                    self.core.put_peer(peer_obj);
-                    let xml = match result {
-                        Ok(x) => x,
-                        Err(e) => break 'attempt Err(e),
-                    };
-                    let mut spent = Duration::ZERO;
-                    if let (Some(Fault::Latency), Some(p)) = (fault, plan.as_ref()) {
-                        spent += p.extra_latency;
-                    }
-                    // the payload *is* the message here, so truncation or
-                    // corruption of either direction mangles it
-                    match fault {
-                        Some(Fault::TruncateRequest | Fault::TruncateResponse) => {
-                            let plan = plan.as_ref().unwrap();
-                            let cut = char_floor(
-                                &xml,
-                                plan.mangle_position(host, seq.unwrap(), xml.len()),
-                            );
-                            sink.document_bytes.fetch_add(cut as u64, Ordering::Relaxed);
-                            sink.transfers.fetch_add(1, Ordering::Relaxed);
-                            chain += spent + model.transfer_time(cut as u64);
-                            break 'attempt Err(XrpcError::TransportCorrupt {
-                                peer: host.to_string(),
-                                detail: format!("document payload truncated at byte {cut}"),
-                            });
-                        }
-                        Some(Fault::CorruptRequest | Fault::CorruptResponse) => {
-                            let plan = plan.as_ref().unwrap();
-                            let pos = plan.mangle_position(host, seq.unwrap(), xml.len());
-                            sink.document_bytes
-                                .fetch_add(xml.len() as u64, Ordering::Relaxed);
-                            sink.transfers.fetch_add(1, Ordering::Relaxed);
-                            chain += spent + model.transfer_time(xml.len() as u64);
-                            break 'attempt Err(XrpcError::TransportCorrupt {
-                                peer: host.to_string(),
-                                detail: format!(
-                                    "document payload byte {pos} is not valid UTF-8"
-                                ),
-                            });
-                        }
-                        _ => {}
-                    }
-                    let bytes = xml.len() as u64;
-                    sink.document_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    sink.transfers.fetch_add(1, Ordering::Relaxed);
-                    spent += model.transfer_time(bytes);
-                    if spent > budget {
-                        chain += budget;
-                        break 'attempt Err(XrpcError::Timeout {
-                            peer: host.to_string(),
-                            deadline: retry.deadline,
-                        });
-                    }
-                    chain += spent;
-                    Ok(xml)
+                if rung > 0 {
+                    sink.replica_failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                let has_alternative =
+                    candidates[rung + 1..].iter().any(|(_, p)| !*p);
+                let wait = if has_alternative {
+                    retry.deadline.min(BUSY_SWITCH_WAIT)
+                } else {
+                    retry.deadline
                 };
-                match attempt {
-                    Ok(xml) => break Ok(xml),
+                let (chain, failed_attempts, result) =
+                    fetch_document(&self.core, fhost, uri, name, lane, rung as u32, wait);
+                total_chain += chain;
+                observations.push(Observation {
+                    peer: fhost.clone(),
+                    ok: result.is_ok(),
+                    failed_attempts,
+                    chain,
+                    probe: *probe,
+                });
+                match result {
+                    Ok(xml) => {
+                        fetched = Some(Ok(xml));
+                        break;
+                    }
                     Err(e) => {
-                        if !e.retryable() || failed + 1 >= retry.max_attempts {
-                            break Err(e);
-                        }
-                        failed += 1;
-                        sink.retries.fetch_add(1, Ordering::Relaxed);
-                        let jitter = match (plan, seq) {
-                            (Some(p), Some(s)) => p.jitter(host, s),
-                            _ => 0.0,
-                        };
-                        chain += retry.backoff(failed, jitter);
-                        if chain >= retry.deadline {
-                            break Err(XrpcError::Cancelled {
-                                peer: host.to_string(),
-                                reason: format!(
-                                    "fetch retry budget exhausted after {failed} failed attempt(s)"
-                                ),
-                            });
+                        let terminal = !e.failover_eligible();
+                        fetched = Some(Err(e));
+                        if terminal {
+                            break;
                         }
                     }
                 }
-            };
-            sink.charge_chain(chain);
+            }
+            let fetched = fetched.expect("at least one fetch candidate");
+            sink.charge_chain(total_chain);
+            if self.peer.is_empty() {
+                self.core.apply_observations(total_chain, &observations);
+            }
             let xml = fetched.map_err(EvalError::from)?;
             let t0 = Instant::now();
             let d = xqd_xml::parse_document(store, &xml, Some(uri))
@@ -651,8 +761,170 @@ impl DocResolver for FedLink {
             if let Some(d) = store.doc_by_uri(&canonical) {
                 return Ok(d);
             }
+            // a replica evaluating a shipped body: its copy is registered
+            // under the *primary's* canonical URI, which the catalog knows
+            let replicated = self.core.catalog.lock().unwrap().canonical_on(&self.peer, uri);
+            if let Some(canonical) = replicated {
+                if let Some(d) = store.doc_by_uri(&canonical) {
+                    return Ok(d);
+                }
+            }
         }
         Err(EvalError::new(format!("document not found: {uri}")))
+    }
+}
+
+/// One data-shipping fetch of `uri` from `fhost` under the fault plan and
+/// retry policy. The whole-document payload *is* the message here, so
+/// truncation or corruption of either direction mangles it. Returns the
+/// simulated chain consumed, the number of failed attempts (for the health
+/// scoreboard), and the document text or the typed error that ended the
+/// fetch.
+fn fetch_document(
+    core: &FedCore,
+    fhost: &str,
+    uri: &str,
+    name: &str,
+    lane: u64,
+    rung: u32,
+    wait: Duration,
+) -> (Duration, u32, Result<String, XrpcError>) {
+    let options = core.options();
+    let retry = options.retry;
+    let plan = options.fault;
+    let sink = &core.metrics;
+    let model = core.model;
+    let mut chain = Duration::ZERO;
+    let mut failed = 0u32;
+    loop {
+        let seq = plan.map(|_| fault_seq(lane, rung, failed));
+        let fault = match (plan, seq) {
+            (Some(p), Some(s)) => p.decide(fhost, s),
+            _ => None,
+        };
+        if fault.is_some() {
+            sink.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        let budget = retry.deadline.saturating_sub(chain);
+        let attempt: Result<String, XrpcError> = 'attempt: {
+            match fault {
+                Some(Fault::PeerDown) => {
+                    chain += model.latency;
+                    break 'attempt Err(XrpcError::PeerBusy {
+                        peer: fhost.to_string(),
+                        detail: "peer down (injected fault)".to_string(),
+                    });
+                }
+                Some(Fault::Hang) => {
+                    chain += budget;
+                    break 'attempt Err(XrpcError::Timeout {
+                        peer: fhost.to_string(),
+                        deadline: retry.deadline,
+                    });
+                }
+                Some(Fault::RemotePanic) => {
+                    break 'attempt Err(XrpcError::RemoteFault {
+                        peer: fhost.to_string(),
+                        code: "xrpc:panic".to_string(),
+                        message: format!("peer {fhost} crashed while serializing {name}"),
+                    });
+                }
+                _ => {}
+            }
+            let peer_obj = match core.take_peer(fhost, wait) {
+                Ok(p) => p,
+                Err(e) => break 'attempt Err(e),
+            };
+            let t0 = Instant::now();
+            let result = peer_obj
+                .store
+                .doc_by_uri(uri)
+                .or_else(|| peer_obj.store.doc_by_uri(name))
+                .map(|d| {
+                    xqd_xml::serialize_document(peer_obj.store.doc(d), &peer_obj.store.names)
+                })
+                .ok_or_else(|| XrpcError::RemoteFault {
+                    peer: fhost.to_string(),
+                    code: "xrpc:document-not-found".to_string(),
+                    message: format!("document not found on {fhost}: {name}"),
+                });
+            sink.serialize_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
+            core.put_peer(peer_obj);
+            let xml = match result {
+                Ok(x) => x,
+                Err(e) => break 'attempt Err(e),
+            };
+            let mut spent = Duration::ZERO;
+            if let (Some(Fault::Latency), Some(p)) = (fault, plan.as_ref()) {
+                spent += p.extra_latency;
+            }
+            match fault {
+                Some(Fault::TruncateRequest | Fault::TruncateResponse) => {
+                    let plan = plan.as_ref().unwrap();
+                    let cut =
+                        char_floor(&xml, plan.mangle_position(fhost, seq.unwrap(), xml.len()));
+                    sink.document_bytes.fetch_add(cut as u64, Ordering::Relaxed);
+                    sink.transfers.fetch_add(1, Ordering::Relaxed);
+                    chain += spent + model.transfer_time(cut as u64);
+                    break 'attempt Err(XrpcError::TransportCorrupt {
+                        peer: fhost.to_string(),
+                        detail: format!("document payload truncated at byte {cut}"),
+                    });
+                }
+                Some(Fault::CorruptRequest | Fault::CorruptResponse) => {
+                    let plan = plan.as_ref().unwrap();
+                    let pos = plan.mangle_position(fhost, seq.unwrap(), xml.len());
+                    sink.document_bytes.fetch_add(xml.len() as u64, Ordering::Relaxed);
+                    sink.transfers.fetch_add(1, Ordering::Relaxed);
+                    chain += spent + model.transfer_time(xml.len() as u64);
+                    break 'attempt Err(XrpcError::TransportCorrupt {
+                        peer: fhost.to_string(),
+                        detail: format!("document payload byte {pos} is not valid UTF-8"),
+                    });
+                }
+                _ => {}
+            }
+            let bytes = xml.len() as u64;
+            sink.document_bytes.fetch_add(bytes, Ordering::Relaxed);
+            sink.transfers.fetch_add(1, Ordering::Relaxed);
+            spent += model.transfer_time(bytes);
+            if spent > budget {
+                chain += budget;
+                break 'attempt Err(XrpcError::Timeout {
+                    peer: fhost.to_string(),
+                    deadline: retry.deadline,
+                });
+            }
+            chain += spent;
+            Ok(xml)
+        };
+        match attempt {
+            Ok(xml) => return (chain, failed, Ok(xml)),
+            Err(e) => {
+                if !e.retryable() || failed + 1 >= retry.max_attempts {
+                    return (chain, failed + 1, Err(e));
+                }
+                failed += 1;
+                sink.retries.fetch_add(1, Ordering::Relaxed);
+                let jitter = match (plan, seq) {
+                    (Some(p), Some(s)) => p.jitter(fhost, s),
+                    _ => 0.0,
+                };
+                chain += retry.backoff(failed, jitter);
+                if chain >= retry.deadline {
+                    return (
+                        chain,
+                        failed,
+                        Err(XrpcError::Cancelled {
+                            peer: fhost.to_string(),
+                            reason: format!(
+                                "fetch retry budget exhausted after {failed} failed attempt(s)"
+                            ),
+                        }),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -905,15 +1177,19 @@ fn run_remote(
 /// every attempt (failed attempts moved real bytes too).
 ///
 /// Returns the total simulated chain consumed by the call — transfer legs,
-/// injected stalls and backoff waits — plus the response or the typed
-/// error that ended it. The caller bills the chain to the serialized /
-/// overlapped clocks as appropriate for its execution mode.
+/// injected stalls and backoff waits — plus the number of failed attempts
+/// (for the health scoreboard) and the response or the typed error that
+/// ended it. The caller bills the chain to the serialized / overlapped
+/// clocks as appropriate for its execution mode. Fault ordinals are drawn
+/// from the caller's `(lane, rung)` stream, never from shared state.
 fn transport_call(
     core: &FedCore,
     peer: &str,
+    lane: u64,
+    rung: u32,
     request: &str,
     process: &mut dyn FnMut(&str) -> EvalResult<String>,
-) -> (Duration, Result<String, XrpcError>) {
+) -> (Duration, u32, Result<String, XrpcError>) {
     let options = core.options();
     let retry = options.retry;
     let plan = options.fault;
@@ -922,7 +1198,7 @@ fn transport_call(
     let mut chain = Duration::ZERO;
     let mut failed = 0u32;
     loop {
-        let seq = plan.map(|_| core.next_fault_seq(peer));
+        let seq = plan.map(|_| fault_seq(lane, rung, failed));
         let fault = match (plan, seq) {
             (Some(p), Some(s)) => p.decide(peer, s),
             _ => None,
@@ -1052,10 +1328,10 @@ fn transport_call(
         };
 
         match outcome {
-            Ok(response) => return (chain, Ok(response)),
+            Ok(response) => return (chain, failed, Ok(response)),
             Err(e) => {
                 if !e.retryable() || failed + 1 >= retry.max_attempts {
-                    return (chain, Err(e));
+                    return (chain, failed + 1, Err(e));
                 }
                 failed += 1;
                 sink.retries.fetch_add(1, Ordering::Relaxed);
@@ -1067,6 +1343,7 @@ fn transport_call(
                 if chain >= retry.deadline {
                     return (
                         chain,
+                        failed,
                         Err(XrpcError::Cancelled {
                             peer: peer.to_string(),
                             reason: format!(
@@ -1078,6 +1355,244 @@ fn transport_call(
             }
         }
     }
+}
+
+/// Condvar wait for a busy peer slot when the ladder still has an
+/// alternative healthy replica to try: prefer switching hosts over
+/// blocking on the slot.
+const BUSY_SWITCH_WAIT: Duration = Duration::from_millis(250);
+
+/// Ranks a candidate host set for one ladder: healthiest tier first
+/// (closed breakers before half-open probes), rendezvous score under the
+/// replica seed breaking ties within a tier, names as the final tie-break.
+/// Hosts behind an open breaker are dropped from the admitted list; the
+/// first of them is reported so an all-rejected ladder can fail fast with
+/// a typed [`XrpcError::BreakerOpen`].
+/// `(host, probe)` pairs a ladder may dial, in preference order.
+type Candidates = Vec<(String, bool)>;
+/// The first open-breaker host and its remaining cooldown, if any.
+type RejectedHost = Option<(String, Duration)>;
+
+fn admitted_candidates(
+    board: &Scoreboard,
+    seed: u64,
+    mut hosts: Vec<String>,
+) -> (Candidates, RejectedHost) {
+    hosts.sort_by(|a, b| {
+        board
+            .health_rank(a)
+            .cmp(&board.health_rank(b))
+            .then_with(|| mix_score(seed, b, 0).cmp(&mix_score(seed, a, 0)))
+            .then_with(|| a.cmp(b))
+    });
+    hosts.dedup();
+    let mut admitted = Vec::with_capacity(hosts.len());
+    let mut rejected = None;
+    for host in hosts {
+        match board.admission(&host) {
+            Admission::Allow { probe } => admitted.push((host, probe)),
+            Admission::Reject { retry_after } => {
+                if rejected.is_none() {
+                    rejected = Some((host, retry_after));
+                }
+            }
+        }
+    }
+    (admitted, rejected)
+}
+
+/// What one failover ladder did: its accounting, health observations and
+/// final outcome. Observations are applied to the live scoreboard by the
+/// *caller* (sequentially, or at the scatter gather in slot order) so the
+/// board's evolution never depends on thread interleaving.
+struct LadderOutcome {
+    /// Sum of every attempt chain — the serialized network bill (a hedge's
+    /// losing attempt really moved bytes, so it bills here too).
+    serialized: Duration,
+    /// Wall clock the ladder occupied: per rung the attempt chain, except a
+    /// hedged pair which ends when the winning response lands — the loser
+    /// is cancelled and costs no further wall clock.
+    window: Duration,
+    observations: Vec<Observation>,
+    hedges: u64,
+    hedge_wins: u64,
+    probes: u64,
+    failovers: u64,
+    outcome: Result<String, XrpcError>,
+}
+
+impl LadderOutcome {
+    /// A ladder that never dispatched (fast-fail or a poisoned worker).
+    fn failed(err: XrpcError) -> Self {
+        LadderOutcome {
+            serialized: Duration::ZERO,
+            window: Duration::ZERO,
+            observations: Vec::new(),
+            hedges: 0,
+            hedge_wins: 0,
+            probes: 0,
+            failovers: 0,
+            outcome: Err(err),
+        }
+    }
+}
+
+/// The unified failover ladder of one logical call: same-peer retries (in
+/// [`transport_call`]) → next replica → hedged secondary → caller-side
+/// degradation (the caller's move, on a degradable final error).
+///
+/// Candidates are every catalog host able to stand in for `primary`,
+/// healthiest first; hosts behind an open breaker are skipped entirely, a
+/// half-open host is admitted as a single probe. Each rung gets a fresh
+/// deadline budget (a hung primary must not starve the replica's chance to
+/// answer). The ladder stops early on errors that would reproduce anywhere
+/// — evaluation faults are deterministic, so no replica can do better —
+/// and otherwise walks on while [`XrpcError::failover_eligible`] holds.
+///
+/// When hedging is enabled and the preferred host has not answered within
+/// the (deterministically jittered) hedge delay, the next healthy
+/// candidate is dispatched as a secondary attempt and the first valid
+/// response wins; both attempts bill the serialized clock, the window only
+/// runs to the winner.
+fn call_with_failover(
+    core: &FedCore,
+    board: &Scoreboard,
+    primary: &str,
+    lane: u64,
+    request: &str,
+    process: &mut dyn FnMut(&str, &str, Duration) -> EvalResult<String>,
+) -> LadderOutcome {
+    let options = core.options();
+    let deadline = options.retry.deadline;
+    let seed = options.replica_seed;
+    let hosts = core.catalog.lock().unwrap().hosts_serving_peer(primary);
+    let (candidates, rejected) = admitted_candidates(board, seed, hosts);
+    if candidates.is_empty() {
+        // every breaker open: fail fast — a tripped peer is never re-dialed
+        let (host, retry_after) =
+            rejected.unwrap_or_else(|| (primary.to_string(), Duration::ZERO));
+        return LadderOutcome::failed(XrpcError::BreakerOpen { peer: host, retry_after });
+    }
+    let mut out = LadderOutcome::failed(XrpcError::UnknownPeer { peer: primary.to_string() });
+    let mut rung: u32 = 0;
+    let mut i = 0;
+    while i < candidates.len() {
+        let (host, probe) = &candidates[i];
+        if *probe {
+            out.probes += 1;
+        }
+        if rung > 0 {
+            out.failovers += 1;
+        }
+        let has_alternative = candidates[i + 1..].iter().any(|(_, p)| !*p);
+        let wait = if has_alternative { deadline.min(BUSY_SWITCH_WAIT) } else { deadline };
+        // hedge armed on the preferred (non-probe) rung only, when the very
+        // next candidate is healthy
+        let hedge = if rung == 0 && !probe {
+            options.hedge.and_then(|base| match candidates.get(i + 1) {
+                Some((h2, false)) => {
+                    let delay = base.mul_f64(0.5 + 0.5 * seeded_fraction(seed, host, lane));
+                    Some((h2.clone(), delay))
+                }
+                _ => None,
+            })
+        } else {
+            None
+        };
+
+        let mut rung_process = |req: &str| process(host, req, wait);
+        let (chain_p, failed_p, res_p) =
+            transport_call(core, host, lane, rung, request, &mut rung_process);
+        rung += 1;
+        out.observations.push(Observation {
+            peer: host.clone(),
+            ok: res_p.is_ok(),
+            failed_attempts: failed_p,
+            chain: chain_p,
+            probe: *probe,
+        });
+
+        // the hedge timer fired before the preferred host answered
+        let hedge = hedge.filter(|(_, delay)| chain_p > *delay);
+        if let Some((host2, delay)) = hedge {
+            out.hedges += 1;
+            let wait2 = deadline.min(BUSY_SWITCH_WAIT);
+            let mut hedge_process = |req: &str| process(&host2, req, wait2);
+            let (chain_h, failed_h, res_h) =
+                transport_call(core, &host2, lane, rung, request, &mut hedge_process);
+            rung += 1;
+            out.observations.push(Observation {
+                peer: host2.clone(),
+                ok: res_h.is_ok(),
+                failed_attempts: failed_h,
+                chain: chain_h,
+                probe: false,
+            });
+            let t_p = chain_p;
+            let t_h = delay + chain_h;
+            out.serialized += chain_p + chain_h;
+            match (res_p, res_h) {
+                (Ok(rp), Ok(rh)) => {
+                    // responses are bit-identical (content-based codecs);
+                    // the strictly earlier one wins, primary on a tie
+                    if t_h < t_p {
+                        out.hedge_wins += 1;
+                        out.window += t_h;
+                        out.outcome = Ok(rh);
+                    } else {
+                        out.window += t_p;
+                        out.outcome = Ok(rp);
+                    }
+                    return out;
+                }
+                (Ok(rp), Err(_)) => {
+                    out.window += t_p;
+                    out.outcome = Ok(rp);
+                    return out;
+                }
+                (Err(_), Ok(rh)) => {
+                    out.hedge_wins += 1;
+                    out.window += t_h;
+                    out.outcome = Ok(rh);
+                    return out;
+                }
+                (Err(ep), Err(eh)) => {
+                    out.window += t_p.max(t_h);
+                    if !ep.failover_eligible() {
+                        out.outcome = Err(ep);
+                        return out;
+                    }
+                    if !eh.failover_eligible() {
+                        out.outcome = Err(eh);
+                        return out;
+                    }
+                    // both the preferred host and the hedge target failed:
+                    // resume the ladder past the pair
+                    out.outcome = Err(eh);
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+
+        out.serialized += chain_p;
+        out.window += chain_p;
+        match res_p {
+            Ok(r) => {
+                out.outcome = Ok(r);
+                return out;
+            }
+            Err(e) => {
+                let terminal = !e.failover_eligible();
+                out.outcome = Err(e);
+                if terminal {
+                    return out;
+                }
+                i += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Rewrites a call body for coordinator-side evaluation: every literal
@@ -1241,28 +1756,35 @@ impl RemoteHandler for FedLink {
         sink.serialize_ns.fetch_add(as_ns(t0.elapsed()), Ordering::Relaxed);
         sink.remote_calls.fetch_add(calls.len() as u64, Ordering::Relaxed);
 
-        // ---- deliver through the fault-injecting transport ----
+        // ---- deliver through the failover ladder over the replica set ----
         let core = Arc::clone(&self.core);
         let own = self.peer.clone();
-        let deadline = self.core.options().retry.deadline;
-        let mut process = |req: &str| -> EvalResult<String> {
-            if peer == own {
+        let board = self.core.board_snapshot();
+        let lane = self.core.next_lane();
+        let mut process = |host: &str, req: &str, wait: Duration| -> EvalResult<String> {
+            if host == own {
                 // re-entrant call: the caller *is* this peer, so its store
                 // is on our stack — evaluate directly instead of taking the
                 // (empty) slot. The message still crossed the loopback wire.
-                process_request(&core, peer, local, req)
+                process_request(&core, host, local, req)
             } else {
-                let mut remote = core.take_peer(peer, deadline).map_err(EvalError::from)?;
-                let outcome = process_request(&core, peer, &mut remote.store, req);
+                let mut remote = core.take_peer(host, wait).map_err(EvalError::from)?;
+                let outcome = process_request(&core, host, &mut remote.store, req);
                 // put the peer back regardless of the outcome
                 core.put_peer(remote);
                 outcome
             }
         };
-        let (chain, outcome) = transport_call(&self.core, peer, &request, &mut process);
-        self.core.metrics.charge_chain(chain);
+        let ladder = call_with_failover(&self.core, &board, peer, lane, &request, &mut process);
+        let sink = &self.core.metrics;
+        sink.network_ns.fetch_add(as_ns(ladder.serialized), Ordering::Relaxed);
+        sink.network_overlapped_ns.fetch_add(as_ns(ladder.window), Ordering::Relaxed);
+        self.core.charge_ladder_counters(&ladder);
+        if self.peer.is_empty() {
+            self.core.apply_observations(ladder.window, &ladder.observations);
+        }
 
-        let response = match outcome {
+        let response = match ladder.outcome {
             Ok(r) => r,
             Err(e) => {
                 if e.degradable() {
@@ -1341,10 +1863,13 @@ impl RemoteHandler for FedLink {
             requests.push(request);
         }
 
-        // ---- fan out: one scoped thread per distinct peer ----
-        // Each worker drives its calls through the same fault-injecting
-        // transport as sequential execution; per-peer fault ordinals make
-        // the schedule independent of thread interleaving.
+        // ---- fan out: one scoped thread per distinct destination ----
+        // Each worker drives its calls through the same failover ladder as
+        // sequential execution, over a shared scoreboard snapshot. Fault
+        // ordinals come from per-slot lanes reserved before the spawn, so
+        // the schedule is independent of thread interleaving even when two
+        // slots fail over to the same replica; health observations are
+        // collected per slot and applied at the gather, in slot order.
         let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
         for (i, c) in calls.iter().enumerate() {
             match groups.iter_mut().find(|(p, _)| *p == c.peer) {
@@ -1352,48 +1877,54 @@ impl RemoteHandler for FedLink {
                 None => groups.push((&c.peer, vec![i])),
             }
         }
-        let deadline = self.core.options().retry.deadline;
-        type Slot = (Duration, Result<String, XrpcError>);
-        let mut slots: Vec<Option<Slot>> = (0..calls.len()).map(|_| None).collect();
+        let board = self.core.board_snapshot();
+        let lane_base = self.core.reserve_lanes(calls.len() as u64);
+        let mut slots: Vec<Option<LadderOutcome>> = (0..calls.len()).map(|_| None).collect();
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(groups.len());
             for (gi, group) in groups.iter().enumerate() {
                 let (peer, idxs) = (group.0, &group.1);
                 let core = Arc::clone(&self.core);
                 let requests = &requests;
+                let board = &board;
                 handles.push((
                     gi,
-                    s.spawn(move || -> Vec<(usize, Slot)> {
-                        let mut peer_obj = match core.take_peer(peer, deadline) {
-                            Ok(p) => p,
-                            Err(e) => {
-                                return idxs
-                                    .iter()
-                                    .map(|&i| (i, (Duration::ZERO, Err(e.clone()))))
-                                    .collect();
-                            }
-                        };
-                        let out = idxs
-                            .iter()
+                    s.spawn(move || -> Vec<(usize, LadderOutcome)> {
+                        idxs.iter()
                             .map(|&i| {
-                                let mut process = |req: &str| {
-                                    process_request(&core, peer, &mut peer_obj.store, req)
-                                };
-                                let (chain, r) =
-                                    transport_call(&core, peer, &requests[i], &mut process);
-                                (i, (chain, r))
+                                let mut process =
+                                    |host: &str, req: &str, wait: Duration| -> EvalResult<String> {
+                                        let mut remote = core
+                                            .take_peer(host, wait)
+                                            .map_err(EvalError::from)?;
+                                        let outcome = process_request(
+                                            &core,
+                                            host,
+                                            &mut remote.store,
+                                            req,
+                                        );
+                                        core.put_peer(remote);
+                                        outcome
+                                    };
+                                let ladder = call_with_failover(
+                                    &core,
+                                    board,
+                                    peer,
+                                    lane_base + i as u64,
+                                    &requests[i],
+                                    &mut process,
+                                );
+                                (i, ladder)
                             })
-                            .collect();
-                        core.put_peer(peer_obj);
-                        out
+                            .collect()
                     }),
                 ));
             }
             for (gi, handle) in handles {
                 match handle.join() {
                     Ok(rows) => {
-                        for (i, slot) in rows {
-                            slots[i] = Some(slot);
+                        for (i, ladder) in rows {
+                            slots[i] = Some(ladder);
                         }
                     }
                     Err(payload) => {
@@ -1408,37 +1939,50 @@ impl RemoteHandler for FedLink {
                             ),
                         };
                         for &i in &groups[gi].1 {
-                            slots[i] = Some((Duration::ZERO, Err(err.clone())));
+                            slots[i] = Some(LadderOutcome::failed(err.clone()));
                         }
                     }
                 }
             }
         });
-        let rows: Vec<Slot> = slots
+        let rows: Vec<LadderOutcome> = slots
             .into_iter()
             .map(|r| r.expect("every call belongs to exactly one peer group"))
             .collect();
 
         // ---- account the round ----
-        // serialized network: the exact sum over every call chain (transfer
-        // legs, stalls and backoff waits); overlapped: the slowest peer's
-        // chain dominates the round
+        // serialized network: the exact sum over every attempt chain
+        // (transfer legs, stalls, backoff waits — hedged losers included);
+        // overlapped: the slowest destination's wall clock dominates the
+        // round
         let mut serialized_sum = Duration::ZERO;
         let mut slowest_chain = Duration::ZERO;
         for (_, idxs) in &groups {
-            let chain: Duration = idxs.iter().map(|&i| rows[i].0).sum();
-            serialized_sum += chain;
-            slowest_chain = slowest_chain.max(chain);
+            let serialized: Duration = idxs.iter().map(|&i| rows[i].serialized).sum();
+            let window: Duration = idxs.iter().map(|&i| rows[i].window).sum();
+            serialized_sum += serialized;
+            slowest_chain = slowest_chain.max(window);
         }
         sink.network_ns.fetch_add(as_ns(serialized_sum), Ordering::Relaxed);
         sink.network_overlapped_ns
             .fetch_add(as_ns(slowest_chain), Ordering::Relaxed);
         sink.scatter_rounds.fetch_add(1, Ordering::Relaxed);
+        for row in &rows {
+            self.core.charge_ladder_counters(row);
+        }
+        if self.peer.is_empty() {
+            // one clock advance for the whole round, then every slot's
+            // observations in slot order — deterministic by construction
+            self.core.apply_observations(
+                slowest_chain,
+                rows.iter().flat_map(|r| &r.observations),
+            );
+        }
 
         // ---- gather: decode or degrade per slot, in call order ----
         let mut results = Vec::with_capacity(calls.len());
-        for ((_, outcome), c) in rows.into_iter().zip(calls) {
-            match outcome {
+        for (row, c) in rows.into_iter().zip(calls) {
+            match row.outcome {
                 Ok(response) => {
                     let t0 = Instant::now();
                     let mut sequences = decode_response(local, &response)?;

@@ -11,6 +11,9 @@
 //! * [`net`] — the link cost model replacing the paper's 1 Gb/s testbed,
 //!   the Figure-8 metric categories, the typed [`XrpcError`] failure
 //!   taxonomy and the deterministic [`FaultPlan`] fault schedule;
+//! * [`health`] — the peer health scoreboard: EWMA latency, circuit
+//!   breakers on the simulated clock, and seeded selection helpers behind
+//!   the replica failover ladder;
 //! * [`exec`] — the [`Federation`] of peers, the `RemoteHandler` /
 //!   `DocResolver` implementations (including Bulk RPC and data-shipping
 //!   document fetches), the fault-injecting transport with
@@ -28,11 +31,13 @@
 //! ```
 
 pub mod exec;
+pub mod health;
 pub mod message;
 pub mod net;
 pub mod wire;
 
 pub use exec::{canonical_item, ExecOptions, Federation, Peer, RetryPolicy, RunOutcome};
+pub use health::{Admission, BreakerPolicy, BreakerState, Scoreboard};
 pub use message::{
     decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
     WireSemantics,

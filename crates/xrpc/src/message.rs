@@ -518,6 +518,10 @@ pub fn encode_fault(err: &XrpcError) -> String {
     escape_attr(&err.code(), &mut out);
     out.push_str("\" peer=\"");
     escape_attr(err.peer(), &mut out);
+    if let XrpcError::BreakerOpen { retry_after, .. } = err {
+        out.push_str("\" retry-after-ms=\"");
+        out.push_str(&retry_after.as_millis().to_string());
+    }
     out.push_str("\"><message>");
     escape_text(&err.to_string(), &mut out);
     out.push_str("</message></fault></env>");
@@ -537,7 +541,14 @@ pub fn decode_fault(message: &str) -> Option<XrpcError> {
     let msg = find_child(&scratch, fault, "message")
         .map(|m| scratch.doc(m.doc).string_value(m.idx))
         .unwrap_or_default();
-    Some(XrpcError::from_code(&code, &peer, &msg))
+    let mut err = XrpcError::from_code(&code, &peer, &msg);
+    // the breaker cooldown rides along as an optional attribute
+    if let XrpcError::BreakerOpen { retry_after, .. } = &mut err {
+        if let Some(ms) = attr(&scratch, fault, "retry-after-ms").and_then(|v| v.parse().ok()) {
+            *retry_after = std::time::Duration::from_millis(ms);
+        }
+    }
+    Some(err)
 }
 
 /// A decoded request, with all node values shredded into the receiving
@@ -1101,6 +1112,7 @@ mod tests {
                 message: "division by zero".into(),
             },
             XrpcError::Cancelled { peer: "p1".into(), reason: "budget".into() },
+            XrpcError::BreakerOpen { peer: "p1".into(), retry_after: Duration::ZERO },
         ];
         for f in &faults {
             let wire = encode_fault(f);
@@ -1115,6 +1127,17 @@ mod tests {
             assert_eq!(err.code.as_deref(), Some(f.code().as_str()), "{wire}");
             assert!(err.message.contains(f.peer()), "{err}");
         }
+    }
+
+    #[test]
+    fn breaker_fault_roundtrips_retry_after() {
+        let f = XrpcError::BreakerOpen {
+            peer: "p1".into(),
+            retry_after: std::time::Duration::from_millis(375),
+        };
+        let wire = encode_fault(&f);
+        assert!(wire.contains("retry-after-ms=\"375\""), "{wire}");
+        assert_eq!(decode_fault(&wire), Some(f));
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub enum XrpcError {
     /// The call was abandoned before another attempt could start (its
     /// retry/backoff budget was exhausted by earlier attempts).
     Cancelled { peer: String, reason: String },
+    /// The peer's circuit breaker is open: recent consecutive failures
+    /// tripped it and the cooldown has not elapsed on the simulated clock.
+    /// Not retryable on the *same* peer (that is the breaker's whole
+    /// point), but failover-eligible — another replica may answer — and
+    /// degradable as a last resort.
+    BreakerOpen { peer: String, retry_after: Duration },
 }
 
 impl XrpcError {
@@ -68,6 +74,7 @@ impl XrpcError {
             XrpcError::TransportCorrupt { .. } => "xrpc:transport-corrupt".into(),
             XrpcError::RemoteFault { code, .. } => code.clone(),
             XrpcError::Cancelled { .. } => "xrpc:cancelled".into(),
+            XrpcError::BreakerOpen { .. } => "xrpc:breaker-open".into(),
         }
     }
 
@@ -79,7 +86,8 @@ impl XrpcError {
             | XrpcError::Timeout { peer, .. }
             | XrpcError::TransportCorrupt { peer, .. }
             | XrpcError::RemoteFault { peer, .. }
-            | XrpcError::Cancelled { peer, .. } => peer,
+            | XrpcError::Cancelled { peer, .. }
+            | XrpcError::BreakerOpen { peer, .. } => peer,
         }
     }
 
@@ -99,7 +107,23 @@ impl XrpcError {
     /// answered with an evaluation error that local evaluation would
     /// reproduce.
     pub fn degradable(&self) -> bool {
-        self.retryable() || matches!(self, XrpcError::Cancelled { .. })
+        self.retryable()
+            || matches!(self, XrpcError::Cancelled { .. } | XrpcError::BreakerOpen { .. })
+    }
+
+    /// True if the failover ladder may try *another replica* after this
+    /// failure. Wider than [`XrpcError::retryable`]: a tripped breaker or
+    /// an exhausted budget forbids hammering the same peer but says nothing
+    /// about its replicas, and a captured worker panic (`xrpc:panic`) is an
+    /// infrastructure failure another copy of the data can route around.
+    /// Genuine evaluation faults stay ineligible — every replica holds a
+    /// bit-identical copy and would reproduce them.
+    pub fn failover_eligible(&self) -> bool {
+        match self {
+            XrpcError::RemoteFault { code, .. } => code == "xrpc:panic",
+            XrpcError::UnknownPeer { .. } => false,
+            _ => true,
+        }
     }
 
     /// Reconstructs the typed error from a wire code plus human-readable
@@ -115,6 +139,9 @@ impl XrpcError {
                 XrpcError::TransportCorrupt { peer, detail: message.to_string() }
             }
             "xrpc:cancelled" => XrpcError::Cancelled { peer, reason: message.to_string() },
+            "xrpc:breaker-open" => {
+                XrpcError::BreakerOpen { peer, retry_after: Duration::ZERO }
+            }
             other => XrpcError::RemoteFault {
                 peer,
                 code: other.to_string(),
@@ -155,6 +182,9 @@ impl fmt::Display for XrpcError {
             }
             XrpcError::Cancelled { peer, reason } => {
                 write!(f, "call to peer {peer} cancelled: {reason}")
+            }
+            XrpcError::BreakerOpen { peer, retry_after } => {
+                write!(f, "circuit breaker open for peer {peer} (retry after {retry_after:?})")
             }
         }
     }
@@ -234,6 +264,11 @@ pub struct FaultPlan {
     pub p_panic: f64,
     /// Stall added by [`Fault::Latency`].
     pub extra_latency: Duration,
+    /// When set, the plan only injects faults into the peer whose name
+    /// hashes to this value (see [`FaultPlan::with_target`]); every other
+    /// peer sees a fault-free schedule. Lets the chaos suite kill or flap a
+    /// *specific* primary while its replicas stay healthy.
+    pub target: Option<u64>,
 }
 
 impl FaultPlan {
@@ -250,6 +285,7 @@ impl FaultPlan {
             p_hang: 0.0,
             p_panic: 0.0,
             extra_latency: Duration::from_millis(50),
+            target: None,
         }
     }
 
@@ -283,15 +319,35 @@ impl FaultPlan {
         ]
     }
 
-    /// The per-attempt PRNG stream for `(peer, seq)`.
-    fn stream(&self, peer: &str, seq: u64) -> Rng {
-        // FNV-1a over the peer name, then SplitMix-style mixing with the
-        // seed and ordinal so nearby (seed, seq) pairs decorrelate.
+    /// FNV-1a hash of a peer name — the key used by [`FaultPlan::target`].
+    pub fn peer_hash(peer: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in peer.as_bytes() {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
+        h
+    }
+
+    /// Restricts this plan to a single peer: faults are injected only into
+    /// calls against `peer`; everything else runs fault-free.
+    pub fn with_target(self, peer: &str) -> Self {
+        FaultPlan { target: Some(FaultPlan::peer_hash(peer)), ..self }
+    }
+
+    /// Does this plan inject into `peer` at all?
+    pub fn targeting(&self, peer: &str) -> bool {
+        match self.target {
+            None => true,
+            Some(h) => h == FaultPlan::peer_hash(peer),
+        }
+    }
+
+    /// The per-attempt PRNG stream for `(peer, seq)`.
+    fn stream(&self, peer: &str, seq: u64) -> Rng {
+        // FNV-1a over the peer name, then SplitMix-style mixing with the
+        // seed and ordinal so nearby (seed, seq) pairs decorrelate.
+        let h = FaultPlan::peer_hash(peer);
         let mixed = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -302,6 +358,9 @@ impl FaultPlan {
 
     /// The fault (if any) injected into attempt `seq` against `peer`.
     pub fn decide(&self, peer: &str, seq: u64) -> Option<Fault> {
+        if !self.targeting(peer) {
+            return None;
+        }
         let mut rng = self.stream(peer, seq);
         let draw = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         let mut acc = 0.0;
@@ -404,6 +463,18 @@ pub struct Metrics {
     /// Calls answered by graceful degradation (document fetched, body
     /// evaluated locally) after retries were exhausted.
     pub fallbacks: u64,
+    /// Hedged secondary attempts dispatched to an alternate replica.
+    pub hedges: u64,
+    /// Hedged attempts whose response arrived before the primary's.
+    pub hedge_wins: u64,
+    /// Circuit-breaker transitions into `Open` (threshold reached, or a
+    /// half-open probe failed).
+    pub breaker_trips: u64,
+    /// Half-open probe calls admitted through a cooled-down breaker.
+    pub breaker_probes: u64,
+    /// Ladder rungs dispatched to a replica after the preferred peer
+    /// failed or was rejected by its breaker.
+    pub replica_failovers: u64,
     /// End-to-end wall-clock time of the run.
     pub total: Duration,
 }
@@ -450,13 +521,18 @@ impl Metrics {
         self.retries += other.retries;
         self.faults_injected += other.faults_injected;
         self.fallbacks += other.fallbacks;
+        self.hedges += other.hedges;
+        self.hedge_wins += other.hedge_wins;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_probes += other.breaker_probes;
+        self.replica_failovers += other.replica_failovers;
         self.total += other.total;
     }
 
     /// The counter-valued fields (everything deterministic under a fixed
     /// seed and fault plan — measured durations are excluded). The retry
     /// determinism suite compares these across repeated runs.
-    pub fn counters(&self) -> [u64; 8] {
+    pub fn counters(&self) -> [u64; 13] {
         [
             self.message_bytes,
             self.document_bytes,
@@ -466,6 +542,11 @@ impl Metrics {
             self.retries,
             self.faults_injected,
             self.fallbacks,
+            self.hedges,
+            self.hedge_wins,
+            self.breaker_trips,
+            self.breaker_probes,
+            self.replica_failovers,
         ]
     }
 }
@@ -601,6 +682,13 @@ mod tests {
             message: String::new(),
         };
         let cancelled = XrpcError::Cancelled { peer: "a".into(), reason: String::new() };
+        let breaker =
+            XrpcError::BreakerOpen { peer: "a".into(), retry_after: Duration::from_millis(250) };
+        let panic = XrpcError::RemoteFault {
+            peer: "a".into(),
+            code: "xrpc:panic".into(),
+            message: String::new(),
+        };
         for e in [&busy, &timeout, &corrupt] {
             assert!(e.retryable() && e.degradable(), "{e}");
         }
@@ -608,6 +696,40 @@ mod tests {
             assert!(!e.retryable() && !e.degradable(), "{e}");
         }
         assert!(!cancelled.retryable() && cancelled.degradable());
+        // a tripped breaker must never re-admit the same peer, but may
+        // route to a replica or degrade
+        assert!(!breaker.retryable() && breaker.degradable() && breaker.failover_eligible());
+        // failover eligibility: transport-class failures and infrastructure
+        // panics can be served by another replica; evaluation faults and
+        // unknown peers cannot
+        for e in [&busy, &timeout, &corrupt, &cancelled] {
+            assert!(e.failover_eligible(), "{e}");
+        }
+        assert!(panic.failover_eligible() && !panic.degradable());
+        assert!(!remote.failover_eligible());
+        assert!(!unknown.failover_eligible());
+    }
+
+    #[test]
+    fn breaker_open_code_roundtrip() {
+        let e = XrpcError::BreakerOpen { peer: "a".into(), retry_after: Duration::ZERO };
+        assert_eq!(e.code(), "xrpc:breaker-open");
+        assert!(matches!(
+            XrpcError::from_code(&e.code(), "a", ""),
+            XrpcError::BreakerOpen { .. }
+        ));
+    }
+
+    #[test]
+    fn targeted_plans_only_fault_their_peer() {
+        let plan = FaultPlan::uniform(11, 0.9).with_target("primary");
+        assert!(plan.targeting("primary"));
+        assert!(!plan.targeting("replica"));
+        assert!((0..500).all(|s| plan.decide("replica", s).is_none()));
+        assert!((0..500).any(|s| plan.decide("primary", s).is_some()));
+        // targeted decisions match the untargeted plan's for the same peer
+        let untargeted = FaultPlan::uniform(11, 0.9);
+        assert!((0..500).all(|s| plan.decide("primary", s) == untargeted.decide("primary", s)));
     }
 
     #[test]
@@ -632,6 +754,28 @@ mod tests {
         assert_eq!(a.retries, 11);
         assert_eq!(a.faults_injected, 22);
         assert_eq!(a.fallbacks, 33);
-        assert_eq!(a.counters()[5..], [11, 22, 33]);
+        assert_eq!(a.counters()[5..8], [11, 22, 33]);
+    }
+
+    #[test]
+    fn metrics_counters_include_availability_fields() {
+        let mut a = Metrics {
+            hedges: 1,
+            hedge_wins: 2,
+            breaker_trips: 3,
+            breaker_probes: 4,
+            replica_failovers: 5,
+            ..Default::default()
+        };
+        let b = Metrics {
+            hedges: 10,
+            hedge_wins: 20,
+            breaker_trips: 30,
+            breaker_probes: 40,
+            replica_failovers: 50,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.counters()[8..], [11, 22, 33, 44, 55]);
     }
 }

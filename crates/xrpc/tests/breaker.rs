@@ -1,0 +1,186 @@
+//! Circuit-breaker state machine against a scripted simulated clock, and
+//! the federation-level surface of a trip: the scoreboard is driven only by
+//! [`Scoreboard::advance`] / [`Scoreboard::observe`], so every transition
+//! below is a pure replay of the scripted observation sequence.
+
+use std::time::Duration;
+
+use xqd_core::{rendezvous_order, Strategy};
+use xqd_xrpc::health::Observation;
+use xqd_xrpc::{Admission, BreakerPolicy, BreakerState, FaultPlan, Federation, NetworkModel, Scoreboard};
+
+const COOLDOWN: Duration = Duration::from_millis(500);
+
+fn policy(threshold: u32) -> BreakerPolicy {
+    BreakerPolicy { threshold, cooldown: COOLDOWN }
+}
+
+fn failure(peer: &str, failed_attempts: u32) -> Observation {
+    Observation {
+        peer: peer.into(),
+        ok: false,
+        failed_attempts,
+        chain: Duration::from_millis(5),
+        probe: false,
+    }
+}
+
+fn success(peer: &str) -> Observation {
+    Observation {
+        peer: peer.into(),
+        ok: true,
+        failed_attempts: 0,
+        chain: Duration::from_millis(5),
+        probe: false,
+    }
+}
+
+fn probe(peer: &str, ok: bool) -> Observation {
+    Observation {
+        peer: peer.into(),
+        ok,
+        failed_attempts: u32::from(!ok),
+        chain: Duration::from_millis(5),
+        probe: true,
+    }
+}
+
+#[test]
+fn trips_exactly_at_the_consecutive_failure_threshold() {
+    let mut b = Scoreboard::new(policy(4));
+    assert!(!b.observe(&failure("p", 2)), "2 < 4: still closed");
+    assert_eq!(b.state("p"), BreakerState::Closed);
+    assert!(b.observe(&failure("p", 2)), "2 + 2 reaches the threshold");
+    assert_eq!(b.state("p"), BreakerState::Open);
+    match b.admission("p") {
+        Admission::Reject { retry_after } => assert_eq!(retry_after, COOLDOWN),
+        other => panic!("open breaker must reject, got {other:?}"),
+    }
+}
+
+#[test]
+fn further_failures_on_an_open_breaker_do_not_retrip() {
+    let mut b = Scoreboard::new(policy(2));
+    assert!(b.observe(&failure("p", 2)));
+    // a non-probe failure while already open keeps the original deadline
+    assert!(!b.observe(&failure("p", 3)));
+    match b.admission("p") {
+        Admission::Reject { retry_after } => assert_eq!(retry_after, COOLDOWN),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn cooldown_elapses_into_a_half_open_probe() {
+    let mut b = Scoreboard::new(policy(2));
+    b.observe(&failure("p", 2));
+    b.advance(COOLDOWN - Duration::from_millis(1));
+    assert_eq!(b.state("p"), BreakerState::Open);
+    match b.admission("p") {
+        Admission::Reject { retry_after } => assert_eq!(retry_after, Duration::from_millis(1)),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    b.advance(Duration::from_millis(1));
+    assert_eq!(b.state("p"), BreakerState::HalfOpen);
+    assert_eq!(b.admission("p"), Admission::Allow { probe: true });
+}
+
+#[test]
+fn failed_probe_reopens_with_a_fresh_cooldown() {
+    let mut b = Scoreboard::new(policy(2));
+    b.observe(&failure("p", 2));
+    b.advance(COOLDOWN);
+    assert_eq!(b.state("p"), BreakerState::HalfOpen);
+    assert!(b.observe(&probe("p", false)), "a failed probe counts as a (re-)trip");
+    assert_eq!(b.state("p"), BreakerState::Open);
+    match b.admission("p") {
+        Admission::Reject { retry_after } => {
+            assert_eq!(retry_after, COOLDOWN, "cooldown restarts from the probe")
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn successful_probe_closes_and_resets_the_failure_count() {
+    let mut b = Scoreboard::new(policy(2));
+    b.observe(&failure("p", 2));
+    b.advance(COOLDOWN);
+    assert!(!b.observe(&probe("p", true)));
+    assert_eq!(b.state("p"), BreakerState::Closed);
+    assert_eq!(b.admission("p"), Admission::Allow { probe: false });
+    // the count restarted: one failure is again below the threshold
+    assert!(!b.observe(&failure("p", 1)));
+    assert_eq!(b.state("p"), BreakerState::Closed);
+}
+
+#[test]
+fn a_success_resets_the_consecutive_failure_count() {
+    let mut b = Scoreboard::new(policy(4));
+    b.observe(&failure("p", 3));
+    b.observe(&success("p"));
+    assert!(!b.observe(&failure("p", 3)), "the earlier streak no longer counts");
+    assert_eq!(b.state("p"), BreakerState::Closed);
+}
+
+#[test]
+fn health_rank_orders_replica_candidates() {
+    let mut b = Scoreboard::new(policy(2));
+    b.observe(&failure("open", 2));
+    b.observe(&failure("half", 2));
+    assert_eq!(b.health_rank("closed"), 0);
+    assert_eq!(b.health_rank("open"), 2);
+    b.advance(COOLDOWN);
+    assert_eq!(b.health_rank("half"), 1, "after the cooldown both are half-open");
+    assert_eq!(b.health_rank("open"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// federation-level surface
+// ---------------------------------------------------------------------------
+
+fn fed() -> Federation {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.load_document("p", "d.xml", "<a><b><c/></b><b><c/></b></a>").unwrap();
+    f
+}
+
+#[test]
+fn an_exhausted_ladder_trips_the_federation_breaker() {
+    let mut f = fed();
+    f.set_breaker_policy(policy(2));
+    f.set_fault_plan(Some(FaultPlan { p_peer_down: 1.0, ..FaultPlan::none(9) }));
+    // nested `execute at` keeps the body ineligible for degradation
+    let q = "execute at {\"p\"} params () { execute at {\"p\"} params () { 1 } }";
+    let err = f.run(q, Strategy::ByValue).unwrap_err();
+    assert_eq!(err.code.as_deref(), Some("xrpc:peer-busy"));
+    assert_eq!(f.metrics().breaker_trips, 1, "3 failed attempts >= threshold 2");
+    assert_eq!(f.breaker_state("p"), BreakerState::Open);
+    // the board is per-run state: a clean run resets and closes it
+    f.set_fault_plan(None);
+    let out = f.run("execute at {\"p\"} params () { count(doc(\"d.xml\")//c) }", Strategy::ByValue);
+    assert_eq!(out.unwrap().result, vec!["atom:2"]);
+    assert_eq!(f.breaker_state("p"), BreakerState::Closed);
+}
+
+#[test]
+fn tripped_primary_fails_over_to_the_replica_without_degrading() {
+    let mut f = fed();
+    f.replicate_peer("p", "q").unwrap();
+    f.set_breaker_policy(policy(1));
+    f.set_replica_seed(17);
+    let hosts = f.replica_catalog().hosts_serving_peer("p");
+    let order = rendezvous_order(17, &hosts);
+    let (primary, standby) = (order[0].clone(), order[1].clone());
+    f.set_fault_plan(Some(
+        FaultPlan { p_peer_down: 1.0, ..FaultPlan::none(4) }.with_target(&primary),
+    ));
+    let out =
+        f.run("execute at {\"p\"} params () { count(doc(\"d.xml\")//c) }", Strategy::ByValue).unwrap();
+    assert_eq!(out.result, vec!["atom:2"], "the replica serves the call bit-identically");
+    assert_eq!(out.metrics.replica_failovers, 1);
+    assert_eq!(out.metrics.breaker_trips, 1);
+    assert_eq!(out.metrics.fallbacks, 0, "a healthy replica means no data-shipping degrade");
+    assert_eq!(f.breaker_state(&primary), BreakerState::Open);
+    assert_eq!(f.breaker_state(&standby), BreakerState::Closed);
+}

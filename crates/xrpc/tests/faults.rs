@@ -105,9 +105,16 @@ fn exhausted_retries_degrade_to_data_shipping_bit_for_bit() {
              return count($b/parent::a)";
     for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
         let baseline = fed().run(q, strategy).unwrap();
-        // schedule: all 3 RPC attempts downed, then a clean window for the
-        // fallback's document fetch
-        let seed = seed_with_run("p", 0.9, 3, 4);
+        // schedule: all 3 RPC attempts downed (ladder lane 0 → ordinals
+        // 0..3), then a clean window for the fallback's document fetch,
+        // which draws from its own lane (1 << 16 ..)
+        let seed = (0..100_000u64)
+            .find(|&seed| {
+                let plan = down_plan(seed, 0.9);
+                (0..3).all(|s| plan.decide("p", s).is_some())
+                    && (0..4).all(|s| plan.decide("p", (1 << 16) | s).is_none())
+            })
+            .expect("no seed matches the requested fault run");
         let mut f = fed();
         f.set_fault_plan(Some(down_plan(seed, 0.9)));
         let out = f.run(q, strategy).unwrap();
@@ -188,15 +195,16 @@ fn scatter_degrades_failed_slots_individually() {
     };
     let baseline = setup().run(q, Strategy::ByValue).unwrap();
     assert_eq!(baseline.result, vec!["atom:3"]);
-    // schedule: peer "b" down for 3 RPC attempts then clean for the
-    // fallback fetch; peer "a" clean throughout
+    // schedule: peer "b" (scatter slot 1 → lane 1) down for 3 RPC attempts
+    // then clean for its fallback fetch (which allocates lane 2); peer "a"
+    // (slot 0 → lane 0) clean throughout
     let rate = 0.7;
     let seed = (0..200_000u64)
         .find(|&seed| {
             let plan = down_plan(seed, rate);
-            (0..3).all(|s| plan.decide("b", s).is_some())
-                && (3..7).all(|s| plan.decide("b", s).is_none())
-                && (0..4).all(|s| plan.decide("a", s).is_none())
+            (0..3u64).all(|s| plan.decide("b", (1 << 16) | s).is_some())
+                && (0..4u64).all(|s| plan.decide("b", (2 << 16) | s).is_none())
+                && (0..4u64).all(|s| plan.decide("a", s).is_none())
         })
         .expect("no seed downs b but not a");
     let mut f = setup();

@@ -16,10 +16,14 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use xqd::{FaultPlan, Federation, Metrics, NetworkModel, Strategy};
+use xqd::{rendezvous_order, FaultPlan, Federation, Metrics, NetworkModel, Strategy};
 
 const FAULT_RATE: f64 = 0.3;
+/// Near-total targeted rate for the replica-failover scene: the elected
+/// host is effectively killed, the ladder must walk to its stand-in.
+const KILL_RATE: f64 = 0.9;
 
 const STRATEGIES: [Strategy; 3] =
     [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection];
@@ -37,11 +41,27 @@ const QUERIES: [(&str, &str); 2] = [
     ),
 ];
 
+/// The logical peer whose elected replica the failover scene attacks, per
+/// query (for the scatter query: one slot's host dies mid-round).
+const VICTIMS: [&str; 2] = ["p", "a"];
+
 fn federation() -> Federation {
     let mut f = Federation::new(NetworkModel::lan());
     f.load_document("p", "d.xml", "<a><b><c>one</c></b><b><c>two</c></b></a>").unwrap();
     f.load_document("a", "da.xml", "<r><x/><x/></r>").unwrap();
     f.load_document("b", "db.xml", "<r><x/></r>").unwrap();
+    f
+}
+
+/// The fixture with every peer's documents replicated onto a second host,
+/// deterministic replica election seeded by `seed`, and hedging armed.
+fn replicated_federation(seed: u64) -> Federation {
+    let mut f = federation();
+    for (primary, replica) in [("p", "p2"), ("a", "a2"), ("b", "b2")] {
+        f.replicate_peer(primary, replica).unwrap();
+    }
+    f.set_replica_seed(seed);
+    f.set_hedge(Some(Duration::from_millis(2)));
     f
 }
 
@@ -134,6 +154,59 @@ fn main() -> ExitCode {
         }
     }
 
+    // scene 2: replica failover — every peer's documents also live on a
+    // stand-in host, and the fault schedule is aimed squarely at the host
+    // the ladder elects first. With a healthy replica up, every schedule
+    // must end in the baseline answer without degrading to data shipping.
+    let mut failover_schedules = 0u64;
+    for ((label, query), victim) in QUERIES.into_iter().zip(VICTIMS) {
+        for strategy in STRATEGIES {
+            let baseline = federation().run(query, strategy).expect("fault-free run succeeds");
+            for seed in 0..seeds {
+                schedules += 1;
+                failover_schedules += 1;
+                let mut f = replicated_federation(seed);
+                let hosts = f.replica_catalog().hosts_serving_peer(victim);
+                let primary = rendezvous_order(seed, &hosts)[0].clone();
+                f.set_fault_plan(Some(FaultPlan::uniform(seed, KILL_RATE).with_target(&primary)));
+                match f.run(query, strategy) {
+                    Ok(out) if out.result == baseline.result && out.metrics.fallbacks == 0 => {
+                        total.add(&out.metrics);
+                        clean_runs += 1;
+                    }
+                    Ok(out) => {
+                        total.add(&out.metrics);
+                        violations += 1;
+                        eprintln!(
+                            "VIOLATION [{label}/{}/seed {seed}]: killed {primary} but got \
+                             result {:?} (baseline {:?}) with {} degradations",
+                            strategy.name(),
+                            out.result,
+                            baseline.result,
+                            out.metrics.fallbacks,
+                        );
+                    }
+                    Err(e) => {
+                        total.add(&f.metrics());
+                        violations += 1;
+                        eprintln!(
+                            "VIOLATION [{label}/{}/seed {seed}]: killed {primary} and the \
+                             healthy replica did not rescue the run: {:?}",
+                            strategy.name(),
+                            e.message,
+                        );
+                    }
+                }
+            }
+            if !quiet {
+                println!(
+                    "swept {label} under {} with {victim}'s elected host killed ({seeds} seeds)",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
     println!("chaos tour: {schedules} schedules at fault rate {FAULT_RATE}");
     println!(
         "  {clean_runs} correct results, {} typed errors, {violations} violations",
@@ -142,6 +215,11 @@ fn main() -> ExitCode {
     println!(
         "  {} faults injected, {} retries, {} graceful degradations",
         total.faults_injected, total.retries, total.fallbacks,
+    );
+    println!(
+        "  {failover_schedules} replicated kill-the-primary schedules: {} replica failovers, \
+         {} hedges ({} won), {} breaker trips",
+        total.replica_failovers, total.hedges, total.hedge_wins, total.breaker_trips,
     );
     for (code, count) in &typed_errors {
         println!("    {code}: {count}");

@@ -14,7 +14,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use xqd::{FaultPlan, Federation, NetworkModel, RetryPolicy, Strategy};
+use xqd::{BreakerPolicy, FaultPlan, Federation, NetworkModel, RetryPolicy, Strategy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +54,14 @@ OPTIONS:
   --retries N              attempts per remote call (default 3)
   --deadline-ms N          per-call deadline in simulated ms (default 10000)
   --backoff-ms N           base retry backoff in simulated ms (default 10)
+  --replicas P:A1,A2       replicate every document of peer P onto peers
+                           A1, A2, ... for failover (repeatable)
+  --hedge-ms N             arm a hedged request to the next replica after
+                           ~N simulated ms (default: hedging off)
+  --breaker-threshold N    consecutive failures tripping a peer's circuit
+                           breaker (default 4; 0 disables breakers)
+  --breaker-cooldown-ms N  simulated ms an open breaker rejects calls
+                           before admitting a half-open probe (default 500)
 ";
 
 struct RunOptions {
@@ -65,6 +73,9 @@ struct RunOptions {
     fault_seed: Option<u64>,
     fault_rate: f64,
     retry: RetryPolicy,
+    replicas: Vec<(String, Vec<String>)>, // (primary, alternates)
+    hedge: Option<Duration>,
+    breaker: BreakerPolicy,
 }
 
 fn parse_strategy(s: &str) -> Option<Vec<Strategy>> {
@@ -88,6 +99,9 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         fault_seed: None,
         fault_rate: 0.2,
         retry: RetryPolicy::default(),
+        replicas: Vec::new(),
+        hedge: None,
+        breaker: BreakerPolicy::default(),
     };
     fn num_arg<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
         args.get(i + 1)
@@ -152,6 +166,32 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             }
             "--backoff-ms" => {
                 opts.retry.base_backoff = Duration::from_millis(num_arg(args, i, "--backoff-ms")?);
+                i += 2;
+            }
+            "--replicas" => {
+                let spec = args.get(i + 1).ok_or("--replicas requires PRIMARY:ALT1,ALT2")?;
+                let (primary, alts) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad --replicas spec {spec:?}"))?;
+                let alts: Vec<String> =
+                    alts.split(',').filter(|a| !a.is_empty()).map(str::to_string).collect();
+                if alts.is_empty() {
+                    return Err(format!("bad --replicas spec {spec:?}: no alternate hosts"));
+                }
+                opts.replicas.push((primary.to_string(), alts));
+                i += 2;
+            }
+            "--hedge-ms" => {
+                opts.hedge = Some(Duration::from_millis(num_arg(args, i, "--hedge-ms")?));
+                i += 2;
+            }
+            "--breaker-threshold" => {
+                opts.breaker.threshold = num_arg(args, i, "--breaker-threshold")?;
+                i += 2;
+            }
+            "--breaker-cooldown-ms" => {
+                opts.breaker.cooldown =
+                    Duration::from_millis(num_arg(args, i, "--breaker-cooldown-ms")?);
                 i += 2;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
@@ -219,11 +259,30 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if opts.fault_seed.is_some() {
+        // injected worker panics are captured and surfaced as typed errors;
+        // keep their default-hook noise out of the CLI output
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("injected fault"))
+                .unwrap_or(false);
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
+
     for strategy in &opts.strategies {
         let mut fed = Federation::new(opts.network);
         fed.set_retry_policy(opts.retry);
+        fed.set_hedge(opts.hedge);
+        fed.set_breaker_policy(opts.breaker);
         if let Some(seed) = opts.fault_seed {
             fed.set_fault_plan(Some(FaultPlan::uniform(seed, opts.fault_rate)));
+            fed.set_replica_seed(seed);
         }
         for (peer, doc, file) in &opts.peers {
             let xml = match std::fs::read_to_string(file) {
@@ -236,6 +295,14 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
             if let Err(e) = fed.load_document(peer, doc, &xml) {
                 eprintln!("loading {doc} on {peer}: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+        for (primary, alts) in &opts.replicas {
+            for alt in alts {
+                if let Err(e) = fed.replicate_peer(primary, alt) {
+                    eprintln!("replicating {primary} onto {alt}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         match fed.run(&query, *strategy) {
@@ -267,6 +334,18 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
                             m.faults_injected,
                             m.retries,
                             m.fallbacks,
+                        );
+                    }
+                    if !opts.replicas.is_empty() || opts.hedge.is_some() {
+                        eprintln!(
+                            "# {}: {} replica failovers, {} hedges ({} won), \
+                             {} breaker trips, {} probes",
+                            strategy.name(),
+                            m.replica_failovers,
+                            m.hedges,
+                            m.hedge_wins,
+                            m.breaker_trips,
+                            m.breaker_probes,
                         );
                     }
                 }

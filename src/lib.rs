@@ -40,9 +40,9 @@ pub use xqd_xml as xml;
 pub use xqd_xquery as xquery;
 pub use xqd_xrpc as xrpc;
 
-pub use xqd_core::{decompose, Decomposition, Semantics, Strategy};
+pub use xqd_core::{decompose, rendezvous_order, Decomposition, ReplicaCatalog, Semantics, Strategy};
 pub use xqd_xquery::{eval_query, parse_query, EvalError, Item, QueryModule, Sequence};
 pub use xqd_xrpc::{
-    ExecOptions, Fault, FaultPlan, Federation, Metrics, NetworkModel, RetryPolicy, RunOutcome,
-    XrpcError,
+    BreakerPolicy, BreakerState, ExecOptions, Fault, FaultPlan, Federation, Metrics, NetworkModel,
+    RetryPolicy, RunOutcome, Scoreboard, XrpcError,
 };

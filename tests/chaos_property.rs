@@ -11,10 +11,15 @@
 //! the whole run (results *and* counter-valued metrics, including retries
 //! and fallbacks) is a pure function of the seed.
 
-use xqd::{FaultPlan, Federation, Metrics, NetworkModel, Strategy};
+use std::time::Duration;
+
+use xqd::{rendezvous_order, FaultPlan, Federation, Metrics, NetworkModel, Strategy};
 
 const SEEDS: u64 = 40;
 const FAULT_RATE: f64 = 0.3;
+/// Near-total fault rate aimed at a single replica: the "kill the primary"
+/// schedules of the replicated sweep.
+const KILL_RATE: f64 = 0.9;
 
 const STRATEGIES: [Strategy; 3] =
     [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection];
@@ -123,6 +128,191 @@ fn identical_seeds_replay_identical_runs_including_metrics() {
                     m1.counters(),
                     m2.counters(),
                     "seed {seed} {strategy:?}: counters (bytes/transfers/retries/faults/fallbacks) drifted"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// replicated-catalog schedules: the availability layer under chaos
+// ---------------------------------------------------------------------------
+
+/// The fixture federation with every peer's documents replicated onto a
+/// second host, so each logical call has a two-host replica set.
+fn replicated_federation(replica_seed: u64) -> Federation {
+    let mut f = federation();
+    for (primary, replica) in [("p", "p2"), ("a", "a2"), ("b", "b2")] {
+        f.replicate_peer(primary, replica).unwrap();
+    }
+    f.set_replica_seed(replica_seed);
+    f
+}
+
+/// The host the failover ladder dials first for `peer`'s calls while
+/// everything is healthy — the rendezvous winner, i.e. "the primary" a
+/// kill-schedule should target.
+fn preferred_host(f: &Federation, peer: &str, replica_seed: u64) -> String {
+    let hosts = f.replica_catalog().hosts_serving_peer(peer);
+    rendezvous_order(replica_seed, &hosts)[0].clone()
+}
+
+/// The replicated sweep's victims: each fixture query paired with the
+/// logical peer whose elected replica the schedule attacks (for the scatter
+/// query that kills one slot's host mid-round while the other proceeds).
+const VICTIMS: [(&str, &str); 2] = [(QUERIES[0], "p"), (QUERIES[1], "a")];
+
+fn run_replicated_chaos(
+    query: &str,
+    victim: &str,
+    strategy: Strategy,
+    seed: u64,
+    rate: f64,
+) -> (Result<Vec<String>, String>, Metrics) {
+    let mut f = replicated_federation(seed);
+    let primary = preferred_host(&f, victim, seed);
+    f.set_fault_plan(Some(FaultPlan::uniform(seed, rate).with_target(&primary)));
+    match f.run(query, strategy) {
+        Ok(out) => (Ok(out.result), out.metrics),
+        Err(e) => {
+            let code = e.code.unwrap_or_else(|| {
+                panic!("seed {seed} {strategy:?}: untyped error {:?}", e.message)
+            });
+            (Err(code), f.metrics())
+        }
+    }
+}
+
+#[test]
+fn killed_primaries_fail_over_to_replicas_without_degrading() {
+    // The acceptance bar for the availability layer: as long as one replica
+    // of every needed document stays healthy, every schedule ends in the
+    // baseline answer — no typed error, no data-shipping degrade — because
+    // the ladder walks off the attacked host onto its stand-in.
+    quiet_injected_panics();
+    let mut schedules = 0u64;
+    let mut total = Metrics::default();
+    for (query, victim) in VICTIMS {
+        for strategy in STRATEGIES {
+            let baseline = federation().run(query, strategy).unwrap();
+            for seed in 0..SEEDS {
+                schedules += 1;
+                let (outcome, metrics) = run_replicated_chaos(query, victim, strategy, seed, KILL_RATE);
+                total.add(&metrics);
+                let result = outcome.unwrap_or_else(|code| {
+                    panic!("seed {seed} {strategy:?}: errored ({code}) despite a healthy replica")
+                });
+                assert_eq!(
+                    result, baseline.result,
+                    "seed {seed} {strategy:?}: replica answered differently from the primary"
+                );
+                assert_eq!(
+                    metrics.fallbacks, 0,
+                    "seed {seed} {strategy:?}: degraded to data shipping with a healthy replica up"
+                );
+            }
+        }
+    }
+    assert_eq!(schedules, SEEDS * 3 * 2);
+    assert!(schedules >= 200, "acceptance floor: at least 200 replicated schedules");
+    assert!(total.faults_injected > 0, "the kill schedules never fired");
+    assert!(total.replica_failovers > 0, "no schedule ever walked to the replica");
+}
+
+#[test]
+fn flapping_primaries_stay_correct_and_never_degrade() {
+    // Flap rather than kill: the attacked host fails intermittently, so
+    // runs mix same-host retries, replica failovers and clean first tries —
+    // all must agree with the fault-free baseline bit for bit.
+    quiet_injected_panics();
+    let query = QUERIES[0];
+    let mut stayed = 0u64;
+    let mut walked = 0u64;
+    for strategy in STRATEGIES {
+        let baseline = federation().run(query, strategy).unwrap();
+        for seed in 0..SEEDS {
+            let (outcome, metrics) = run_replicated_chaos(query, "p", strategy, seed, 0.5);
+            assert_eq!(
+                outcome.as_deref().ok(),
+                Some(&baseline.result[..]),
+                "seed {seed} {strategy:?}: flapping primary broke the run"
+            );
+            assert_eq!(metrics.fallbacks, 0, "seed {seed} {strategy:?}");
+            if metrics.replica_failovers > 0 {
+                walked += 1;
+            } else {
+                stayed += 1;
+            }
+        }
+    }
+    assert!(walked > 0, "the flap never pushed a run onto the replica");
+    assert!(stayed > 0, "the flap never let the primary answer — that is a kill, not a flap");
+}
+
+#[test]
+fn hedged_requests_race_the_slow_primary_and_the_replica_wins() {
+    // Deterministic hedge race: the elected host is not down, merely slow
+    // (targeted latency fault far above the hedge delay), so the ladder
+    // dispatches a hedge to the replica, the replica answers first, and the
+    // loser's cost stays visible in the serialized ledger while the
+    // overlapped ledger only runs to the winner.
+    let query = QUERIES[0];
+    for strategy in STRATEGIES {
+        let baseline = federation().run(query, strategy).unwrap();
+        let mut f = replicated_federation(7);
+        let primary = preferred_host(&f, "p", 7);
+        f.set_hedge(Some(Duration::from_millis(2)));
+        f.set_fault_plan(Some(
+            FaultPlan {
+                p_latency: 1.0,
+                extra_latency: Duration::from_millis(80),
+                ..FaultPlan::none(5)
+            }
+            .with_target(&primary),
+        ));
+        let out = f.run(query, strategy).unwrap();
+        assert_eq!(out.result, baseline.result, "{strategy:?}");
+        assert_eq!(out.metrics.hedges, 1, "{strategy:?}: the slow chain must arm the hedge");
+        assert_eq!(out.metrics.hedge_wins, 1, "{strategy:?}: the replica answers first");
+        assert_eq!(out.metrics.replica_failovers, 0, "{strategy:?}: a hedge win is not a failover");
+        assert_eq!(out.metrics.fallbacks, 0, "{strategy:?}");
+        assert!(
+            out.metrics.network_overlapped < out.metrics.network,
+            "{strategy:?}: cancelling the loser must shorten the overlapped ledger \
+             ({:?} vs {:?})",
+            out.metrics.network_overlapped,
+            out.metrics.network,
+        );
+    }
+}
+
+#[test]
+fn replicated_schedules_replay_identically_including_availability_counters() {
+    // Replay determinism extends to the availability layer: hedges, hedge
+    // wins, breaker trips, probes and failovers are part of the counter
+    // vector, so any nondeterminism in replica election, hedge jitter or
+    // scoreboard application shows up as a drifted replay.
+    quiet_injected_panics();
+    for (query, victim) in VICTIMS {
+        for strategy in STRATEGIES {
+            for seed in 0..SEEDS {
+                let run = |(q, v): (&str, &str)| {
+                    let mut f = replicated_federation(seed);
+                    let primary = preferred_host(&f, v, seed);
+                    f.set_hedge(Some(Duration::from_millis(4)));
+                    f.set_fault_plan(Some(
+                        FaultPlan::uniform(seed, KILL_RATE).with_target(&primary),
+                    ));
+                    let outcome = f.run(q, strategy).map(|o| o.result).map_err(|e| e.code);
+                    (outcome, f.metrics())
+                };
+                let (first, m1) = run((query, victim));
+                let (second, m2) = run((query, victim));
+                assert_eq!(first, second, "seed {seed} {strategy:?}: outcome not replayable");
+                assert_eq!(
+                    m1.counters(),
+                    m2.counters(),
+                    "seed {seed} {strategy:?}: availability counters drifted between replays"
                 );
             }
         }
