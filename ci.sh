@@ -24,6 +24,19 @@ if grep -q '"results_identical": false' target/BENCH_paths.ci.json; then
     exit 1
 fi
 
+echo "== plans bench smoke (small N, offline) =="
+# Small-scale run of the plan-compilation bench into a scratch path (the
+# committed BENCH_plans.json is the full-scale artifact). Every emitted
+# point must report compiled execution bit-identical to the interpreter —
+# results and wire bytes both.
+cargo run --release --offline --example plans_bench -- --small --out target/BENCH_plans.ci.json
+grep -q '"results_identical": true' target/BENCH_plans.ci.json
+grep -q '"bytes_identical": true' target/BENCH_plans.ci.json
+if grep -q 'identical": false' target/BENCH_plans.ci.json; then
+    echo "plans bench: compiled and interpreted execution diverged" >&2
+    exit 1
+fi
+
 echo "== chaos smoke (seeded fault sweep + replica failover, offline) =="
 # Small-N seeded fault-injection sweep across all three wire semantics,
 # followed by the replicated scene: every peer's documents live on a

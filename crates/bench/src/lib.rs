@@ -410,6 +410,188 @@ pub fn paths_json(points: &[PathsPoint]) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Plans: compiled front end + LRU plan cache (cache off / cold / warm)
+// ---------------------------------------------------------------------------
+
+/// The repeated-query workload of the `plans` bench: federated query shapes
+/// over the Section VII two-peer federation, from a single-call semijoin to
+/// scatter and constant-heavy bodies. Repeated traffic of exactly these
+/// texts is the workload the plan cache amortizes.
+pub const PLANS_QUERIES: &[(&str, &str)] = &[
+    (
+        "person-count",
+        r#"count(doc("xrpc://peer1/xmk.xml")/child::site/child::people/child::person)"#,
+    ),
+    (
+        "young-person-names",
+        r#"for $p in doc("xrpc://peer1/xmk.xml")/descendant::person
+           return if ($p/descendant::age < 40) then $p/child::name else ()"#,
+    ),
+    (
+        "two-peer-scatter",
+        r#"(count(doc("xrpc://peer1/xmk.xml")/descendant::person),
+            count(doc("xrpc://peer2/xmk.auctions.xml")/descendant::open_auction))"#,
+    ),
+    (
+        "semijoin-authors",
+        BENCHMARK_QUERY,
+    ),
+    (
+        "const-heavy-filter",
+        r#"for $p in doc("xrpc://peer1/xmk.xml")/descendant::person
+           return if ($p/descendant::age < (2 * 10 + 20)) then $p/attribute::id else ()"#,
+    ),
+];
+
+/// One `plans` measurement: the front-end rate (plans/sec) for one query
+/// with the cache off / cold / warm, plus end-to-end per-query latency and
+/// the bit-parity verdict of compiled vs. interpreted execution.
+#[derive(Debug, Clone)]
+pub struct PlansPoint {
+    /// Workload label (see [`PLANS_QUERIES`]).
+    pub query: &'static str,
+    /// Front-end rate with the plan cache disabled (`plan_cache_size: 0`):
+    /// every call pays parse + decompose + replica resolution + lowering.
+    pub off_plans_per_sec: f64,
+    /// Front-end rate with the cache cleared before every call: the miss
+    /// path including insertion.
+    pub cold_plans_per_sec: f64,
+    /// Front-end rate on a primed cache: one hash lookup per call.
+    pub warm_plans_per_sec: f64,
+    /// End-to-end latency of one run with compilation on and a warm cache.
+    pub compiled_us: u128,
+    /// End-to-end latency of one run with the tree-walk interpreter.
+    pub interpreted_us: u128,
+    pub results_identical: bool,
+    /// Message AND document bytes agree between compiled and interpreted
+    /// execution — the wire is bit-identical.
+    pub bytes_identical: bool,
+}
+
+impl PlansPoint {
+    /// Warm-cache front-end speedup over the uncached front end.
+    pub fn warm_speedup(&self) -> f64 {
+        self.warm_plans_per_sec / self.off_plans_per_sec.max(f64::MIN_POSITIVE)
+    }
+
+    /// One JSON object for the BENCH_plans trajectory (hand-rolled: the
+    /// workspace is std-only).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"query\": \"{}\", \"off_plans_per_sec\": {:.1}, \
+             \"cold_plans_per_sec\": {:.1}, \"warm_plans_per_sec\": {:.1}, \
+             \"warm_speedup\": {:.3}, \"compiled_us\": {}, \"interpreted_us\": {}, \
+             \"results_identical\": {}, \"bytes_identical\": {}}}",
+            self.query,
+            self.off_plans_per_sec,
+            self.cold_plans_per_sec,
+            self.warm_plans_per_sec,
+            self.warm_speedup(),
+            self.compiled_us,
+            self.interpreted_us,
+            self.results_identical,
+            self.bytes_identical,
+        )
+    }
+}
+
+/// Times `iters` calls of `f` and returns the rate in calls/sec.
+fn rate_of(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Measures one [`PLANS_QUERIES`] entry at one document scale under
+/// `strategy`. The three front-end modes run `iters` `prepare` calls each;
+/// latency is the best of `iters.min(5)` full runs per mode.
+pub fn plans_point(
+    label: &'static str,
+    query: &str,
+    bytes_per_doc: usize,
+    strategy: Strategy,
+    iters: usize,
+) -> PlansPoint {
+    let iters = iters.max(1);
+
+    // cache off: plan_cache_size 0 recompiles on every prepare
+    let mut off = setup_federation(bytes_per_doc, 42);
+    off.set_exec_options(ExecOptions { plan_cache_size: 0, ..ExecOptions::default() });
+    let off_plans_per_sec = rate_of(iters, || {
+        off.prepare(query, strategy).expect("prepare");
+    });
+
+    // cold: the miss path of an enabled cache (cleared before every call)
+    let mut cold = setup_federation(bytes_per_doc, 42);
+    let cold_plans_per_sec = rate_of(iters, || {
+        cold.clear_plan_cache();
+        cold.prepare(query, strategy).expect("prepare");
+    });
+
+    // warm: primed once, then every call is a hash lookup
+    let mut warm = setup_federation(bytes_per_doc, 42);
+    warm.prepare(query, strategy).expect("prime");
+    let warm_plans_per_sec = rate_of(iters, || {
+        warm.prepare(query, strategy).expect("prepare");
+    });
+
+    // bit-parity + latency: compiled (warm fed) vs the interpreter oracle
+    let mut interp = setup_federation(bytes_per_doc, 42);
+    interp.set_exec_options(ExecOptions { compile: false, ..ExecOptions::default() });
+    let lat_iters = iters.clamp(1, 5);
+    let mut compiled_us = u128::MAX;
+    let mut interpreted_us = u128::MAX;
+    let mut compiled_out = None;
+    let mut interp_out = None;
+    for _ in 0..lat_iters {
+        let t = Instant::now();
+        let out = warm.run(query, strategy).expect("compiled run");
+        compiled_us = compiled_us.min(t.elapsed().as_micros());
+        compiled_out = Some(out);
+        let t = Instant::now();
+        let out = interp.run(query, strategy).expect("interpreted run");
+        interpreted_us = interpreted_us.min(t.elapsed().as_micros());
+        interp_out = Some(out);
+    }
+    let compiled_out = compiled_out.expect("at least one run");
+    let interp_out = interp_out.expect("at least one run");
+
+    PlansPoint {
+        query: label,
+        off_plans_per_sec,
+        cold_plans_per_sec,
+        warm_plans_per_sec,
+        compiled_us,
+        interpreted_us,
+        results_identical: compiled_out.result == interp_out.result,
+        bytes_identical: compiled_out.metrics.message_bytes == interp_out.metrics.message_bytes
+            && compiled_out.metrics.document_bytes == interp_out.metrics.document_bytes,
+    }
+}
+
+/// The full `plans` sweep: every workload query under `strategy`.
+pub fn plans_sweep(bytes_per_doc: usize, strategy: Strategy, iters: usize) -> Vec<PlansPoint> {
+    PLANS_QUERIES
+        .iter()
+        .map(|&(label, query)| plans_point(label, query, bytes_per_doc, strategy, iters))
+        .collect()
+}
+
+/// The BENCH_plans json document for a sweep.
+pub fn plans_json(points: &[PlansPoint], strategy: Strategy) -> String {
+    let entries: Vec<String> = points.iter().map(|p| format!("    {}", p.to_json())).collect();
+    format!(
+        "{{\n  \"bench\": \"plans\",\n  \"strategy\": \"{}\",\n  \
+         \"workload\": \"repeated federated queries, plan cache off / cold / warm\",\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        strategy.name(),
+        entries.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +662,34 @@ mod tests {
         assert!(json.contains("\"bench\": \"paths\""));
         assert!(json.contains("\"results_identical\": true"));
         assert!(!json.contains("\"results_identical\": false"));
+    }
+
+    #[test]
+    fn plans_warm_cache_amortizes_front_end() {
+        let (label, query) = PLANS_QUERIES[0];
+        let p = plans_point(label, query, 6_000, Strategy::ByValue, 40);
+        assert!(p.results_identical, "compiled and interpreted results differ");
+        assert!(p.bytes_identical, "compiled and interpreted wire bytes differ");
+        assert!(
+            p.warm_speedup() > 3.0,
+            "warm cache should beat the uncached front end: {:.1}x (off {:.0}/s, warm {:.0}/s)",
+            p.warm_speedup(),
+            p.off_plans_per_sec,
+            p.warm_plans_per_sec
+        );
+    }
+
+    #[test]
+    fn plans_json_is_well_formed() {
+        let points: Vec<PlansPoint> = PLANS_QUERIES[..2]
+            .iter()
+            .map(|&(label, query)| plans_point(label, query, 4_000, Strategy::ByValue, 3))
+            .collect();
+        let json = plans_json(&points, Strategy::ByValue);
+        assert!(json.contains("\"bench\": \"plans\""));
+        assert!(json.contains("\"results_identical\": true"));
+        assert!(json.contains("\"bytes_identical\": true"));
+        assert!(!json.contains("false"));
     }
 
     #[test]

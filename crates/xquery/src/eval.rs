@@ -121,26 +121,31 @@ pub trait RemoteHandler {
     }
 }
 
-const MAX_CALL_DEPTH: usize = 128;
+pub(crate) const MAX_CALL_DEPTH: usize = 128;
 
 /// The evaluator. Owns no data; borrows the store and hooks.
+///
+/// The `pub(crate)` fields are shared with the compiled-plan engine
+/// ([`crate::compile`]), which drives the same environment, context stack
+/// and scratch buffers so the two engines cannot diverge in their
+/// book-keeping.
 pub struct Evaluator<'a> {
     pub store: &'a mut Store,
     pub functions: &'a [FunctionDef],
     pub resolver: &'a mut dyn DocResolver,
     pub remote: Option<&'a mut dyn RemoteHandler>,
     pub static_ctx: StaticContext,
-    env: Vec<(String, Sequence)>,
-    context: Vec<Item>,
-    call_depth: usize,
+    pub(crate) env: Vec<(String, Sequence)>,
+    pub(crate) context: Vec<Item>,
+    pub(crate) call_depth: usize,
     /// Answer eligible axis steps from the per-document name indexes
     /// (staircase join) instead of arena scans. Results are bit-identical
     /// either way; the toggle exists so equivalence tests and the `paths`
     /// bench can compare the two engines.
-    use_indexes: bool,
+    pub(crate) use_indexes: bool,
     /// Scratch rank buffer reused across `axis_nodes` / staircase calls so
     /// path evaluation doesn't allocate a fresh `Vec` per step.
-    scratch: Vec<u32>,
+    pub(crate) scratch: Vec<u32>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -551,7 +556,7 @@ impl<'a> Evaluator<'a> {
     /// and deduplicated, then resolved with staircase interval lookups; the
     /// final cross-document `sort_document_order` matches the scan path's
     /// post-step normalization exactly.
-    fn indexed_named_step(
+    pub(crate) fn indexed_named_step(
         &mut self,
         current: &Sequence,
         axis: Axis,
@@ -566,6 +571,18 @@ impl<'a> Evaluator<'a> {
             // reaches the same result via `NodeTest::UnknownName`).
             return Ok(Some(Sequence::new()));
         };
+        self.staircase_named(current, axis, name_id).map(Some)
+    }
+
+    /// The staircase lookup proper, after the context has been checked for
+    /// atomics and the QName resolved to an interned id. Compiled plans call
+    /// this directly with their pre-resolved [`xqd_xml::name::NameId`]s.
+    pub(crate) fn staircase_named(
+        &mut self,
+        current: &Sequence,
+        axis: Axis,
+        name_id: xqd_xml::name::NameId,
+    ) -> EvalResult<Sequence> {
         let mut by_doc: Vec<(DocId, Vec<u32>)> = Vec::new();
         for item in current.iter() {
             let Item::Node(n) = item else { unreachable!() };
@@ -599,7 +616,7 @@ impl<'a> Evaluator<'a> {
         ranks.clear();
         self.scratch = ranks;
         sort_document_order(&mut out)?;
-        Ok(Some(out.into()))
+        Ok(out.into())
     }
 
     /// Applies one step (axis + test + predicates) to one context node.
@@ -770,7 +787,7 @@ impl<'a> Evaluator<'a> {
     /// XQuery content semantics: attribute items first (become attributes of
     /// the enclosing element), nodes are deep-copied, adjacent atomics join
     /// with single spaces into one text node.
-    fn append_content(&mut self, b: &mut DocBuilder, content: &[Item]) -> EvalResult<()> {
+    pub(crate) fn append_content(&mut self, b: &mut DocBuilder, content: &[Item]) -> EvalResult<()> {
         let mut pending_text: Option<String> = None;
         let mut seen_child = false;
         for item in content {
@@ -816,15 +833,15 @@ impl<'a> Evaluator<'a> {
 
 /// A `for`-return clause amenable to Bulk RPC: a chain of local `let`s
 /// ending in an `Execute` with a literal peer.
-struct BulkPlan<'a> {
-    lets: Vec<(&'a str, &'a Expr)>,
-    peer: String,
-    params: &'a [XrpcParam],
-    body: &'a Expr,
-    projection: Option<&'a ExecProjection>,
+pub(crate) struct BulkPlan<'a> {
+    pub(crate) lets: Vec<(&'a str, &'a Expr)>,
+    pub(crate) peer: String,
+    pub(crate) params: &'a [XrpcParam],
+    pub(crate) body: &'a Expr,
+    pub(crate) projection: Option<&'a ExecProjection>,
 }
 
-fn bulk_pattern(ret: &Expr) -> Option<BulkPlan<'_>> {
+pub(crate) fn bulk_pattern(ret: &Expr) -> Option<BulkPlan<'_>> {
     let mut lets = Vec::new();
     let mut cur = ret;
     loop {
@@ -854,7 +871,7 @@ fn bulk_pattern(ret: &Expr) -> Option<BulkPlan<'_>> {
 /// `Execute` expressions with a literal peer. Engages only when at least two
 /// such calls target at least two distinct peers — otherwise there is
 /// nothing to overlap.
-fn sequence_scatter(es: &[Expr]) -> Option<Vec<usize>> {
+pub(crate) fn sequence_scatter(es: &[Expr]) -> Option<Vec<usize>> {
     let mut idxs = Vec::new();
     let mut peers = Vec::new();
     for (i, e) in es.iter().enumerate() {
@@ -872,7 +889,7 @@ fn sequence_scatter(es: &[Expr]) -> Option<Vec<usize>> {
 }
 
 /// The literal peer of an `Execute` eligible for scattering, if any.
-fn scatter_exec_peer(e: &Expr) -> Option<String> {
+pub(crate) fn scatter_exec_peer(e: &Expr) -> Option<String> {
     if let Expr::Execute { peer, .. } = e {
         if let Expr::Literal(a) = peer.as_ref() {
             return Some(a.to_lexical());
@@ -885,7 +902,7 @@ fn scatter_exec_peer(e: &Expr) -> Option<String> {
 /// expression are always evaluated, so two remote calls to distinct peers —
 /// the shape distributed code motion leaves behind when it collapses a
 /// `let`-chain into `execute(…) ⊕ execute(…)` — can fan out together.
-fn binary_scatter(lhs: &Expr, rhs: &Expr) -> bool {
+pub(crate) fn binary_scatter(lhs: &Expr, rhs: &Expr) -> bool {
     matches!(
         (scatter_exec_peer(lhs), scatter_exec_peer(rhs)),
         (Some(a), Some(b)) if a != b
@@ -896,13 +913,13 @@ fn binary_scatter(lhs: &Expr, rhs: &Expr) -> bool {
 /// whose parameters are independent of earlier chain variables — the shape
 /// distributed code motion produces for a federated join. The calls can run
 /// as one scatter round and bind in order afterwards.
-struct LetScatterChain<'a> {
+pub(crate) struct LetScatterChain<'a> {
     /// (bound variable, the Execute expression it binds)
-    binds: Vec<(&'a str, &'a Expr)>,
-    tail: &'a Expr,
+    pub(crate) binds: Vec<(&'a str, &'a Expr)>,
+    pub(crate) tail: &'a Expr,
 }
 
-fn let_scatter(e: &Expr) -> Option<LetScatterChain<'_>> {
+pub(crate) fn let_scatter(e: &Expr) -> Option<LetScatterChain<'_>> {
     let mut binds: Vec<(&str, &Expr)> = Vec::new();
     let mut peers: Vec<String> = Vec::new();
     let mut cur = e;
@@ -1102,14 +1119,14 @@ impl<'a> Evaluator<'a> {
     }
 }
 
-fn single_node(seq: &[Item], what: &str) -> EvalResult<NodeId> {
+pub(crate) fn single_node(seq: &[Item], what: &str) -> EvalResult<NodeId> {
     match seq {
         [Item::Node(n)] => Ok(*n),
         _ => Err(EvalError::new(format!("{what} requires a single node operand"))),
     }
 }
 
-fn compare_order_keys(a: &Option<Atomic>, b: &Option<Atomic>) -> std::cmp::Ordering {
+pub(crate) fn compare_order_keys(a: &Option<Atomic>, b: &Option<Atomic>) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     match (a, b) {
         (None, None) => Ordering::Equal,

@@ -25,6 +25,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod eval;
 pub mod lexer;
 pub mod normalize;
@@ -32,6 +33,7 @@ pub mod parser;
 pub mod value;
 
 pub use ast::{Atomic, Expr, FunctionDef, QueryModule, XrpcParam};
+pub use compile::{compile_module, compile_query, Op, OpRef, Plan, PlanRoute, PlanStep, SymId};
 pub use eval::{
     eval_query, eval_query_with_indexes, scatter_rounds, DocResolver, Evaluator, LocalResolver,
     RemoteHandler, ScatterCall, StaticContext,

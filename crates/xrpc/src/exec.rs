@@ -130,6 +130,14 @@ pub struct ExecOptions {
     /// Seed of the rendezvous replica-selection policy (see
     /// [`xqd_core::replicas::rendezvous_order`]).
     pub replica_seed: u64,
+    /// Lower queries to the flat plan IR ([`xqd_xquery::Plan`]) and execute
+    /// that, on the coordinator and on every peer. Off = the tree-walk
+    /// interpreter runs everywhere; results and message bytes are
+    /// bit-identical either way, which the plan-equivalence suite asserts.
+    pub compile: bool,
+    /// Capacity of the coordinator-side LRU plan cache. `0` disables
+    /// caching entirely: every run pays the full front end again.
+    pub plan_cache_size: usize,
 }
 
 impl Default for ExecOptions {
@@ -143,6 +151,8 @@ impl Default for ExecOptions {
             hedge: None,
             breaker: BreakerPolicy::default(),
             replica_seed: 0,
+            compile: true,
+            plan_cache_size: 64,
         }
     }
 }
@@ -203,6 +213,9 @@ struct MetricsSink {
     breaker_trips: AtomicU64,
     breaker_probes: AtomicU64,
     replica_failovers: AtomicU64,
+    plans_compiled: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
     shred_ns: AtomicU64,
     serialize_ns: AtomicU64,
     remote_exec_ns: AtomicU64,
@@ -230,6 +243,9 @@ impl MetricsSink {
             &self.breaker_trips,
             &self.breaker_probes,
             &self.replica_failovers,
+            &self.plans_compiled,
+            &self.plan_cache_hits,
+            &self.plan_cache_misses,
             &self.shred_ns,
             &self.serialize_ns,
             &self.remote_exec_ns,
@@ -255,6 +271,9 @@ impl MetricsSink {
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
             replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
+            plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
             shred: Duration::from_nanos(self.shred_ns.load(Ordering::Relaxed)),
             serialize: Duration::from_nanos(self.serialize_ns.load(Ordering::Relaxed)),
             remote_exec: Duration::from_nanos(self.remote_exec_ns.load(Ordering::Relaxed)),
@@ -298,6 +317,89 @@ struct FedCore {
     board: Mutex<Scoreboard>,
     /// Replicated document placement (see [`ReplicaCatalog`]).
     catalog: Mutex<ReplicaCatalog>,
+    /// Coordinator-side LRU cache of prepared queries (see [`PlanCache`]).
+    plans: Mutex<PlanCache>,
+    /// Static context applied to coordinator evaluation and compiled into
+    /// cached plans; part of the plan-cache key.
+    static_ctx: Mutex<StaticContext>,
+    /// Topology generation: bumped whenever a peer, document or replica
+    /// placement is added, so plans whose replica resolution was baked
+    /// against the old topology miss the cache instead of being replayed.
+    catalog_gen: AtomicU64,
+}
+
+/// One cached unit of coordinator front-end work: the decomposition (kept
+/// for explain output) plus the compiled plan that executes it.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    pub decomposition: xqd_core::Decomposition,
+    pub plan: xqd_xquery::Plan,
+}
+
+/// Everything a prepared query is a function of. Two runs whose keys differ
+/// in any field can never share a plan — which is exactly the safety
+/// argument for replaying a hit: documents are immutable once loaded (the
+/// generation covers additions), and the static context, index strategy,
+/// decomposition knobs and replica seed are all fingerprinted here.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    /// Raw query text (`run`) or the module's canonical printed form
+    /// (`run_module`); equivalent spellings may occupy two entries.
+    query: String,
+    strategy: Strategy,
+    let_motion: bool,
+    code_motion: bool,
+    use_indexes: bool,
+    replica_seed: u64,
+    catalog_gen: u64,
+    /// `\u{1}`-joined static-context fields.
+    static_fingerprint: String,
+}
+
+/// LRU cache of prepared queries: a map plus a monotonic access tick.
+/// Eviction scans for the smallest tick — O(capacity), fine for the
+/// double-digit capacities a coordinator holds.
+#[derive(Default)]
+struct PlanCache {
+    tick: u64,
+    entries: HashMap<PlanKey, (u64, Arc<PreparedQuery>)>,
+}
+
+impl PlanCache {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn get(&mut self, cap: usize, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        if cap == 0 {
+            return None;
+        }
+        let tick = self.touch();
+        self.entries.get_mut(key).map(|e| {
+            e.0 = tick;
+            Arc::clone(&e.1)
+        })
+    }
+
+    fn insert(&mut self, cap: usize, key: PlanKey, prepared: Arc<PreparedQuery>) {
+        if cap == 0 {
+            return;
+        }
+        while self.entries.len() >= cap && !self.entries.contains_key(&key) {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.entries.remove(&oldest);
+        }
+        let tick = self.touch();
+        self.entries.insert(key, (tick, prepared));
+    }
 }
 
 /// Fault-schedule ordinal of one attempt: the ladder's lane, the rung
@@ -426,8 +528,31 @@ impl Federation {
                 lanes: AtomicU64::new(0),
                 board: Mutex::new(Scoreboard::new(BreakerPolicy::default())),
                 catalog: Mutex::new(ReplicaCatalog::new()),
+                plans: Mutex::new(PlanCache::default()),
+                static_ctx: Mutex::new(StaticContext::default()),
+                catalog_gen: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Sets the static context applied to coordinator evaluation in
+    /// subsequent runs. Part of the plan-cache key: runs under distinct
+    /// contexts never share a plan (constants fold under the context the
+    /// plan was compiled for).
+    pub fn set_static_context(&mut self, ctx: StaticContext) {
+        *self.core.static_ctx.lock().unwrap() = ctx;
+    }
+
+    /// Number of prepared queries currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.core.plans.lock().unwrap().entries.len()
+    }
+
+    /// Drops every cached plan (the cold-cache bench mode).
+    pub fn clear_plan_cache(&mut self) {
+        let mut plans = self.core.plans.lock().unwrap();
+        plans.entries.clear();
+        plans.tick = 0;
     }
 
     /// Switches execution modes (scatter parallelism, bulk workers) for
@@ -520,6 +645,7 @@ impl Federation {
         }
         drop(peers);
         self.core.catalog.lock().unwrap().register(&canonical, replica);
+        self.core.catalog_gen.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -562,6 +688,7 @@ impl Federation {
             .lock()
             .unwrap()
             .insert(name.to_string(), Some(Peer::new(name)));
+        self.core.catalog_gen.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Loads `xml` as document `doc_name` on `peer` (added if absent).
@@ -573,7 +700,10 @@ impl Federation {
         entry
             .as_mut()
             .ok_or_else(|| EvalError::new(format!("peer {peer} is busy")))?
-            .load_document(doc_name, xml)
+            .load_document(doc_name, xml)?;
+        drop(peers);
+        self.core.catalog_gen.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Parses, decomposes and executes `query` under `strategy`.
@@ -589,9 +719,23 @@ impl Federation {
         strategy: Strategy,
         options: xqd_core::DecomposeOptions,
     ) -> EvalResult<RunOutcome> {
-        let module =
-            parse_query(query).map_err(|e| EvalError::new(format!("parse error: {e}")))?;
-        self.run_module_with(&module, strategy, options)
+        let (exec_options, static_ctx) = self.begin_run(strategy);
+        if !exec_options.compile {
+            let module =
+                parse_query(query).map_err(|e| EvalError::new(format!("parse error: {e}")))?;
+            return self.run_prepared_module(&module, strategy, options, &exec_options, &static_ctx);
+        }
+        // key on the raw query text: a warm cache skips the parser too
+        let key = self.plan_key(query, strategy, options, &exec_options, &static_ctx);
+        let prepared = match self.cache_lookup(exec_options.plan_cache_size, &key) {
+            Some(p) => p,
+            None => {
+                let module = parse_query(query)
+                    .map_err(|e| EvalError::new(format!("parse error: {e}")))?;
+                self.compile_into_cache(key, &module, strategy, options, &exec_options, &static_ctx)?
+            }
+        };
+        self.finish_run(Some(&prepared.plan), prepared.decomposition.clone(), &exec_options, &static_ctx)
     }
 
     /// Like [`Self::run`] for an already-parsed module.
@@ -606,14 +750,35 @@ impl Federation {
         strategy: Strategy,
         options: xqd_core::DecomposeOptions,
     ) -> EvalResult<RunOutcome> {
-        let mut plan = xqd_core::decompose_with(module, strategy, options)?;
+        let (exec_options, static_ctx) = self.begin_run(strategy);
+        self.run_prepared_module(module, strategy, options, &exec_options, &static_ctx)
+    }
+
+    /// Runs (or, on a warm cache, skips) the front end for `query` — parse,
+    /// decompose, replica resolution, lowering to plan IR — and returns the
+    /// prepared entry. This is the per-run preamble [`Self::run`] executes;
+    /// exposed so benches can measure the front-end rate on its own. Cache
+    /// events count into the metric sink and are swept up by the next run's
+    /// reset.
+    pub fn prepare(&mut self, query: &str, strategy: Strategy) -> EvalResult<Arc<PreparedQuery>> {
         let exec_options = self.core.options();
-        {
-            // annotate each remote call with its replica candidates (explain
-            // output; the executor re-derives the same order per ladder)
-            let catalog = self.core.catalog.lock().unwrap();
-            plan.resolve_replicas(&catalog, exec_options.replica_seed);
+        let static_ctx = self.core.static_ctx.lock().unwrap().clone();
+        let options = xqd_core::DecomposeOptions::default();
+        let key = self.plan_key(query, strategy, options, &exec_options, &static_ctx);
+        match self.cache_lookup(exec_options.plan_cache_size, &key) {
+            Some(p) => Ok(p),
+            None => {
+                let module = parse_query(query)
+                    .map_err(|e| EvalError::new(format!("parse error: {e}")))?;
+                self.compile_into_cache(key, &module, strategy, options, &exec_options, &static_ctx)
+            }
         }
+    }
+
+    /// Per-run state reset, done before the front end so cache events land
+    /// inside the run's metric snapshot.
+    fn begin_run(&mut self, strategy: Strategy) -> (ExecOptions, StaticContext) {
+        let exec_options = self.core.options();
         self.core.metrics.reset();
         self.core.lanes.store(0, Ordering::Relaxed);
         self.core.board.lock().unwrap().reset(exec_options.breaker);
@@ -622,17 +787,139 @@ impl Federation {
             Strategy::ByProjection => WireSemantics::Projection,
             _ => WireSemantics::Value,
         };
+        let static_ctx = self.core.static_ctx.lock().unwrap().clone();
+        (exec_options, static_ctx)
+    }
+
+    /// The module-level front end: cache lookup under the printed module
+    /// text when compiling, plain decomposition otherwise.
+    fn run_prepared_module(
+        &mut self,
+        module: &QueryModule,
+        strategy: Strategy,
+        options: xqd_core::DecomposeOptions,
+        exec_options: &ExecOptions,
+        static_ctx: &StaticContext,
+    ) -> EvalResult<RunOutcome> {
+        if exec_options.compile {
+            let mut text = String::new();
+            xqd_xquery::ast::print_module(module, &mut text);
+            let key = self.plan_key(&text, strategy, options, exec_options, static_ctx);
+            let prepared = match self.cache_lookup(exec_options.plan_cache_size, &key) {
+                Some(p) => p,
+                None => {
+                    self.compile_into_cache(key, module, strategy, options, exec_options, static_ctx)?
+                }
+            };
+            self.finish_run(Some(&prepared.plan), prepared.decomposition.clone(), exec_options, static_ctx)
+        } else {
+            let plan = self.decompose_resolved(module, strategy, options, exec_options)?;
+            self.finish_run(None, plan, exec_options, static_ctx)
+        }
+    }
+
+    /// Decomposes `module` and annotates each remote call with its replica
+    /// candidates (explain output; the executor re-derives the same order
+    /// per ladder).
+    fn decompose_resolved(
+        &self,
+        module: &QueryModule,
+        strategy: Strategy,
+        options: xqd_core::DecomposeOptions,
+        exec_options: &ExecOptions,
+    ) -> EvalResult<xqd_core::Decomposition> {
+        let mut plan = xqd_core::decompose_with(module, strategy, options)?;
+        let catalog = self.core.catalog.lock().unwrap();
+        plan.resolve_replicas(&catalog, exec_options.replica_seed);
+        Ok(plan)
+    }
+
+    fn plan_key(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        options: xqd_core::DecomposeOptions,
+        exec_options: &ExecOptions,
+        static_ctx: &StaticContext,
+    ) -> PlanKey {
+        PlanKey {
+            query: query.to_string(),
+            strategy,
+            let_motion: options.let_motion,
+            code_motion: options.code_motion,
+            use_indexes: exec_options.use_indexes,
+            replica_seed: exec_options.replica_seed,
+            catalog_gen: self.core.catalog_gen.load(Ordering::Relaxed),
+            static_fingerprint: format!(
+                "{}\u{1}{}\u{1}{}",
+                static_ctx.base_uri, static_ctx.default_collation, static_ctx.current_datetime
+            ),
+        }
+    }
+
+    fn cache_lookup(&self, cap: usize, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        let hit = self.core.plans.lock().unwrap().get(cap, key);
+        let sink = &self.core.metrics;
+        match &hit {
+            Some(_) => sink.plan_cache_hits.fetch_add(1, Ordering::Relaxed),
+            None => sink.plan_cache_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// The cache-miss slow path: decompose, resolve replicas, lower to plan
+    /// IR (recording the routes for explain), insert under `key`.
+    fn compile_into_cache(
+        &self,
+        key: PlanKey,
+        module: &QueryModule,
+        strategy: Strategy,
+        options: xqd_core::DecomposeOptions,
+        exec_options: &ExecOptions,
+        static_ctx: &StaticContext,
+    ) -> EvalResult<Arc<PreparedQuery>> {
+        let decomposition = self.decompose_resolved(module, strategy, options, exec_options)?;
+        let routes = decomposition
+            .calls
+            .iter()
+            .map(|c| xqd_xquery::PlanRoute { peer: c.peer.clone(), replicas: c.replicas.clone() })
+            .collect();
+        // the decomposer inlined user functions; the body is the whole query
+        let plan = xqd_xquery::compile_module(&[], &decomposition.rewritten, exec_options.use_indexes, static_ctx)
+            .with_routes(routes);
+        self.core.metrics.plans_compiled.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(PreparedQuery { decomposition, plan });
+        self.core.plans.lock().unwrap().insert(
+            exec_options.plan_cache_size,
+            key,
+            Arc::clone(&prepared),
+        );
+        Ok(prepared)
+    }
+
+    /// The back end shared by every entry point: fresh coordinator store,
+    /// evaluate (compiled plan or interpreter), canonicalize, snapshot.
+    fn finish_run(
+        &mut self,
+        compiled: Option<&xqd_xquery::Plan>,
+        plan: xqd_core::Decomposition,
+        exec_options: &ExecOptions,
+        static_ctx: &StaticContext,
+    ) -> EvalResult<RunOutcome> {
         let started = Instant::now();
         // fresh coordinator store per run
         let mut local = Store::new();
         let mut link = FedLink { core: Arc::clone(&self.core), peer: String::new() };
         let mut handler = FedLink { core: Arc::clone(&self.core), peer: String::new() };
         let functions: Vec<xqd_xquery::FunctionDef> = Vec::new();
-        let use_indexes = self.core.options().use_indexes;
         let mut ev = Evaluator::new(&mut local, &functions, &mut link)
             .with_remote(&mut handler)
-            .with_indexes(use_indexes);
-        let result = ev.eval(&plan.rewritten)?;
+            .with_static_context(static_ctx.clone())
+            .with_indexes(exec_options.use_indexes);
+        let result = match compiled {
+            Some(p) => p.eval(&mut ev)?,
+            None => ev.eval(&plan.rewritten)?,
+        };
         let total = started.elapsed();
         let canonical = result.iter().map(|i| canonical_item(&local, i)).collect();
         let mut metrics = self.core.metrics.snapshot();
@@ -935,6 +1222,7 @@ fn eval_one_call(
     peer: &str,
     store: &mut Store,
     module: &QueryModule,
+    plan: Option<&xqd_xquery::Plan>,
     static_ctx: &StaticContext,
     params: &[(String, Sequence)],
 ) -> EvalResult<Sequence> {
@@ -947,7 +1235,10 @@ fn eval_one_call(
     for (name, value) in params {
         ev.bind(name, value.clone());
     }
-    ev.eval(&module.body)
+    match plan {
+        Some(p) => p.eval(&mut ev),
+        None => ev.eval(&module.body),
+    }
 }
 
 /// Syntactic gate for splitting a Bulk RPC call list across store
@@ -1004,16 +1295,27 @@ fn process_request(
         .map_err(|e| EvalError::new(format!("remote parse error: {e}")))?;
 
     let options = core.options();
+    // Peers compile per request — the request is the unit of determinism
+    // under concurrent scatter/hedged delivery, so peer-side compiles are
+    // kept off the plan counters and out of the coordinator's cache.
+    let plan = options.compile.then(|| {
+        xqd_xquery::compile_module(
+            &module.functions,
+            &module.body,
+            options.use_indexes,
+            &decoded.static_ctx,
+        )
+    });
     let t_exec = Instant::now();
     let results = if options.bulk_workers > 1
         && decoded.calls.len() > 1
         && body_snapshot_safe(&module, peer)
     {
-        eval_calls_parallel(core, peer, store, &module, &decoded.static_ctx, &decoded.calls, options.bulk_workers)?
+        eval_calls_parallel(core, peer, store, &module, plan.as_ref(), &decoded.static_ctx, &decoded.calls, options.bulk_workers)?
     } else {
         let mut results = Vec::with_capacity(decoded.calls.len());
         for params in &decoded.calls {
-            results.push(eval_one_call(core, peer, store, &module, &decoded.static_ctx, params)?);
+            results.push(eval_one_call(core, peer, store, &module, plan.as_ref(), &decoded.static_ctx, params)?);
         }
         results
     };
@@ -1040,11 +1342,13 @@ fn process_request(
 /// store — guarded both syntactically ([`body_snapshot_safe`]) and at
 /// runtime (a worker whose snapshot grew is discarded and its chunk re-run
 /// sequentially against the base store).
+#[allow(clippy::too_many_arguments)]
 fn eval_calls_parallel(
     core: &Arc<FedCore>,
     peer: &str,
     store: &mut Store,
     module: &QueryModule,
+    plan: Option<&xqd_xquery::Plan>,
     static_ctx: &StaticContext,
     calls: &[Vec<(String, Sequence)>],
     workers: usize,
@@ -1071,7 +1375,7 @@ fn eval_calls_parallel(
                 s.spawn(move || {
                     let out: Vec<EvalResult<Sequence>> = r
                         .map(|ci| {
-                            eval_one_call(&core, peer, &mut snapshot, module, static_ctx, &calls[ci])
+                            eval_one_call(&core, peer, &mut snapshot, module, plan, static_ctx, &calls[ci])
                         })
                         .collect();
                     let clean = snapshot.docs().count() == base_docs;
@@ -1112,7 +1416,7 @@ fn eval_calls_parallel(
             // the snapshot diverged (body attached documents despite the
             // gate): discard and recompute this chunk against the base store
             for ci in range {
-                results.push(eval_one_call(core, peer, store, module, static_ctx, &calls[ci])?);
+                results.push(eval_one_call(core, peer, store, module, plan, static_ctx, &calls[ci])?);
             }
         }
     }

@@ -36,7 +36,9 @@ pub mod message;
 pub mod net;
 pub mod wire;
 
-pub use exec::{canonical_item, ExecOptions, Federation, Peer, RetryPolicy, RunOutcome};
+pub use exec::{
+    canonical_item, ExecOptions, Federation, Peer, PreparedQuery, RetryPolicy, RunOutcome,
+};
 pub use health::{Admission, BreakerPolicy, BreakerState, Scoreboard};
 pub use message::{
     decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,

@@ -475,6 +475,14 @@ pub struct Metrics {
     /// Ladder rungs dispatched to a replica after the preferred peer
     /// failed or was rejected by its breaker.
     pub replica_failovers: u64,
+    /// Queries lowered to a fresh plan IR this run (coordinator-side
+    /// cache misses and compile-on-the-fly runs; peer-side compiles are
+    /// excluded to keep the counter deterministic under concurrency).
+    pub plans_compiled: u64,
+    /// Coordinator plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Coordinator plan-cache misses.
+    pub plan_cache_misses: u64,
     /// End-to-end wall-clock time of the run.
     pub total: Duration,
 }
@@ -526,13 +534,16 @@ impl Metrics {
         self.breaker_trips += other.breaker_trips;
         self.breaker_probes += other.breaker_probes;
         self.replica_failovers += other.replica_failovers;
+        self.plans_compiled += other.plans_compiled;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
         self.total += other.total;
     }
 
     /// The counter-valued fields (everything deterministic under a fixed
     /// seed and fault plan — measured durations are excluded). The retry
     /// determinism suite compares these across repeated runs.
-    pub fn counters(&self) -> [u64; 13] {
+    pub fn counters(&self) -> [u64; 16] {
         [
             self.message_bytes,
             self.document_bytes,
@@ -547,6 +558,9 @@ impl Metrics {
             self.breaker_trips,
             self.breaker_probes,
             self.replica_failovers,
+            self.plans_compiled,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
         ]
     }
 }
@@ -776,6 +790,24 @@ mod tests {
             ..Default::default()
         };
         a.add(&b);
-        assert_eq!(a.counters()[8..], [11, 22, 33, 44, 55]);
+        assert_eq!(a.counters()[8..13], [11, 22, 33, 44, 55]);
+    }
+
+    #[test]
+    fn metrics_counters_include_plan_fields() {
+        let mut a = Metrics {
+            plans_compiled: 1,
+            plan_cache_hits: 2,
+            plan_cache_misses: 3,
+            ..Default::default()
+        };
+        let b = Metrics {
+            plans_compiled: 10,
+            plan_cache_hits: 20,
+            plan_cache_misses: 30,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.counters()[13..], [11, 22, 33]);
     }
 }

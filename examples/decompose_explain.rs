@@ -1,7 +1,9 @@
 //! Walks the paper's Q2 (Table III) through the full decomposition
 //! pipeline, printing each stage: surface query → XCore → d-graph →
 //! normalized (let-motion) → the decomposed plans Qv2 / Qf2 / Qp2 with code
-//! motion and projection paths (Tables III & IV).
+//! motion and projection paths (Tables III & IV) → the compiled flat plan
+//! IR the executor actually runs (op list, per-step indexed/scan choice,
+//! folded constants, scatter rounds, replica routes).
 //!
 //! ```sh
 //! cargo run --example decompose_explain
@@ -9,7 +11,8 @@
 
 use xqd::core::dgraph::build_dgraph;
 use xqd::core::letmotion::let_motion;
-use xqd::{decompose, parse_query, Strategy};
+use xqd::{compile_module, decompose, parse_query, StaticContext, Strategy};
+use xqd::xquery::PlanRoute;
 
 const Q2: &str = r#"
 (let $s := doc("xrpc://A/students.xml")/people/person,
@@ -59,6 +62,20 @@ fn main() {
                     );
                 }
             }
+        }
+
+        // the flat plan IR the executor lowers the rewritten query to (the
+        // coordinator caches this per query text + static context)
+        let routes = d
+            .calls
+            .iter()
+            .map(|c| PlanRoute { peer: c.peer.clone(), replicas: c.replicas.clone() })
+            .collect();
+        let plan = compile_module(&[], &d.rewritten, true, &StaticContext::default())
+            .with_routes(routes);
+        println!("--- compiled plan IR:");
+        for line in plan.dump().lines() {
+            println!("  {line}");
         }
     }
 }

@@ -14,7 +14,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use xqd::{BreakerPolicy, FaultPlan, Federation, NetworkModel, RetryPolicy, Strategy};
+use xqd::{BreakerPolicy, ExecOptions, FaultPlan, Federation, NetworkModel, RetryPolicy, Strategy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +62,10 @@ OPTIONS:
                            breaker (default 4; 0 disables breakers)
   --breaker-cooldown-ms N  simulated ms an open breaker rejects calls
                            before admitting a half-open probe (default 500)
+  --no-compile             tree-walk the AST instead of compiling queries
+                           to the flat plan IR (the correctness oracle)
+  --plan-cache-size N      coordinator LRU plan-cache capacity (default 64;
+                           0 recompiles on every run)
 ";
 
 struct RunOptions {
@@ -76,6 +80,8 @@ struct RunOptions {
     replicas: Vec<(String, Vec<String>)>, // (primary, alternates)
     hedge: Option<Duration>,
     breaker: BreakerPolicy,
+    compile: bool,
+    plan_cache_size: usize,
 }
 
 fn parse_strategy(s: &str) -> Option<Vec<Strategy>> {
@@ -102,6 +108,8 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         replicas: Vec::new(),
         hedge: None,
         breaker: BreakerPolicy::default(),
+        compile: ExecOptions::default().compile,
+        plan_cache_size: ExecOptions::default().plan_cache_size,
     };
     fn num_arg<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
         args.get(i + 1)
@@ -194,6 +202,14 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                     Duration::from_millis(num_arg(args, i, "--breaker-cooldown-ms")?);
                 i += 2;
             }
+            "--no-compile" => {
+                opts.compile = false;
+                i += 1;
+            }
+            "--plan-cache-size" => {
+                opts.plan_cache_size = num_arg(args, i, "--plan-cache-size")?;
+                i += 2;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
             file => {
                 if opts.query.is_some() {
@@ -277,6 +293,11 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
 
     for strategy in &opts.strategies {
         let mut fed = Federation::new(opts.network);
+        fed.set_exec_options(ExecOptions {
+            compile: opts.compile,
+            plan_cache_size: opts.plan_cache_size,
+            ..ExecOptions::default()
+        });
         fed.set_retry_policy(opts.retry);
         fed.set_hedge(opts.hedge);
         fed.set_breaker_policy(opts.breaker);
@@ -327,6 +348,15 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
                         m.network,
                         m.total + m.network,
                     );
+                    if opts.compile {
+                        eprintln!(
+                            "# {}: {} plans compiled, plan cache {} hits / {} misses",
+                            strategy.name(),
+                            m.plans_compiled,
+                            m.plan_cache_hits,
+                            m.plan_cache_misses,
+                        );
+                    }
                     if opts.fault_seed.is_some() || m.faults_injected > 0 {
                         eprintln!(
                             "# {}: {} faults injected, {} retries, {} fallbacks",

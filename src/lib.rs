@@ -41,8 +41,11 @@ pub use xqd_xquery as xquery;
 pub use xqd_xrpc as xrpc;
 
 pub use xqd_core::{decompose, rendezvous_order, Decomposition, ReplicaCatalog, Semantics, Strategy};
-pub use xqd_xquery::{eval_query, parse_query, EvalError, Item, QueryModule, Sequence};
+pub use xqd_xquery::{
+    compile_module, compile_query, eval_query, parse_query, EvalError, Item, Plan, QueryModule,
+    Sequence, StaticContext,
+};
 pub use xqd_xrpc::{
     BreakerPolicy, BreakerState, ExecOptions, Fault, FaultPlan, Federation, Metrics, NetworkModel,
-    RetryPolicy, RunOutcome, Scoreboard, XrpcError,
+    PreparedQuery, RetryPolicy, RunOutcome, Scoreboard, XrpcError,
 };

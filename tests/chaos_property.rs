@@ -333,3 +333,17 @@ fn fault_free_runs_are_unchanged_by_an_installed_empty_plan() {
         }
     }
 }
+
+#[test]
+fn plan_counters_participate_in_the_replay_contract() {
+    // `counters()` grew the plan-compilation trio, so every replay
+    // comparison above already covers it; this pins the values so a
+    // regression that stops compiling (or stops counting) is loud.
+    let mut f = federation();
+    let first = f.run(QUERIES[0], Strategy::ByValue).unwrap();
+    assert_eq!(first.metrics.plans_compiled, 1, "fresh run must lower a plan");
+    assert_eq!(first.metrics.counters()[13..], [1, 0, 1]);
+    let second = f.run(QUERIES[0], Strategy::ByValue).unwrap();
+    assert_eq!(second.metrics.plans_compiled, 0, "warm run must reuse the plan");
+    assert_eq!(second.metrics.counters()[13..], [0, 1, 0]);
+}
