@@ -37,6 +37,19 @@ if grep -q 'identical": false' target/BENCH_plans.ci.json; then
     exit 1
 fi
 
+echo "== joins bench smoke (small N, offline) =="
+# Small-scale run of the semi-join bench into a scratch path (the
+# committed BENCH_joins.json is the full-scale artifact). Every emitted
+# point must report the semi-join result identical to the paper baseline
+# and the off-toggle wire byte-identical to the interpreter oracle.
+cargo run --release --offline --example joins_bench -- --small --out target/BENCH_joins.ci.json
+grep -q '"results_identical": true' target/BENCH_joins.ci.json
+grep -q '"bytes_identical": true' target/BENCH_joins.ci.json
+if grep -q 'identical": false' target/BENCH_joins.ci.json; then
+    echo "joins bench: semi-join execution diverged from the baseline" >&2
+    exit 1
+fi
+
 echo "== chaos smoke (seeded fault sweep + replica failover, offline) =="
 # Small-N seeded fault-injection sweep across all three wire semantics,
 # followed by the replicated scene: every peer's documents live on a

@@ -51,8 +51,14 @@ pub struct Point {
 }
 
 /// Runs the benchmark query under `strategy` on a fresh federation.
+///
+/// The semi-join rewrite is pinned **off** here: figures 7–9 reproduce the
+/// paper's four-strategy ladder as published, and the rewrite would shrink
+/// by-fragment/by-projection below their printed series. The `joins` bench
+/// below measures the semi-join against this ladder explicitly.
 pub fn run_point(bytes_per_doc: usize, strategy: Strategy) -> Point {
     let mut fed = setup_federation(bytes_per_doc, 42);
+    fed.set_exec_options(ExecOptions { semijoin: false, ..ExecOptions::default() });
     let total_doc_bytes = fed.total_document_bytes();
     let out = fed.run(BENCHMARK_QUERY, strategy).expect("benchmark query");
     Point { strategy, total_doc_bytes, metrics: out.metrics, result_len: out.result.len() }
@@ -592,6 +598,191 @@ pub fn plans_json(points: &[PlansPoint], strategy: Strategy) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Joins: semi-join key shipping vs the existing strategy ladder
+// ---------------------------------------------------------------------------
+
+/// The `joins` bench query — Q2's join shape on the XMark pair, keyed in
+/// the direction where the key column carries duplicates (Q2's "many exams
+/// per student"): cheap auctions on peer2 are joined by `seller/@person`
+/// against the people document on peer1, returning the sellers' names.
+/// One seller runs many auctions, so the producer's key column collapses
+/// hard under `distinct-keys` — the classic semi-join win the ladder's
+/// strategies cannot see.
+pub const JOIN_QUERY: &str = r#"
+(let $t := (let $a := doc("xrpc://peer2/xmk.auctions.xml")/child::site/child::open_auctions/child::open_auction
+            return for $x in $a return
+                if ($x/child::quantity < 3) then $x else ())
+ return for $p in (let $s := doc("xrpc://peer1/xmk.xml")
+                   return $s/descendant::person)
+        return if ($p/attribute::id = $t/child::seller/attribute::person)
+               then $p/child::name else ())
+"#;
+
+/// The asymmetric federation of the `joins` bench: the auction side scales
+/// with `auction_bytes` while the seller pool stays fixed, so the number of
+/// auctions *per seller* — the key-duplication factor — grows with scale.
+pub fn joins_federation(auction_bytes: usize, seed: u64) -> Federation {
+    let cfg = XmarkConfig {
+        people: 40,
+        open_auctions: (auction_bytes / 650).max(1),
+        seed,
+        payload_words: 30,
+    };
+    let (people, auctions) = document_pair(&cfg);
+    let mut fed = Federation::new(NetworkModel::lan());
+    fed.load_document("peer1", "xmk.xml", &people).expect("people doc");
+    fed.load_document("peer2", "xmk.auctions.xml", &auctions).expect("auctions doc");
+    fed
+}
+
+/// One `joins` measurement at one scale: the Section VII join executed by
+/// the best of the paper's four strategies (semi-join off — the existing
+/// ladder) against the same strategy set with join-aware decomposition on.
+#[derive(Debug, Clone)]
+pub struct JoinsPoint {
+    pub bytes_per_doc: usize,
+    pub total_doc_bytes: u64,
+    /// Cheapest existing-ladder strategy by total transferred bytes.
+    pub baseline_strategy: &'static str,
+    pub baseline_bytes: u64,
+    pub baseline_wall_us: u128,
+    /// Cheapest strategy with the semi-join rewrite on.
+    pub semijoin_strategy: &'static str,
+    pub semijoin_bytes: u64,
+    pub semijoin_wall_us: u128,
+    /// Executor counters from the semi-join run.
+    pub semijoins: u64,
+    pub join_keys_shipped: u64,
+    pub join_bytes_saved: u64,
+    /// Semi-join results == existing-ladder results, bit for bit.
+    pub results_identical: bool,
+    /// With the semi-join off, compiled execution is byte-identical to the
+    /// interpreter oracle on the baseline strategy — flipping the toggle
+    /// reproduces the old wire exactly.
+    pub bytes_identical: bool,
+}
+
+impl JoinsPoint {
+    /// Transferred-byte reduction of the semi-join over the best existing
+    /// strategy (>1 means the key filter wins).
+    pub fn reduction(&self) -> f64 {
+        self.baseline_bytes as f64 / self.semijoin_bytes.max(1) as f64
+    }
+
+    /// One JSON object for the BENCH_joins trajectory (hand-rolled: the
+    /// workspace is std-only).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"doc_bytes\": {}, \"total_doc_bytes\": {}, \
+             \"baseline_strategy\": \"{}\", \"baseline_bytes\": {}, \
+             \"baseline_wall_us\": {}, \
+             \"semijoin_strategy\": \"{}\", \"semijoin_bytes\": {}, \
+             \"semijoin_wall_us\": {}, \"byte_reduction\": {:.3}, \
+             \"semijoins\": {}, \"join_keys_shipped\": {}, \
+             \"join_bytes_saved\": {}, \
+             \"results_identical\": {}, \"bytes_identical\": {}}}",
+            self.bytes_per_doc,
+            self.total_doc_bytes,
+            self.baseline_strategy,
+            self.baseline_bytes,
+            self.baseline_wall_us,
+            self.semijoin_strategy,
+            self.semijoin_bytes,
+            self.semijoin_wall_us,
+            self.reduction(),
+            self.semijoins,
+            self.join_keys_shipped,
+            self.join_bytes_saved,
+            self.results_identical,
+            self.bytes_identical,
+        )
+    }
+}
+
+/// Measures the benchmark join at one scale. Every strategy runs twice —
+/// semi-join off (the existing ladder) and on — and each side reports its
+/// cheapest strategy by transferred bytes; data shipping only competes on
+/// the off side (the rewrite never fires without decomposition).
+pub fn joins_point(bytes_per_doc: usize, seed: u64) -> JoinsPoint {
+    let run = |strategy: Strategy, semijoin: bool, compile: bool| {
+        let mut fed = joins_federation(bytes_per_doc, seed);
+        fed.set_exec_options(ExecOptions { semijoin, compile, ..ExecOptions::default() });
+        let t = Instant::now();
+        let out = fed.run(JOIN_QUERY, strategy).expect("join query");
+        (out, t.elapsed().as_micros())
+    };
+
+    let total_doc_bytes = joins_federation(bytes_per_doc, seed).total_document_bytes();
+
+    let mut baseline: Option<(Strategy, _, u128)> = None;
+    for strategy in Strategy::ALL {
+        let (out, us) = run(strategy, false, true);
+        if baseline
+            .as_ref()
+            .map(|(_, b, _): &(_, xqd_xrpc::RunOutcome, _)| {
+                out.metrics.transferred_bytes() < b.metrics.transferred_bytes()
+            })
+            .unwrap_or(true)
+        {
+            baseline = Some((strategy, out, us));
+        }
+    }
+    let (base_strategy, base_out, base_us) = baseline.expect("one baseline");
+
+    let mut semi: Option<(Strategy, _, u128)> = None;
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let (out, us) = run(strategy, true, true);
+        if semi
+            .as_ref()
+            .map(|(_, b, _): &(_, xqd_xrpc::RunOutcome, _)| {
+                out.metrics.transferred_bytes() < b.metrics.transferred_bytes()
+            })
+            .unwrap_or(true)
+        {
+            semi = Some((strategy, out, us));
+        }
+    }
+    let (semi_strategy, semi_out, semi_us) = semi.expect("one semijoin run");
+
+    // oracle check: semi-join off must replay the old wire bit for bit
+    let (interp_out, _) = run(base_strategy, false, false);
+
+    JoinsPoint {
+        bytes_per_doc,
+        total_doc_bytes,
+        baseline_strategy: base_strategy.name(),
+        baseline_bytes: base_out.metrics.transferred_bytes(),
+        baseline_wall_us: base_us,
+        semijoin_strategy: semi_strategy.name(),
+        semijoin_bytes: semi_out.metrics.transferred_bytes(),
+        semijoin_wall_us: semi_us,
+        semijoins: semi_out.metrics.semijoins,
+        join_keys_shipped: semi_out.metrics.join_keys_shipped,
+        join_bytes_saved: semi_out.metrics.join_bytes_saved,
+        results_identical: semi_out.result == base_out.result
+            && interp_out.result == base_out.result,
+        bytes_identical: interp_out.metrics.message_bytes == base_out.metrics.message_bytes
+            && interp_out.metrics.document_bytes == base_out.metrics.document_bytes,
+    }
+}
+
+/// The full `joins` sweep across document scales.
+pub fn joins_sweep(scales: &[usize]) -> Vec<JoinsPoint> {
+    scales.iter().map(|&s| joins_point(s, 42)).collect()
+}
+
+/// The BENCH_joins json document for a sweep.
+pub fn joins_json(points: &[JoinsPoint]) -> String {
+    let entries: Vec<String> = points.iter().map(|p| format!("    {}", p.to_json())).collect();
+    format!(
+        "{{\n  \"bench\": \"joins\",\n  \
+         \"query\": \"XMark person/auction equi-join, semi-join key shipping vs the strategy ladder\",\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +881,32 @@ mod tests {
         assert!(json.contains("\"results_identical\": true"));
         assert!(json.contains("\"bytes_identical\": true"));
         assert!(!json.contains("false"));
+    }
+
+    #[test]
+    fn joins_semijoin_beats_the_ladder_and_stays_identical() {
+        let p = joins_point(60_000, 42);
+        assert!(p.results_identical, "semi-join changed the join result");
+        assert!(p.bytes_identical, "semi-join off no longer replays the old wire");
+        assert_eq!(p.semijoins, 1, "the join edge must be detected");
+        assert!(p.join_keys_shipped > 0, "no keys were shipped");
+        assert!(
+            p.reduction() > 1.5,
+            "semi-join should already win at 60k: {:.2}x ({} vs {})",
+            p.reduction(),
+            p.baseline_bytes,
+            p.semijoin_bytes
+        );
+    }
+
+    #[test]
+    fn joins_json_is_well_formed() {
+        let points = joins_sweep(&[8_000, 30_000]);
+        let json = joins_json(&points);
+        assert!(json.contains("\"bench\": \"joins\""));
+        assert!(json.contains("\"results_identical\": true"));
+        assert!(json.contains("\"bytes_identical\": true"));
+        assert!(!json.contains("identical\": false"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::dgraph::{build_dgraph, to_expr};
 use crate::insertion::insert_xrpc;
 use crate::letmotion::let_motion;
 use crate::paths::attach_projections;
+use crate::semijoin::SemijoinEdge;
 use crate::uris::analyze_uris;
 
 /// The four execution strategies of the evaluation (Section VII).
@@ -78,6 +79,10 @@ pub struct RemoteCall {
     /// until [`Decomposition::resolve_replicas`] runs, or when the catalog
     /// names no stand-in for `peer`).
     pub replicas: Vec<String>,
+    /// Indices (into [`Decomposition::calls`]) of the calls whose results
+    /// feed this call's inputs — its peer expression or shipped parameter
+    /// values. Empty = the call can fire in the first scatter round.
+    pub depends_on: Vec<usize>,
 }
 
 /// A decomposed query plus its plan description.
@@ -94,6 +99,10 @@ pub struct Decomposition {
     /// the number of independent `execute at` calls (to ≥2 distinct peers)
     /// that one round issues concurrently. Empty = fully sequential plan.
     pub scatter_rounds: Vec<usize>,
+    /// Cross-peer semi-join edges detected (and rewritten) in this plan:
+    /// the producer call now harvests a sorted distinct key column instead
+    /// of full nodes. Empty unless [`DecomposeOptions::semijoin`] was on.
+    pub semijoins: Vec<SemijoinEdge>,
 }
 
 /// Pipeline knobs, primarily for ablation studies; the defaults run the
@@ -104,11 +113,17 @@ pub struct DecomposeOptions {
     pub let_motion: bool,
     /// Apply distributed code motion (Section IV, Example 4.3).
     pub code_motion: bool,
+    /// Apply the join-aware semi-join rewrite ([`crate::semijoin`]): ship
+    /// distinct sorted join keys instead of full node sets where the use
+    /// analysis proves it sound. Off by default at this layer — the
+    /// executor (`xqd-xrpc`) turns it on, so raw `decompose()` output
+    /// still matches the paper's plans verbatim.
+    pub semijoin: bool,
 }
 
 impl Default for DecomposeOptions {
     fn default() -> Self {
-        DecomposeOptions { let_motion: true, code_motion: true }
+        DecomposeOptions { let_motion: true, code_motion: true, semijoin: false }
     }
 }
 
@@ -131,6 +146,7 @@ pub fn decompose_with(
             calls: vec![],
             strategy,
             scatter_rounds: vec![],
+            semijoins: vec![],
         });
     };
 
@@ -159,9 +175,23 @@ pub fn decompose_with(
         rewritten = to_expr(&g2);
     }
 
-    let calls = collect_calls(&rewritten);
+    // join-aware decomposition: producers whose nodes feed only one key
+    // column now harvest distinct sorted keys instead
+    let rewrites = if options.semijoin {
+        let (rw, rewrites) = crate::semijoin::apply(&rewritten);
+        rewritten = rw;
+        rewrites
+    } else {
+        vec![]
+    };
+
+    let mut calls = collect_calls(&rewritten);
+    for (call, deps) in calls.iter_mut().zip(call_dependencies(&rewritten)) {
+        call.depends_on = deps;
+    }
+    let semijoins = resolve_semijoins(&rewritten, rewrites, &calls);
     let scatter_rounds = xqd_xquery::scatter_rounds(&rewritten);
-    Ok(Decomposition { rewritten, normalized: moved, calls, strategy, scatter_rounds })
+    Ok(Decomposition { rewritten, normalized: moved, calls, strategy, scatter_rounds, semijoins })
 }
 
 impl Decomposition {
@@ -234,10 +264,166 @@ fn collect_calls(e: &Expr) -> Vec<RemoteCall> {
                 body: body.to_string(),
                 projection: projection.as_deref().cloned(),
                 replicas: Vec::new(),
+                depends_on: Vec::new(),
             });
         }
     });
     out
+}
+
+/// Computes, for each `execute at` in `e` (pre-order, matching
+/// [`collect_calls`]), the set of earlier calls whose results flow into its
+/// inputs — the peer expression or a shipped parameter's outer binding.
+/// This is the join/data-flow graph of the distributed plan.
+fn call_dependencies(e: &Expr) -> Vec<Vec<usize>> {
+    use std::collections::HashMap;
+
+    fn union(mut a: Vec<usize>, b: &[usize]) -> Vec<usize> {
+        a.extend_from_slice(b);
+        a.sort_unstable();
+        a.dedup();
+        a
+    }
+
+    /// Returns the call indices the *value* of `e` depends on; `env` maps
+    /// in-scope variables to the call indices their bindings depend on.
+    fn visit(
+        e: &Expr,
+        env: &mut HashMap<String, Vec<usize>>,
+        next: &mut usize,
+        out: &mut Vec<Vec<usize>>,
+    ) -> Vec<usize> {
+        match e {
+            Expr::VarRef(v) => env.get(v).cloned().unwrap_or_default(),
+            Expr::Literal(_) | Expr::Empty | Expr::ContextItem => vec![],
+            Expr::Let { var, value, ret } => {
+                let vd = visit(value, env, next, out);
+                let saved = env.insert(var.clone(), vd);
+                let rd = visit(ret, env, next, out);
+                restore(env, var, saved);
+                rd
+            }
+            Expr::For { var, seq, ret } => {
+                let sd = visit(seq, env, next, out);
+                let saved = env.insert(var.clone(), sd.clone());
+                let rd = visit(ret, env, next, out);
+                restore(env, var, saved);
+                union(sd, &rd)
+            }
+            Expr::Typeswitch { input, cases, default_var, default } => {
+                let id = visit(input, env, next, out);
+                let mut acc = id.clone();
+                for c in cases {
+                    let saved = env.insert(c.var.clone(), id.clone());
+                    let bd = visit(&c.body, env, next, out);
+                    restore(env, &c.var, saved);
+                    acc = union(acc, &bd);
+                }
+                let saved = env.insert(default_var.clone(), id);
+                let dd = visit(default, env, next, out);
+                restore(env, default_var, saved);
+                union(acc, &dd)
+            }
+            Expr::Execute { peer, params, body, .. } => {
+                // index assignment order (self, then peer, then body)
+                // matches the `walk` pre-order that collect_calls uses
+                let idx = *next;
+                *next += 1;
+                out.push(vec![]);
+                let mut deps = visit(peer, env, next, out);
+                let mut body_env: HashMap<String, Vec<usize>> = HashMap::new();
+                for p in params {
+                    let pd = env.get(&p.outer).cloned().unwrap_or_default();
+                    deps = union(deps, &pd);
+                    body_env.insert(p.var.clone(), pd);
+                }
+                visit(body, &mut body_env, next, out);
+                out[idx] = deps;
+                // downstream consumers of the result transitively depend
+                // on this call (and on everything it waited for)
+                union(out[idx].clone(), &[idx])
+            }
+            other => {
+                let mut acc = vec![];
+                normalize_children(other, &mut |c| {
+                    let d = visit(c, env, next, out);
+                    acc = union(std::mem::take(&mut acc), &d);
+                });
+                acc
+            }
+        }
+    }
+
+    fn restore(env: &mut HashMap<String, Vec<usize>>, var: &str, saved: Option<Vec<usize>>) {
+        match saved {
+            Some(v) => {
+                env.insert(var.to_string(), v);
+            }
+            None => {
+                env.remove(var);
+            }
+        }
+    }
+
+    fn normalize_children(e: &Expr, f: &mut impl FnMut(&Expr)) {
+        xqd_xquery::normalize::map_children_infallible(e, &mut |c| {
+            f(c);
+            c.clone()
+        });
+    }
+
+    let mut out = Vec::new();
+    visit(e, &mut HashMap::new(), &mut 0, &mut out);
+    out
+}
+
+/// Pairs each applied semi-join rewrite with its producer call (the
+/// `execute at` bound to the rewrite's variable) and the first downstream
+/// call that consumes the harvested keys.
+fn resolve_semijoins(
+    rewritten: &Expr,
+    rewrites: Vec<crate::semijoin::SemijoinRewrite>,
+    calls: &[RemoteCall],
+) -> Vec<SemijoinEdge> {
+    if rewrites.is_empty() {
+        return vec![];
+    }
+    // producer occurrences in walk order: `let $v := execute at …` puts the
+    // very next Execute index on record for $v
+    let mut occurrences: Vec<(String, usize)> = Vec::new();
+    let mut idx = 0usize;
+    let mut pending: Option<String> = None;
+    rewritten.walk(&mut |x| match x {
+        Expr::Let { var, value, .. } if matches!(value.as_ref(), Expr::Execute { .. }) => {
+            pending = Some(var.clone());
+        }
+        Expr::Execute { .. } => {
+            if let Some(v) = pending.take() {
+                occurrences.push((v, idx));
+            }
+            idx += 1;
+        }
+        _ => {}
+    });
+    let mut edges = Vec::new();
+    for rw in rewrites {
+        let Some(pos) = occurrences.iter().position(|(v, _)| *v == rw.var) else { continue };
+        let (_, producer) = occurrences.remove(pos);
+        let consumer = calls
+            .iter()
+            .enumerate()
+            .find(|(i, c)| *i != producer && c.depends_on.contains(&producer))
+            .map(|(i, _)| i);
+        edges.push(SemijoinEdge {
+            var: rw.var,
+            key_path: rw.key_path,
+            producer,
+            producer_peer: calls[producer].peer.clone(),
+            consumer,
+            consumer_peer: consumer.map(|i| calls[i].peer.clone()),
+        });
+    }
+    edges
 }
 
 #[cfg(test)]
@@ -401,6 +587,52 @@ mod tests {
         let mut d2 = decompose(&q2(), Strategy::ByFragment).unwrap();
         d2.resolve_replicas(&ReplicaCatalog::new(), 7);
         assert!(d2.calls.iter().all(|c| c.replicas.is_empty()));
+    }
+
+    /// With the semi-join option on, Q2's A-side producer harvests the
+    /// distinct sorted id column and the edge names B as the consumer.
+    #[test]
+    fn q2_semijoin_detects_and_resolves_the_edge() {
+        let options = DecomposeOptions { semijoin: true, ..DecomposeOptions::default() };
+        let d = decompose_with(&q2(), Strategy::ByFragment, options).unwrap();
+        assert_eq!(d.semijoins.len(), 1, "{:#?}", d.semijoins);
+        let e = &d.semijoins[0];
+        assert_eq!(e.var, "t");
+        assert_eq!(e.key_path, "child::id");
+        assert_eq!(d.calls[e.producer].peer, "A");
+        assert_eq!(e.producer_peer, "A");
+        assert_eq!(e.consumer_peer.as_deref(), Some("B"));
+        let consumer = e.consumer.unwrap();
+        assert!(d.calls[consumer].depends_on.contains(&e.producer), "{:#?}", d.calls);
+        // the producer body now returns the key column, not person nodes
+        assert!(
+            d.calls[e.producer].body.contains("xqd:distinct-keys"),
+            "{}",
+            d.calls[e.producer].body
+        );
+        // the caller-side extraction collapses to the harvested keys
+        let s = d.rewritten.to_string();
+        assert!(s.contains("$cm1v := $t"), "{s}");
+        assert!(!s.contains("data($t/child::id)"), "{s}");
+    }
+
+    /// Off by default: raw decompose() output matches the paper's plans.
+    #[test]
+    fn semijoin_is_off_by_default() {
+        let d = decompose(&q2(), Strategy::ByFragment).unwrap();
+        assert!(d.semijoins.is_empty());
+        assert!(!d.rewritten.to_string().contains("distinct-keys"));
+    }
+
+    /// The dependency analysis records the B call's dependence on the A
+    /// call (via the shipped parameter) even without the semi-join rewrite.
+    #[test]
+    fn call_dependencies_follow_shipped_parameters() {
+        let d = decompose(&q2(), Strategy::ByFragment).unwrap();
+        let a = d.calls.iter().position(|c| c.peer == "A").unwrap();
+        let b = d.calls.iter().position(|c| c.peer == "B").unwrap();
+        assert!(d.calls[a].depends_on.is_empty(), "{:#?}", d.calls[a].depends_on);
+        assert_eq!(d.calls[b].depends_on, vec![a]);
     }
 
     /// The intro's motivating example: predicate pushed to example.org.

@@ -24,8 +24,10 @@ pub mod insertion;
 pub mod letmotion;
 pub mod paths;
 pub mod replicas;
+pub mod semijoin;
 pub mod uris;
 
 pub use conditions::Semantics;
 pub use decompose::{decompose, decompose_with, Decomposition, DecomposeOptions, Strategy};
+pub use semijoin::SemijoinEdge;
 pub use replicas::{rendezvous_order, ReplicaCatalog};

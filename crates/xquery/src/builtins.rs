@@ -263,6 +263,21 @@ pub fn eval_builtin(
             }
             out.into_iter().map(Item::Atom).collect()
         }
+        // Semi-join key-set reduction (xqd extension): atomize, then dedup
+        // and sort by the exact (type, lexical) pair. `distinct-values` is
+        // NOT usable for shipped join keys — its Eq merges across types
+        // (integer 1 absorbs untyped "1"), which could flip a downstream
+        // general comparison; exact-pair dedup is lossless for existential
+        // consumption, and the canonical order makes the wire bytes
+        // deterministic.
+        ("xqd:distinct-keys", 1) => {
+            let mut keys = atomize(ev.store, &args[0]);
+            keys.sort_by(|a, b| {
+                key_rank(a).cmp(&key_rank(b)).then_with(|| a.to_lexical().cmp(&b.to_lexical()))
+            });
+            keys.dedup_by(|a, b| key_rank(a) == key_rank(b) && a.to_lexical() == b.to_lexical());
+            keys.into_iter().map(Item::Atom).collect()
+        }
         ("reverse", 1) => {
             let mut v = args[0].to_vec();
             v.reverse();
@@ -400,6 +415,17 @@ pub fn eval_builtin(
         _ => return Ok(None),
     };
     Ok(Some(result.into()))
+}
+
+/// Type ordinal for the canonical key sort of `xqd:distinct-keys`.
+fn key_rank(a: &Atomic) -> u8 {
+    match a {
+        Atomic::Str(_) => 0,
+        Atomic::Int(_) => 1,
+        Atomic::Dbl(_) => 2,
+        Atomic::Bool(_) => 3,
+        Atomic::Untyped(_) => 4,
+    }
 }
 
 fn single_string(ev: &Evaluator, seq: &Sequence) -> EvalResult<String> {

@@ -138,6 +138,20 @@ pub struct PlanRoute {
     pub replicas: Vec<String>,
 }
 
+/// Semi-join metadata recorded in the plan by the distributed executor:
+/// one entry per producer call rewritten to harvest a distinct sorted key
+/// column, with the peer the resulting key filter is shipped to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanSemijoin {
+    /// Variable bound to the key-harvest call.
+    pub var: String,
+    /// The key column the producer extracts (e.g. `child::id`).
+    pub key_path: String,
+    pub producer_peer: String,
+    /// `None` when the join closes at the coordinator.
+    pub consumer_peer: Option<String>,
+}
+
 /// One instruction of the flat plan. Operands are [`OpRef`] indices into
 /// the owning [`Plan::ops`] arena.
 #[derive(Debug, Clone)]
@@ -192,6 +206,9 @@ pub struct Plan {
     /// Remote call sites with replica candidates, filled in by the
     /// distributed executor when it plans a decomposed query.
     pub routes: Vec<PlanRoute>,
+    /// Semi-join edges baked into the plan's call bodies, recorded by the
+    /// distributed executor for explain/metrics.
+    pub semijoins: Vec<PlanSemijoin>,
     /// Number of non-trivial subexpressions pre-evaluated at compile time.
     pub consts_folded: u32,
 }
@@ -219,6 +236,12 @@ impl Plan {
         self
     }
 
+    /// Attaches semi-join metadata (builder style).
+    pub fn with_semijoins(mut self, semijoins: Vec<PlanSemijoin>) -> Self {
+        self.semijoins = semijoins;
+        self
+    }
+
     /// Human-readable op listing (explain output): header, functions,
     /// one line per op with the chosen axis strategy per path step.
     pub fn dump(&self) -> String {
@@ -240,6 +263,15 @@ impl Plan {
             } else {
                 out.push_str(&format!("route: {} replicas[{}]\n", r.peer, r.replicas.join(", ")));
             }
+        }
+        for s in &self.semijoins {
+            out.push_str(&format!(
+                "semijoin: ${} keys {} from {} -> {}\n",
+                s.var,
+                s.key_path,
+                s.producer_peer,
+                s.consumer_peer.as_deref().unwrap_or("(coordinator)"),
+            ));
         }
         for f in &self.funcs {
             let params: Vec<String> =
@@ -426,7 +458,7 @@ const PURE_BUILTINS: &[&str] = &[
     "translate", "tokenize", "abs", "floor", "ceiling", "round", "sum", "avg", "min", "max",
     "distinct-values", "reverse", "subsequence", "insert-before", "remove", "index-of", "head",
     "tail", "exactly-one", "zero-or-one", "static-base-uri", "default-collation",
-    "current-dateTime",
+    "current-dateTime", "xqd:distinct-keys",
 ];
 
 fn is_pure_builtin(name: &str) -> bool {
@@ -802,6 +834,7 @@ pub fn compile_module(
         use_indexes,
         scatter_rounds: crate::eval::scatter_rounds(body),
         routes: Vec::new(),
+        semijoins: Vec::new(),
         consts_folded: c.consts_folded,
     }
 }

@@ -33,7 +33,9 @@ pub mod parser;
 pub mod value;
 
 pub use ast::{Atomic, Expr, FunctionDef, QueryModule, XrpcParam};
-pub use compile::{compile_module, compile_query, Op, OpRef, Plan, PlanRoute, PlanStep, SymId};
+pub use compile::{
+    compile_module, compile_query, Op, OpRef, Plan, PlanRoute, PlanSemijoin, PlanStep, SymId,
+};
 pub use eval::{
     eval_query, eval_query_with_indexes, scatter_rounds, DocResolver, Evaluator, LocalResolver,
     RemoteHandler, ScatterCall, StaticContext,

@@ -138,6 +138,14 @@ pub struct ExecOptions {
     /// Capacity of the coordinator-side LRU plan cache. `0` disables
     /// caching entirely: every run pays the full front end again.
     pub plan_cache_size: usize,
+    /// Join-aware decomposition: detect cross-peer equi-joins and ship the
+    /// producer side's **distinct join keys** (front-coded on the wire)
+    /// instead of its full node sequence, so the join predicate evaluates
+    /// remotely against a compact key filter. Results are bit-identical
+    /// either way — general comparison is existential, so deduplicated
+    /// sorted keys decide it exactly like the raw sequence — which the
+    /// join-equivalence suite asserts. Part of the plan-cache key.
+    pub semijoin: bool,
 }
 
 impl Default for ExecOptions {
@@ -153,6 +161,7 @@ impl Default for ExecOptions {
             replica_seed: 0,
             compile: true,
             plan_cache_size: 64,
+            semijoin: true,
         }
     }
 }
@@ -216,6 +225,9 @@ struct MetricsSink {
     plans_compiled: AtomicU64,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    semijoins: AtomicU64,
+    join_keys_shipped: AtomicU64,
+    join_bytes_saved: AtomicU64,
     shred_ns: AtomicU64,
     serialize_ns: AtomicU64,
     remote_exec_ns: AtomicU64,
@@ -246,6 +258,9 @@ impl MetricsSink {
             &self.plans_compiled,
             &self.plan_cache_hits,
             &self.plan_cache_misses,
+            &self.semijoins,
+            &self.join_keys_shipped,
+            &self.join_bytes_saved,
             &self.shred_ns,
             &self.serialize_ns,
             &self.remote_exec_ns,
@@ -274,6 +289,9 @@ impl MetricsSink {
             plans_compiled: self.plans_compiled.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            semijoins: self.semijoins.load(Ordering::Relaxed),
+            join_keys_shipped: self.join_keys_shipped.load(Ordering::Relaxed),
+            join_bytes_saved: self.join_bytes_saved.load(Ordering::Relaxed),
             shred: Duration::from_nanos(self.shred_ns.load(Ordering::Relaxed)),
             serialize: Duration::from_nanos(self.serialize_ns.load(Ordering::Relaxed)),
             remote_exec: Duration::from_nanos(self.remote_exec_ns.load(Ordering::Relaxed)),
@@ -292,6 +310,16 @@ impl MetricsSink {
         let ns = as_ns(chain);
         self.network_ns.fetch_add(ns, Ordering::Relaxed);
         self.network_overlapped_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accounts the `<keyset>` payloads of one wire leg, mirroring the
+    /// adjacent `message_bytes` charge: every (re)transmission recounts.
+    fn charge_keysets(&self, message: &str) {
+        if message.contains("<keyset ") {
+            let (keys, saved) = crate::message::keyset_stats(message);
+            self.join_keys_shipped.fetch_add(keys, Ordering::Relaxed);
+            self.join_bytes_saved.fetch_add(saved, Ordering::Relaxed);
+        }
     }
 }
 
@@ -349,6 +377,9 @@ struct PlanKey {
     strategy: Strategy,
     let_motion: bool,
     code_motion: bool,
+    /// The *effective* toggle (decompose-level OR exec-level): flipping
+    /// `--no-semijoin` must never replay a semi-join plan from the cache.
+    semijoin: bool,
     use_indexes: bool,
     replica_seed: u64,
     catalog_gen: u64,
@@ -828,6 +859,8 @@ impl Federation {
         options: xqd_core::DecomposeOptions,
         exec_options: &ExecOptions,
     ) -> EvalResult<xqd_core::Decomposition> {
+        let mut options = options;
+        options.semijoin = options.semijoin || exec_options.semijoin;
         let mut plan = xqd_core::decompose_with(module, strategy, options)?;
         let catalog = self.core.catalog.lock().unwrap();
         plan.resolve_replicas(&catalog, exec_options.replica_seed);
@@ -847,6 +880,7 @@ impl Federation {
             strategy,
             let_motion: options.let_motion,
             code_motion: options.code_motion,
+            semijoin: options.semijoin || exec_options.semijoin,
             use_indexes: exec_options.use_indexes,
             replica_seed: exec_options.replica_seed,
             catalog_gen: self.core.catalog_gen.load(Ordering::Relaxed),
@@ -884,9 +918,20 @@ impl Federation {
             .iter()
             .map(|c| xqd_xquery::PlanRoute { peer: c.peer.clone(), replicas: c.replicas.clone() })
             .collect();
+        let semijoins = decomposition
+            .semijoins
+            .iter()
+            .map(|e| xqd_xquery::PlanSemijoin {
+                var: e.var.clone(),
+                key_path: e.key_path.clone(),
+                producer_peer: e.producer_peer.clone(),
+                consumer_peer: e.consumer_peer.clone(),
+            })
+            .collect();
         // the decomposer inlined user functions; the body is the whole query
         let plan = xqd_xquery::compile_module(&[], &decomposition.rewritten, exec_options.use_indexes, static_ctx)
-            .with_routes(routes);
+            .with_routes(routes)
+            .with_semijoins(semijoins);
         self.core.metrics.plans_compiled.fetch_add(1, Ordering::Relaxed);
         let prepared = Arc::new(PreparedQuery { decomposition, plan });
         self.core.plans.lock().unwrap().insert(
@@ -920,6 +965,10 @@ impl Federation {
             Some(p) => p.eval(&mut ev)?,
             None => ev.eval(&plan.rewritten)?,
         };
+        self.core
+            .metrics
+            .semijoins
+            .fetch_add(plan.semijoins.len() as u64, Ordering::Relaxed);
         let total = started.elapsed();
         let canonical = result.iter().map(|i| canonical_item(&local, i)).collect();
         let mut metrics = self.core.metrics.snapshot();
@@ -1528,6 +1577,7 @@ fn transport_call(
             };
             sink.message_bytes.fetch_add(delivered.len() as u64, Ordering::Relaxed);
             sink.transfers.fetch_add(1, Ordering::Relaxed);
+            sink.charge_keysets(&delivered);
             spent += model.transfer_time(delivered.len() as u64);
             match fault {
                 Some(Fault::PeerDown) => {
@@ -1588,6 +1638,7 @@ fn transport_call(
                     );
                     sink.message_bytes.fetch_add(cut as u64, Ordering::Relaxed);
                     sink.transfers.fetch_add(1, Ordering::Relaxed);
+                    sink.charge_keysets(&response[..cut]);
                     chain += spent + model.transfer_time(cut as u64);
                     break 'attempt Err(XrpcError::TransportCorrupt {
                         peer: peer.to_string(),
@@ -1599,6 +1650,7 @@ fn transport_call(
                     let pos = plan.mangle_position(peer, seq.unwrap(), response.len());
                     sink.message_bytes.fetch_add(response.len() as u64, Ordering::Relaxed);
                     sink.transfers.fetch_add(1, Ordering::Relaxed);
+                    sink.charge_keysets(&response);
                     chain += spent + model.transfer_time(response.len() as u64);
                     break 'attempt Err(XrpcError::TransportCorrupt {
                         peer: peer.to_string(),
@@ -1609,6 +1661,7 @@ fn transport_call(
             }
             sink.message_bytes.fetch_add(response.len() as u64, Ordering::Relaxed);
             sink.transfers.fetch_add(1, Ordering::Relaxed);
+            sink.charge_keysets(&response);
             spent += model.transfer_time(response.len() as u64);
 
             if spent > budget {

@@ -274,19 +274,168 @@ fn projected_nodeid(store: &Store, f: &ProjectedFragment, dst: u32) -> Option<u3
     None
 }
 
-fn write_atom(a: &Atomic, out: &mut String) {
-    let ty = match a {
+fn atom_type_tag(a: &Atomic) -> &'static str {
+    match a {
         Atomic::Str(_) => "string",
         Atomic::Int(_) => "integer",
         Atomic::Dbl(_) => "double",
         Atomic::Bool(_) => "boolean",
         Atomic::Untyped(_) => "untyped",
-    };
+    }
+}
+
+fn write_atom(a: &Atomic, out: &mut String) {
     out.push_str("<atom type=\"");
-    out.push_str(ty);
+    out.push_str(atom_type_tag(a));
     out.push_str("\">");
     escape_text(&a.to_lexical(), out);
     out.push_str("</atom>");
+}
+
+/// Minimum run length of same-typed atoms before [`write_sequence`] switches
+/// from per-item `<atom>` elements to one front-coded `<keyset>` block.
+/// Short sequences keep the verbose form: the block header would cost more
+/// than it saves, and small fixtures stay byte-readable.
+pub const KEYSET_MIN_RUN: usize = 8;
+
+/// Emits a run of same-typed atoms as one front-coded key-set block:
+///
+/// ```text
+/// <keyset type="string" n="3">0:7:person16:1:07:2:11</keyset>
+/// ```
+///
+/// Each key is `P:S:suffix` — `P` characters shared with the previous key,
+/// then the `S`-character suffix (`person1`, `person10`, `person11` above).
+/// The payload is lossless and deterministic: decoding reproduces the exact
+/// atom sequence, so the block is a drop-in replacement for the per-item
+/// form. Join key sets produced by `xqd:distinct-keys` arrive sorted, which
+/// is what makes front coding compact; the codec itself is content-driven
+/// and applies to any long same-typed atom run.
+fn write_keyset(run: &[&Atomic], out: &mut String) {
+    out.push_str("<keyset type=\"");
+    out.push_str(atom_type_tag(run[0]));
+    out.push_str("\" n=\"");
+    out.push_str(&run.len().to_string());
+    out.push_str("\">");
+    let mut payload = String::new();
+    let mut prev: Vec<char> = Vec::new();
+    for a in run {
+        let lex: Vec<char> = a.to_lexical().chars().collect();
+        let shared = prev.iter().zip(lex.iter()).take_while(|(a, b)| a == b).count();
+        payload.push_str(&shared.to_string());
+        payload.push(':');
+        payload.push_str(&(lex.len() - shared).to_string());
+        payload.push(':');
+        payload.extend(&lex[shared..]);
+        prev = lex;
+    }
+    escape_text(&payload, out);
+    out.push_str("</keyset>");
+}
+
+fn atom_from_lexical(ty: &str, lex: String) -> EvalResult<Atomic> {
+    Ok(match ty {
+        "integer" => Atomic::Int(
+            lex.parse().map_err(|_| EvalError::new(format!("bad integer atom {lex:?}")))?,
+        ),
+        "double" => Atomic::Dbl(
+            lex.parse().map_err(|_| EvalError::new(format!("bad double atom {lex:?}")))?,
+        ),
+        "boolean" => Atomic::Bool(lex == "true"),
+        "untyped" => Atomic::Untyped(lex),
+        _ => Atomic::Str(lex),
+    })
+}
+
+/// Parses a front-coded `<keyset>` payload back into its lexical keys.
+fn parse_keyset_payload(payload: &str, n: usize) -> EvalResult<Vec<String>> {
+    let chars: Vec<char> = payload.chars().collect();
+    let mut pos = 0usize;
+    let mut prev: Vec<char> = Vec::new();
+    let mut keys = Vec::with_capacity(n);
+    let read_count = |pos: &mut usize| -> EvalResult<usize> {
+        let start = *pos;
+        while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if start == *pos || *pos >= chars.len() || chars[*pos] != ':' {
+            return Err(EvalError::new("malformed keyset payload"));
+        }
+        let v: usize = chars[start..*pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|_| EvalError::new("malformed keyset payload"))?;
+        *pos += 1; // skip ':'
+        Ok(v)
+    };
+    while pos < chars.len() {
+        let shared = read_count(&mut pos)?;
+        let suffix = read_count(&mut pos)?;
+        if shared > prev.len() || pos + suffix > chars.len() {
+            return Err(EvalError::new("malformed keyset payload"));
+        }
+        let mut key: Vec<char> = prev[..shared].to_vec();
+        key.extend(&chars[pos..pos + suffix]);
+        pos += suffix;
+        keys.push(key.iter().collect());
+        prev = key;
+    }
+    if keys.len() != n {
+        return Err(EvalError::new(format!(
+            "keyset count mismatch: header says {n}, payload holds {}",
+            keys.len()
+        )));
+    }
+    Ok(keys)
+}
+
+/// Undoes [`escape_text`]'s three entities (the only ones the codec emits).
+fn unescape_text(s: &str) -> String {
+    s.replace("&lt;", "\u{0}lt")
+        .replace("&gt;", "\u{0}gt")
+        .replace("&amp;", "&")
+        .replace("\u{0}lt", "<")
+        .replace("\u{0}gt", ">")
+}
+
+/// Wire-level accounting for the `<keyset>` blocks of an encoded message:
+/// `(keys, bytes_saved)` where `keys` counts the atoms carried in key-set
+/// form and `bytes_saved` is the exact byte difference against the per-item
+/// `<atom>` encoding of the same keys. Feeds the `join_keys_shipped` /
+/// `join_bytes_saved` metrics; a message without key sets reports `(0, 0)`.
+pub fn keyset_stats(message: &str) -> (u64, u64) {
+    let mut keys = 0u64;
+    let mut saved = 0u64;
+    let mut rest = message;
+    while let Some(start) = rest.find("<keyset ") {
+        let block = &rest[start..];
+        let Some(hdr_end) = block.find('>') else { break };
+        let Some(body_end) = block.find("</keyset>") else { break };
+        let header = &block[..hdr_end];
+        let block_len = body_end + "</keyset>".len();
+        let grab = |attr: &str| -> Option<&str> {
+            let at = header.find(&format!("{attr}=\""))? + attr.len() + 2;
+            let end = header[at..].find('"')? + at;
+            Some(&header[at..end])
+        };
+        let ty = grab("type").unwrap_or("string");
+        let n: usize = grab("n").and_then(|v| v.parse().ok()).unwrap_or(0);
+        let payload = unescape_text(&block[hdr_end + 1..body_end]);
+        if let Ok(lexicals) = parse_keyset_payload(&payload, n) {
+            let mut as_atoms = 0usize;
+            for lex in &lexicals {
+                let mut escaped = String::new();
+                escape_text(lex, &mut escaped);
+                // `<atom type="TY">` + escaped lexical + `</atom>`
+                as_atoms += 13 + ty.len() + escaped.len() + 7;
+            }
+            keys += n as u64;
+            saved += (as_atoms as u64).saturating_sub(block_len as u64);
+        }
+        rest = &rest[start + block_len..];
+    }
+    (keys, saved)
 }
 
 fn write_item(store: &Store, codec: &NodeCodec, item: &Item, out: &mut String) -> EvalResult<()> {
@@ -387,8 +536,34 @@ fn write_sequence(
     out: &mut String,
 ) -> EvalResult<()> {
     out.push_str("<sequence>");
-    for item in seq {
-        write_item(store, codec, item, out)?;
+    let items: Vec<&Item> = seq.iter().collect();
+    let mut i = 0usize;
+    while i < items.len() {
+        // a run of same-typed atoms long enough to front-code?
+        if let Item::Atom(first) = items[i] {
+            let ty = atom_type_tag(first);
+            let mut j = i + 1;
+            while j < items.len() {
+                match items[j] {
+                    Item::Atom(a) if atom_type_tag(a) == ty => j += 1,
+                    _ => break,
+                }
+            }
+            if j - i >= KEYSET_MIN_RUN {
+                let run: Vec<&Atomic> = items[i..j]
+                    .iter()
+                    .map(|it| match it {
+                        Item::Atom(a) => a,
+                        Item::Node(_) => unreachable!("run holds atoms only"),
+                    })
+                    .collect();
+                write_keyset(&run, out);
+                i = j;
+                continue;
+            }
+        }
+        write_item(store, codec, items[i], out)?;
+        i += 1;
     }
     out.push_str("</sequence>");
     Ok(())
@@ -725,18 +900,17 @@ fn decode_sequence(
                 "atom" => {
                     let ty = attr(store, n, "type").unwrap_or_default();
                     let lex = doc.string_value(c);
-                    let a = match ty.as_str() {
-                        "integer" => Atomic::Int(lex.parse().map_err(|_| {
-                            EvalError::new(format!("bad integer atom {lex:?}"))
-                        })?),
-                        "double" => Atomic::Dbl(lex.parse().map_err(|_| {
-                            EvalError::new(format!("bad double atom {lex:?}"))
-                        })?),
-                        "boolean" => Atomic::Bool(lex == "true"),
-                        "untyped" => Atomic::Untyped(lex),
-                        _ => Atomic::Str(lex),
-                    };
-                    raws.push(Raw::Atom(a));
+                    raws.push(Raw::Atom(atom_from_lexical(&ty, lex)?));
+                }
+                "keyset" => {
+                    let ty = attr(store, n, "type").unwrap_or_default();
+                    let count: usize = attr(store, n, "n")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| EvalError::new("keyset lacks count"))?;
+                    let payload = doc.string_value(c);
+                    for lex in parse_keyset_payload(&payload, count)? {
+                        raws.push(Raw::Atom(atom_from_lexical(&ty, lex)?));
+                    }
                 }
                 "element" | "attribute" => {
                     let fragid: u32 = attr(store, n, "fragid")
@@ -1156,6 +1330,92 @@ mod tests {
         }
         let err = decode_response(&mut s, "<env><request/></env>").unwrap_err();
         assert!(err.has_code("xrpc:transport-corrupt"), "{err}");
+    }
+
+    #[test]
+    fn long_atom_runs_front_code_and_roundtrip() {
+        let store = Store::new();
+        // sorted person ids with heavy shared prefixes — the semijoin shape
+        let keys: Vec<Item> = (0..20)
+            .map(|i| Item::Atom(Atomic::Str(format!("person{i}"))))
+            .collect();
+        let calls = vec![vec![("k".to_string(), keys.clone().into())]];
+        let msg =
+            encode_request(&store, WireSemantics::Value, &ctx(), "$k", &calls, None, None)
+                .unwrap();
+        assert!(msg.contains("<keyset type=\"string\" n=\"20\">"), "{msg}");
+        assert!(!msg.contains("<atom"), "run fully subsumed: {msg}");
+        let mut remote = Store::new();
+        let decoded = decode_request(&mut remote, &msg).unwrap();
+        assert_eq!(decoded.calls[0][0].1, Sequence::from(keys));
+        // and the block is genuinely smaller than the per-atom form
+        let (n, saved) = keyset_stats(&msg);
+        assert_eq!(n, 20);
+        assert!(saved > 0, "front coding must save bytes: {msg}");
+    }
+
+    #[test]
+    fn short_runs_and_mixed_types_keep_atom_form() {
+        let store = Store::new();
+        let mut items: Vec<Item> = (0..KEYSET_MIN_RUN - 1)
+            .map(|i| Item::Atom(Atomic::Int(i as i64)))
+            .collect();
+        items.push(Item::Atom(Atomic::Str("x".into())));
+        let calls = vec![vec![("k".to_string(), items.into())]];
+        let msg =
+            encode_request(&store, WireSemantics::Value, &ctx(), "$k", &calls, None, None)
+                .unwrap();
+        assert!(!msg.contains("<keyset"), "{msg}");
+        assert_eq!(keyset_stats(&msg), (0, 0));
+    }
+
+    #[test]
+    fn keysets_escape_and_preserve_awkward_keys() {
+        let store = Store::new();
+        let keys: Vec<Item> = ["a<b", "a<b&c", "a b:c", "::", "9:1:", "", "zz", "zz", "é–ü", "é–üx"]
+            .iter()
+            .map(|s| Item::Atom(Atomic::Str(s.to_string())))
+            .collect();
+        let results = vec![Sequence::from(keys.clone())];
+        let msg = encode_response(&store, WireSemantics::Value, &results, None).unwrap();
+        assert!(msg.contains("<keyset"), "{msg}");
+        let mut local = Store::new();
+        let decoded = decode_response(&mut local, &msg).unwrap();
+        assert_eq!(decoded[0], Sequence::from(keys));
+    }
+
+    #[test]
+    fn keyset_roundtrips_every_atom_type() {
+        let store = Store::new();
+        for mk in [
+            (|i: i64| Atomic::Int(i * 7 - 3)) as fn(i64) -> Atomic,
+            |i| Atomic::Dbl(i as f64 / 4.0),
+            |i| Atomic::Bool(i % 2 == 0),
+            |i| Atomic::Str(format!("s{i}")),
+            |i| Atomic::Untyped(format!("u{i}")),
+        ] {
+            let keys: Vec<Item> = (0..12).map(|i| Item::Atom(mk(i))).collect();
+            let results = vec![Sequence::from(keys.clone())];
+            let msg = encode_response(&store, WireSemantics::Value, &results, None).unwrap();
+            assert!(msg.contains("<keyset"), "{msg}");
+            let mut local = Store::new();
+            let decoded = decode_response(&mut local, &msg).unwrap();
+            assert_eq!(decoded[0], Sequence::from(keys), "{msg}");
+        }
+    }
+
+    #[test]
+    fn corrupt_keysets_are_rejected() {
+        let mut s = Store::new();
+        for payload in ["0:2:ab", "junk", "0:9:ab", "5:1:x0:1:y"] {
+            let msg = format!(
+                "<env><response semantics=\"value\"><call-result><sequence>\
+                 <keyset type=\"string\" n=\"2\">{payload}</keyset>\
+                 </sequence></call-result></response></env>"
+            );
+            let err = decode_response(&mut s, &msg).unwrap_err();
+            assert!(err.has_code("xrpc:transport-corrupt"), "{payload:?} → {err}");
+        }
     }
 
     #[test]

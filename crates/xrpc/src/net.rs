@@ -483,6 +483,16 @@ pub struct Metrics {
     pub plan_cache_hits: u64,
     /// Coordinator plan-cache misses.
     pub plan_cache_misses: u64,
+    /// Semi-join edges the decomposer routed this run: producer calls whose
+    /// results were reduced to deduplicated, sorted join keys before
+    /// crossing the wire.
+    pub semijoins: u64,
+    /// Join-key atoms shipped inside compact `<keyset>` payloads (wire
+    /// level: retried attempts recount, like `message_bytes`).
+    pub join_keys_shipped: u64,
+    /// Bytes the compact keyset encoding saved versus spelling the same
+    /// atoms out as individual `<atom>` items.
+    pub join_bytes_saved: u64,
     /// End-to-end wall-clock time of the run.
     pub total: Duration,
 }
@@ -537,13 +547,16 @@ impl Metrics {
         self.plans_compiled += other.plans_compiled;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.semijoins += other.semijoins;
+        self.join_keys_shipped += other.join_keys_shipped;
+        self.join_bytes_saved += other.join_bytes_saved;
         self.total += other.total;
     }
 
     /// The counter-valued fields (everything deterministic under a fixed
     /// seed and fault plan — measured durations are excluded). The retry
     /// determinism suite compares these across repeated runs.
-    pub fn counters(&self) -> [u64; 16] {
+    pub fn counters(&self) -> [u64; 19] {
         [
             self.message_bytes,
             self.document_bytes,
@@ -561,6 +574,9 @@ impl Metrics {
             self.plans_compiled,
             self.plan_cache_hits,
             self.plan_cache_misses,
+            self.semijoins,
+            self.join_keys_shipped,
+            self.join_bytes_saved,
         ]
     }
 }
@@ -808,6 +824,24 @@ mod tests {
             ..Default::default()
         };
         a.add(&b);
-        assert_eq!(a.counters()[13..], [11, 22, 33]);
+        assert_eq!(a.counters()[13..16], [11, 22, 33]);
+    }
+
+    #[test]
+    fn metrics_counters_include_join_fields() {
+        let mut a = Metrics {
+            semijoins: 1,
+            join_keys_shipped: 2,
+            join_bytes_saved: 3,
+            ..Default::default()
+        };
+        let b = Metrics {
+            semijoins: 10,
+            join_keys_shipped: 20,
+            join_bytes_saved: 30,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.counters()[16..], [11, 22, 33]);
     }
 }

@@ -3,7 +3,9 @@
 //! normalized (let-motion) → the decomposed plans Qv2 / Qf2 / Qp2 with code
 //! motion and projection paths (Tables III & IV) → the compiled flat plan
 //! IR the executor actually runs (op list, per-step indexed/scan choice,
-//! folded constants, scatter rounds, replica routes).
+//! folded constants, scatter rounds, replica routes) → the join-aware
+//! variant: the detected cross-peer join graph, the chosen key-ship
+//! direction, and the rewritten distinct-key harvest call.
 //!
 //! ```sh
 //! cargo run --example decompose_explain
@@ -11,7 +13,7 @@
 
 use xqd::core::dgraph::build_dgraph;
 use xqd::core::letmotion::let_motion;
-use xqd::{compile_module, decompose, parse_query, StaticContext, Strategy};
+use xqd::{compile_module, decompose, decompose_with, parse_query, DecomposeOptions, StaticContext, Strategy};
 use xqd::xquery::PlanRoute;
 
 const Q2: &str = r#"
@@ -76,6 +78,39 @@ fn main() {
         println!("--- compiled plan IR:");
         for line in plan.dump().lines() {
             println!("  {line}");
+        }
+
+        // the executor's default adds join-aware decomposition on top: the
+        // cross-peer equi-join is detected, the small side's Execute is
+        // rewritten to harvest distinct join keys, and the consumer call
+        // evaluates the predicate against the shipped key filter
+        let opts = DecomposeOptions { semijoin: true, ..Default::default() };
+        let dj = decompose_with(&module, strategy, opts).expect("decomposes");
+        println!("--- join graph (join-aware decomposition):");
+        if dj.semijoins.is_empty() {
+            println!("  no cross-peer value join detected under {}", strategy.name());
+        }
+        for sj in &dj.semijoins {
+            let producer = format!("call {} at {}", sj.producer + 1, sj.producer_peer);
+            let consumer = match (&sj.consumer, &sj.consumer_peer) {
+                (Some(c), Some(p)) => format!("call {} at {}", c + 1, p),
+                _ => "(coordinator)".to_string(),
+            };
+            println!("  edge: ${} — key column {}", sj.var, sj.key_path);
+            println!("    ship direction: {producer} -> {consumer}");
+        }
+        for (i, call) in dj.calls.iter().enumerate() {
+            if !call.depends_on.is_empty() {
+                println!(
+                    "  call {} at {} depends on call(s) {:?} (two-phase scatter)",
+                    i + 1,
+                    call.peer,
+                    call.depends_on.iter().map(|d| d + 1).collect::<Vec<_>>(),
+                );
+            }
+        }
+        if !dj.semijoins.is_empty() {
+            println!("  rewritten: {}", dj.rewritten);
         }
     }
 }

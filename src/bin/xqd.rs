@@ -64,6 +64,8 @@ OPTIONS:
                            before admitting a half-open probe (default 500)
   --no-compile             tree-walk the AST instead of compiling queries
                            to the flat plan IR (the correctness oracle)
+  --no-semijoin            disable join-aware decomposition (semi-join key
+                           shipping for cross-peer value joins; default on)
   --plan-cache-size N      coordinator LRU plan-cache capacity (default 64;
                            0 recompiles on every run)
 ";
@@ -81,6 +83,7 @@ struct RunOptions {
     hedge: Option<Duration>,
     breaker: BreakerPolicy,
     compile: bool,
+    semijoin: bool,
     plan_cache_size: usize,
 }
 
@@ -109,6 +112,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         hedge: None,
         breaker: BreakerPolicy::default(),
         compile: ExecOptions::default().compile,
+        semijoin: ExecOptions::default().semijoin,
         plan_cache_size: ExecOptions::default().plan_cache_size,
     };
     fn num_arg<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
@@ -206,6 +210,10 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.compile = false;
                 i += 1;
             }
+            "--no-semijoin" => {
+                opts.semijoin = false;
+                i += 1;
+            }
             "--plan-cache-size" => {
                 opts.plan_cache_size = num_arg(args, i, "--plan-cache-size")?;
                 i += 2;
@@ -247,12 +255,16 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
             }
         };
         for strategy in &opts.strategies {
-            match xqd::decompose(&module, *strategy) {
+            let dopts = xqd::DecomposeOptions { semijoin: opts.semijoin, ..Default::default() };
+            match xqd::decompose_with(&module, *strategy, dopts) {
                 Ok(plan) => {
                     println!("=== {} ===", strategy.name());
                     println!("{}", plan.rewritten);
                     for (i, c) in plan.calls.iter().enumerate() {
                         println!("  call {} at {}: {}", i + 1, c.peer, c.body);
+                        if !c.depends_on.is_empty() {
+                            println!("    depends on call(s): {:?}", c.depends_on);
+                        }
                         if let Some(p) = &c.projection {
                             println!(
                                 "    response projection: used={:?} returned={:?}",
@@ -264,6 +276,15 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
                                     .collect::<Vec<_>>()
                             );
                         }
+                    }
+                    for sj in &plan.semijoins {
+                        println!(
+                            "  semi-join: ${} keys {} harvested at {} -> {}",
+                            sj.var,
+                            sj.key_path,
+                            sj.producer_peer,
+                            sj.consumer_peer.as_deref().unwrap_or("(coordinator)"),
+                        );
                     }
                 }
                 Err(e) => {
@@ -295,6 +316,7 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
         let mut fed = Federation::new(opts.network);
         fed.set_exec_options(ExecOptions {
             compile: opts.compile,
+            semijoin: opts.semijoin,
             plan_cache_size: opts.plan_cache_size,
             ..ExecOptions::default()
         });
@@ -355,6 +377,16 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
                             m.plans_compiled,
                             m.plan_cache_hits,
                             m.plan_cache_misses,
+                        );
+                    }
+                    if opts.semijoin || m.semijoins > 0 {
+                        eprintln!(
+                            "# {}: {} semijoins, {} join_keys_shipped, \
+                             {} join_bytes_saved",
+                            strategy.name(),
+                            m.semijoins,
+                            m.join_keys_shipped,
+                            m.join_bytes_saved,
                         );
                     }
                     if opts.fault_seed.is_some() || m.faults_injected > 0 {

@@ -40,7 +40,10 @@ pub use xqd_xml as xml;
 pub use xqd_xquery as xquery;
 pub use xqd_xrpc as xrpc;
 
-pub use xqd_core::{decompose, rendezvous_order, Decomposition, ReplicaCatalog, Semantics, Strategy};
+pub use xqd_core::{
+    decompose, decompose_with, rendezvous_order, DecomposeOptions, Decomposition, ReplicaCatalog,
+    Semantics, SemijoinEdge, Strategy,
+};
 pub use xqd_xquery::{
     compile_module, compile_query, eval_query, parse_query, EvalError, Item, Plan, QueryModule,
     Sequence, StaticContext,

@@ -119,7 +119,7 @@ fn pipeline_options_preserve_semantics() {
     for (let_motion, code_motion) in
         [(true, true), (true, false), (false, true), (false, false)]
     {
-        let opts = DecomposeOptions { let_motion, code_motion };
+        let opts = DecomposeOptions { let_motion, code_motion, ..Default::default() };
         let mut f = fed();
         let out = f.run_with(Q2, Strategy::ByFragment, opts).unwrap();
         assert_eq!(

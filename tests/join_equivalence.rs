@@ -1,0 +1,242 @@
+//! Join-equivalence suite — the semi-join rewrite's headline invariant:
+//!
+//! > Join-aware decomposition changes only the wire, never the answer:
+//! > results are bit-identical with the rewrite on or off, flipping it off
+//! > replays the pre-semi-join wire byte-for-byte against the interpreter
+//! > oracle, and the key harvest rides the same failover ladder as every
+//! > other remote call.
+//!
+//! Plus the plan-cache contract: the effective semi-join toggle is part of
+//! the cache key, so flipping it never replays the wrong plan.
+
+use std::time::Duration;
+
+use xqd::{rendezvous_order, ExecOptions, FaultPlan, Federation, NetworkModel, Strategy};
+
+/// Twelve students on peer A and exams with duplicated ids on peer B —
+/// Q2's "many exams per student" key distribution, where `distinct-keys`
+/// actually collapses the shipped set. Ten distinct ids keep the harvest
+/// reply above the front-coded `<keyset>` run threshold.
+const DOC_A: &str = "<people>\
+    <person><name>n01</name><id>s01</id></person>\
+    <person><name>n02</name><id>s02</id></person>\
+    <person><name>n03</name><id>s03</id></person>\
+    <person><name>n04</name><id>s04</id></person>\
+    <person><name>n05</name><id>s05</id></person>\
+    <person><name>n06</name><id>s06</id></person>\
+    <person><name>n07</name><id>s07</id></person>\
+    <person><name>n08</name><id>s08</id></person>\
+    <person><name>n09</name><id>s09</id></person>\
+    <person><name>n10</name><id>s10</id></person>\
+    <person><name>n11</name><id>s11</id></person>\
+    <person><name>n12</name><id>s12</id></person>\
+    </people>";
+const DOC_B: &str = "<enroll>\
+    <exam id=\"s01\"><grade>7</grade></exam>\
+    <exam id=\"s01\"><grade>8</grade></exam>\
+    <exam id=\"s02\"><grade>6</grade></exam>\
+    <exam id=\"s03\"><grade>9</grade></exam>\
+    <exam id=\"s03\"><grade>6</grade></exam>\
+    <exam id=\"s04\"><grade>8</grade></exam>\
+    <exam id=\"s05\"><grade>5</grade></exam>\
+    <exam id=\"s05\"><grade>2</grade></exam>\
+    <exam id=\"s06\"><grade>3</grade></exam>\
+    <exam id=\"s07\"><grade>4</grade></exam>\
+    <exam id=\"s08\"><grade>9</grade></exam>\
+    <exam id=\"s09\"><grade>1</grade></exam>\
+    <exam id=\"zz\"><grade>1</grade></exam>\
+    </enroll>";
+
+/// Q2 of Table III over the fixture peers — the cross-peer value join the
+/// rewrite targets. `$t` binds the exam fragment from peer B; every use on
+/// peer A touches only the `@id` key column existentially, so join-aware
+/// decomposition harvests `distinct-keys` from B instead of the fragment.
+const JOIN_QUERY: &str = r#"(let $t := (let $x := doc("xrpc://B/course42.xml")/child::enroll/child::exam
+            return for $e in $x return
+                if ($e/child::grade > 0) then $e else ())
+ return for $p in (let $s := doc("xrpc://A/students.xml")
+                   return $s/descendant::person)
+        return if ($p/child::id = $t/attribute::id)
+               then $p/child::name else ())"#;
+
+fn federation() -> Federation {
+    let mut f = Federation::new(NetworkModel::lan());
+    f.load_document("A", "students.xml", DOC_A).unwrap();
+    f.load_document("B", "course42.xml", DOC_B).unwrap();
+    f
+}
+
+fn run_mode(
+    semijoin: bool,
+    strategy: Strategy,
+    compile: bool,
+    use_indexes: bool,
+    fault: Option<FaultPlan>,
+) -> (Result<Vec<String>, String>, [u64; 19]) {
+    let mut f = federation();
+    f.set_exec_options(ExecOptions { semijoin, compile, use_indexes, fault, ..ExecOptions::default() });
+    match f.run(JOIN_QUERY, strategy) {
+        Ok(out) => (Ok(out.result), out.metrics.counters()),
+        Err(e) => {
+            let code = e
+                .code
+                .unwrap_or_else(|| panic!("{strategy:?}: untyped error {:?}", e.message));
+            (Err(code), f.metrics().counters())
+        }
+    }
+}
+
+/// See `chaos_property.rs`: silences the intentional worker panics.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("injected fault"))
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// The core contract, all four strategies × indexes on/off:
+/// - semi-join on and off produce bit-identical results;
+/// - with semi-join off, compiled wire bytes equal the interpreter oracle
+///   (flipping the flag reproduces the old wire exactly);
+/// - with semi-join on, compiled and interpreter still agree on every
+///   wire counter (the rewrite lives in decomposition, not the engine).
+#[test]
+fn semijoin_changes_bytes_never_results() {
+    for strategy in Strategy::ALL {
+        for use_indexes in [true, false] {
+            let (res_off_i, ctr_off_i) = run_mode(false, strategy, false, use_indexes, None);
+            let (res_off_c, ctr_off_c) = run_mode(false, strategy, true, use_indexes, None);
+            let (res_on_i, ctr_on_i) = run_mode(true, strategy, false, use_indexes, None);
+            let (res_on_c, ctr_on_c) = run_mode(true, strategy, true, use_indexes, None);
+
+            assert_eq!(res_on_c, res_off_c, "{strategy:?}: semi-join changed the result");
+            assert_eq!(res_on_i, res_off_i, "{strategy:?}: semi-join changed the interpreter");
+            assert_eq!(res_off_c, res_off_i, "{strategy:?}: compiled diverged from oracle");
+            assert_eq!(
+                ctr_off_c[..13],
+                ctr_off_i[..13],
+                "{strategy:?} indexes={use_indexes}: off-wire not byte-identical to oracle"
+            );
+            assert_eq!(
+                ctr_on_c[..13],
+                ctr_on_i[..13],
+                "{strategy:?} indexes={use_indexes}: on-wire not byte-identical to oracle"
+            );
+            // the join counters agree between engines too; the keyset
+            // counters may fire even with the rewrite off (front-coding is
+            // content-driven), but `semijoins` is the rewrite's alone
+            assert_eq!(ctr_on_c[16..], ctr_on_i[16..], "{strategy:?}: join counters diverged");
+            assert_eq!(ctr_off_c[16..], ctr_off_i[16..], "{strategy:?}: join counters diverged");
+            assert_eq!(ctr_off_c[16], 0, "{strategy:?}: off-run counted semi-joins");
+        }
+    }
+}
+
+/// The decomposed strategies actually ship fewer message bytes with the
+/// rewrite on, and the executor's join counters fire.
+#[test]
+fn semijoin_saves_bytes_and_counts_itself() {
+    for strategy in [Strategy::ByFragment, Strategy::ByProjection] {
+        let mut off = federation();
+        off.set_exec_options(ExecOptions { semijoin: false, ..ExecOptions::default() });
+        let off_out = off.run(JOIN_QUERY, strategy).unwrap();
+        let on_out = federation().run(JOIN_QUERY, strategy).unwrap();
+        assert!(
+            on_out.metrics.message_bytes < off_out.metrics.message_bytes,
+            "{strategy:?}: semi-join must shrink messages: {} vs {}",
+            on_out.metrics.message_bytes,
+            off_out.metrics.message_bytes
+        );
+        assert_eq!(on_out.metrics.semijoins, 1, "{strategy:?}");
+        assert!(on_out.metrics.join_keys_shipped > 0, "{strategy:?}: no keyset on the wire");
+        assert!(on_out.metrics.join_bytes_saved > 0, "{strategy:?}");
+        // front-coding may fire on the off-run's code-motioned key column
+        // too — only the `semijoins` counter belongs to the rewrite
+        assert_eq!(off_out.metrics.semijoins, 0, "{strategy:?}");
+    }
+}
+
+/// A dozen seeded fault schedules per strategy: with the semi-join on,
+/// compiled and interpreted execution see the same wire, so every schedule
+/// perturbs both identically — same outcome, same counters.
+#[test]
+fn semijoin_equivalence_holds_under_chaos() {
+    quiet_injected_panics();
+    for seed in 0..12u64 {
+        for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+            let plan = Some(FaultPlan::uniform(seed, 0.3));
+            let (res_i, ctr_i) = run_mode(true, strategy, false, true, plan);
+            let (res_c, ctr_c) = run_mode(true, strategy, true, true, plan);
+            assert_eq!(res_c, res_i, "seed {seed} {strategy:?}: outcome diverged");
+            assert_eq!(
+                ctr_c[..13],
+                ctr_i[..13],
+                "seed {seed} {strategy:?}: wire counters diverged"
+            );
+        }
+    }
+}
+
+/// The key harvest is an ordinary remote call: when the producer's primary
+/// replica is killed, the failover ladder redials the stand-in and the
+/// join still returns the fault-free answer.
+#[test]
+fn key_harvest_survives_producer_peer_down() {
+    quiet_injected_panics();
+    let baseline = federation().run(JOIN_QUERY, Strategy::ByFragment).unwrap();
+    assert_eq!(baseline.metrics.semijoins, 1, "fixture must exercise the rewrite");
+
+    let seed = 7u64;
+    let mut f = federation();
+    f.replicate_peer("A", "A2").unwrap();
+    f.replicate_peer("B", "B2").unwrap();
+    f.set_replica_seed(seed);
+    // kill the host the ladder dials first for the harvest call (peer B
+    // is the producer side — its Execute was rewritten to distinct-keys)
+    let hosts = f.replica_catalog().hosts_serving_peer("B");
+    let primary = rendezvous_order(seed, &hosts)[0].clone();
+    f.set_hedge(Some(Duration::from_millis(4)));
+    f.set_fault_plan(Some(FaultPlan::uniform(seed, 0.9).with_target(&primary)));
+
+    let out = f.run(JOIN_QUERY, Strategy::ByFragment).unwrap();
+    assert_eq!(out.result, baseline.result, "failover changed the join answer");
+    assert_eq!(out.metrics.semijoins, 1, "degraded run must keep the semi-join plan");
+    assert!(
+        out.metrics.replica_failovers + out.metrics.hedges > 0,
+        "schedule never hit the primary: {:?}",
+        out.metrics
+    );
+}
+
+/// Flipping the semi-join toggle is a different plan-cache key: on → off
+/// misses (never replays the semi-join plan), and back on hits the
+/// original entry.
+#[test]
+fn plan_cache_keys_on_the_semijoin_toggle() {
+    let mut f = federation();
+    let on = f.run(JOIN_QUERY, Strategy::ByFragment).unwrap();
+    assert_eq!(on.metrics.plan_cache_misses, 1);
+    assert_eq!(on.metrics.semijoins, 1);
+
+    f.set_exec_options(ExecOptions { semijoin: false, ..ExecOptions::default() });
+    let off = f.run(JOIN_QUERY, Strategy::ByFragment).unwrap();
+    assert_eq!(off.metrics.plan_cache_misses, 1, "toggle flip must not hit the old plan");
+    assert_eq!(off.metrics.semijoins, 0, "cached semi-join plan leaked into an off run");
+    assert_eq!(off.result, on.result);
+
+    f.set_exec_options(ExecOptions::default());
+    let back = f.run(JOIN_QUERY, Strategy::ByFragment).unwrap();
+    assert_eq!(back.metrics.plan_cache_hits, 1, "original semi-join plan should be reused");
+    assert_eq!(back.metrics.semijoins, 1);
+}

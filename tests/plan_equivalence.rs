@@ -53,7 +53,7 @@ fn run_mode(
     compile: bool,
     use_indexes: bool,
     fault: Option<FaultPlan>,
-) -> (Result<Vec<String>, String>, [u64; 16]) {
+) -> (Result<Vec<String>, String>, [u64; 19]) {
     let mut f = federation();
     f.set_exec_options(ExecOptions { compile, use_indexes, fault, ..ExecOptions::default() });
     match f.run(query, strategy) {
@@ -108,9 +108,15 @@ fn compiled_execution_matches_interpreter_bit_for_bit() {
                     "{strategy:?} indexes={use_indexes}: wire counters diverged on {query}"
                 );
                 // the trio itself: interpreter compiles nothing...
-                assert_eq!(ctr_i[13..], [0, 0, 0], "interpreter touched plan counters");
+                assert_eq!(ctr_i[13..16], [0, 0, 0], "interpreter touched plan counters");
                 // ...while a fresh compiled federation misses once and lowers once
-                assert_eq!(ctr_c[13..], [1, 0, 1], "compiled run miscounted on {query}");
+                assert_eq!(ctr_c[13..16], [1, 0, 1], "compiled run miscounted on {query}");
+                // the join counters must agree bit-for-bit too
+                assert_eq!(
+                    ctr_c[16..],
+                    ctr_i[16..],
+                    "{strategy:?} indexes={use_indexes}: join counters diverged on {query}"
+                );
             }
         }
     }
