@@ -50,6 +50,30 @@ if grep -q 'identical": false' target/BENCH_joins.ci.json; then
     exit 1
 fi
 
+echo "== throughput bench smoke (small N, offline) =="
+# Small-scale run of the multi-tenant saturation sweep into a scratch path
+# (the committed BENCH_throughput.json is the full-scale artifact). The
+# small sweep drives the workload at and past saturation: the shed path
+# must fire (a zero total_shed means admission control never engaged),
+# goodput must stay within 10% of peak at the highest offered load
+# (flat_top), every completed result must be bit-identical to serial
+# execution, and every non-completed query must carry a typed error —
+# with zero panics (any panic fails the run itself).
+cargo run --release --offline --example throughput_bench -- --small --out target/BENCH_throughput.ci.json
+grep -q '"flat_top": true' target/BENCH_throughput.ci.json
+if grep -q '"total_shed": 0,' target/BENCH_throughput.ci.json; then
+    echo "throughput bench: the saturating sweep never shed — admission control is dead" >&2
+    exit 1
+fi
+if grep -q '"results_identical": false' target/BENCH_throughput.ci.json; then
+    echo "throughput bench: a completed query diverged from serial execution" >&2
+    exit 1
+fi
+if grep -q '"all_errors_typed": false' target/BENCH_throughput.ci.json; then
+    echo "throughput bench: an untyped error escaped the scheduler" >&2
+    exit 1
+fi
+
 echo "== chaos smoke (seeded fault sweep + replica failover, offline) =="
 # Small-N seeded fault-injection sweep across all three wire semantics,
 # followed by the replicated scene: every peer's documents live on a

@@ -15,7 +15,9 @@ use xqd_core::Strategy;
 use xqd_xmark::{document_pair, people_document, XmarkConfig};
 use xqd_xml::project::{compute_projection, build_projected, ProjectionInput};
 use xqd_xml::{serialize_document, Store};
-use xqd_xrpc::{ExecOptions, Federation, Metrics, NetworkModel};
+use xqd_xrpc::{
+    ExecOptions, Federation, Metrics, NetworkModel, TenantSpec, WorkloadConfig, WorkloadEngine,
+};
 
 /// The Section VII benchmark query (the paper's XMark adaptation of Qn2):
 /// persons under 40 from peer1 semijoined against open auctions on peer2,
@@ -783,6 +785,177 @@ pub fn joins_json(points: &[JoinsPoint]) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Throughput: multi-tenant goodput and tail latency vs offered load
+// ---------------------------------------------------------------------------
+
+/// The multi-tenant mix of the `throughput` bench: an interactive tenant
+/// (high fair-queuing weight, cheap lookups), a reporting tenant and a scan
+/// tenant splitting the offered load 40/40/20 over the Section VII
+/// federation.
+pub fn throughput_tenants(offered_qps: f64) -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new(
+            "interactive",
+            4,
+            offered_qps * 0.4,
+            vec![
+                "count(doc(\"xrpc://peer1/xmk.xml\")/child::site/child::people/child::person)"
+                    .to_string(),
+            ],
+        ),
+        TenantSpec::new(
+            "reporting",
+            1,
+            offered_qps * 0.4,
+            vec![
+                "count(doc(\"xrpc://peer2/xmk.auctions.xml\")/descendant::open_auction)"
+                    .to_string(),
+            ],
+        ),
+        TenantSpec::new(
+            "scan",
+            1,
+            offered_qps * 0.2,
+            vec!["doc(\"xrpc://peer1/xmk.xml\")/descendant::person/attribute::id".to_string()],
+        ),
+    ]
+}
+
+/// Capacity of the throughput federation in queries per second: workers
+/// over the mean fault-free service time of the workload templates. Each
+/// sweep point's offered load is a multiple of this.
+pub fn throughput_capacity(bytes_per_doc: usize) -> f64 {
+    let mut fed = setup_federation(bytes_per_doc, 42);
+    let config = WorkloadConfig::new(throughput_tenants(1.0));
+    WorkloadEngine::capacity_qps(&mut fed, &config).expect("capacity probe")
+}
+
+/// One offered-load point of the throughput sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Offered load as a multiple of estimated capacity.
+    pub load_factor: f64,
+    pub offered_qps: f64,
+    pub goodput_qps: f64,
+    pub arrivals: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub deadline_cancelled: u64,
+    pub errored: u64,
+    pub p50_us: u128,
+    pub p95_us: u128,
+    pub p99_us: u128,
+    pub peak_queue_depth: u64,
+    /// Every completed query matched the fault-free serial baseline.
+    pub results_identical: bool,
+    /// Every non-completed query carries a typed error code.
+    pub all_errors_typed: bool,
+}
+
+impl ThroughputPoint {
+    /// One JSON object for the BENCH_throughput trajectory (hand-rolled:
+    /// the workspace is std-only).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"load_factor\": {:.2}, \"offered_qps\": {:.1}, \"goodput_qps\": {:.1}, \
+             \"arrivals\": {}, \"completed\": {}, \"shed\": {}, \
+             \"deadline_cancelled\": {}, \"errored\": {}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"peak_queue_depth\": {}, \
+             \"results_identical\": {}, \"all_errors_typed\": {}}}",
+            self.load_factor,
+            self.offered_qps,
+            self.goodput_qps,
+            self.arrivals,
+            self.completed,
+            self.shed,
+            self.deadline_cancelled,
+            self.errored,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.peak_queue_depth,
+            self.results_identical,
+            self.all_errors_typed,
+        )
+    }
+}
+
+/// Runs the multi-tenant workload at `load × capacity`, sizing the arrival
+/// window so roughly `target_arrivals` queries arrive regardless of load.
+pub fn throughput_point(
+    bytes_per_doc: usize,
+    capacity_qps: f64,
+    load: f64,
+    target_arrivals: usize,
+) -> ThroughputPoint {
+    let offered = capacity_qps * load;
+    let mut fed = setup_federation(bytes_per_doc, 42);
+    let mut config = WorkloadConfig::new(throughput_tenants(offered));
+    config.duration = Duration::from_secs_f64((target_arrivals as f64 / offered).max(1e-3));
+    let report = WorkloadEngine::run(&mut fed, &config).expect("workload run");
+    ThroughputPoint {
+        load_factor: load,
+        offered_qps: report.offered_qps,
+        goodput_qps: report.goodput_qps,
+        arrivals: report.arrivals,
+        completed: report.completed,
+        shed: report.shed,
+        deadline_cancelled: report.deadline_cancelled,
+        errored: report.errored,
+        p50_us: report.p50.as_micros(),
+        p95_us: report.p95.as_micros(),
+        p99_us: report.p99.as_micros(),
+        peak_queue_depth: report.metrics.peak_queue_depth,
+        results_identical: report.results_identical,
+        all_errors_typed: report.all_errors_typed,
+    }
+}
+
+/// The full `throughput` sweep over offered-load multiples of capacity.
+pub fn throughput_sweep(
+    bytes_per_doc: usize,
+    loads: &[f64],
+    target_arrivals: usize,
+) -> Vec<ThroughputPoint> {
+    let capacity = throughput_capacity(bytes_per_doc);
+    loads
+        .iter()
+        .map(|&l| throughput_point(bytes_per_doc, capacity, l, target_arrivals))
+        .collect()
+}
+
+/// The BENCH_throughput json document for a sweep. The summary reports the
+/// flat-top check: goodput at the highest offered load (≥ 2x capacity in
+/// the default sweep) must stay within 10% of the peak — shed, don't
+/// thrash.
+pub fn throughput_json(points: &[ThroughputPoint]) -> String {
+    let peak = points.iter().map(|p| p.goodput_qps).fold(0.0_f64, f64::max);
+    let at_max_load = points
+        .iter()
+        .max_by(|a, b| a.load_factor.total_cmp(&b.load_factor))
+        .map(|p| p.goodput_qps)
+        .unwrap_or(0.0);
+    let flat_top = at_max_load >= peak * 0.9;
+    let total_shed: u64 = points.iter().map(|p| p.shed).sum();
+    let entries: Vec<String> = points.iter().map(|p| format!("    {}", p.to_json())).collect();
+    format!(
+        "{{\n  \"bench\": \"throughput\",\n  \
+         \"workload\": \"3 tenants (weights 4/1/1), seeded Poisson arrivals, WFQ + admission control\",\n  \
+         \"peak_goodput_qps\": {:.1},\n  \
+         \"goodput_at_max_load_qps\": {:.1},\n  \
+         \"flat_top\": {},\n  \
+         \"total_shed\": {},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        peak,
+        at_max_load,
+        flat_top,
+        total_shed,
+        entries.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -907,6 +1080,23 @@ mod tests {
         assert!(json.contains("\"results_identical\": true"));
         assert!(json.contains("\"bytes_identical\": true"));
         assert!(!json.contains("identical\": false"));
+    }
+
+    #[test]
+    fn throughput_sheds_past_saturation_with_flat_goodput() {
+        let points = throughput_sweep(4_000, &[1.0, 2.0], 150);
+        let json = throughput_json(&points);
+        assert!(json.contains("\"bench\": \"throughput\""));
+        assert!(json.contains("\"flat_top\": true"), "goodput collapsed past saturation:\n{json}");
+        assert!(!json.contains("\"results_identical\": false"), "{json}");
+        assert!(!json.contains("\"all_errors_typed\": false"), "{json}");
+        let at_2x = points.iter().find(|p| p.load_factor == 2.0).unwrap();
+        assert!(at_2x.shed > 0, "2x load must trip admission control: {at_2x:?}");
+        assert_eq!(
+            at_2x.completed + at_2x.shed + at_2x.deadline_cancelled + at_2x.errored,
+            at_2x.arrivals,
+            "every arrival must be accounted for"
+        );
     }
 
     #[test]

@@ -146,6 +146,12 @@ pub struct ExecOptions {
     /// sorted keys decide it exactly like the raw sequence — which the
     /// join-equivalence suite asserts. Part of the plan-cache key.
     pub semijoin: bool,
+    /// Bound on the number of callers allowed to wait on one peer slot's
+    /// condvar at a time. A caller arriving at a busy slot whose wait queue
+    /// is already full is rejected immediately with a typed
+    /// [`XrpcError::PeerBusy`] carrying a retry-after hint (backpressure)
+    /// instead of piling up behind the condvar. `0` disables the bound.
+    pub peer_queue_depth: usize,
 }
 
 impl Default for ExecOptions {
@@ -162,6 +168,7 @@ impl Default for ExecOptions {
             compile: true,
             plan_cache_size: 64,
             semijoin: true,
+            peer_queue_depth: 32,
         }
     }
 }
@@ -292,6 +299,14 @@ impl MetricsSink {
             semijoins: self.semijoins.load(Ordering::Relaxed),
             join_keys_shipped: self.join_keys_shipped.load(Ordering::Relaxed),
             join_bytes_saved: self.join_bytes_saved.load(Ordering::Relaxed),
+            // scheduler-level counters: filled in by the workload engine's
+            // deterministic accounting, never by per-call code paths (whose
+            // wait events depend on thread interleaving and would break the
+            // chaos suite's counter replay contract)
+            queued: 0,
+            shed: 0,
+            deadline_cancelled: 0,
+            peak_queue_depth: 0,
             shred: Duration::from_nanos(self.shred_ns.load(Ordering::Relaxed)),
             serialize: Duration::from_nanos(self.serialize_ns.load(Ordering::Relaxed)),
             remote_exec: Duration::from_nanos(self.remote_exec_ns.load(Ordering::Relaxed)),
@@ -323,9 +338,25 @@ impl MetricsSink {
     }
 }
 
+/// One peer's slot plus its bounded wait queue. The peer is `None` while
+/// taken by an executing call; `waiters` counts the callers currently
+/// blocked on the condvar for this slot, so arrivals beyond
+/// [`ExecOptions::peer_queue_depth`] can be rejected with backpressure
+/// instead of queuing without bound.
+struct PeerSlot {
+    peer: Option<Peer>,
+    waiters: u32,
+}
+
+impl PeerSlot {
+    fn ready(peer: Peer) -> Self {
+        PeerSlot { peer: Some(peer), waiters: 0 }
+    }
+}
+
 struct FedCore {
-    /// Peer slots: `None` while a peer is taken by an executing call.
-    peers: Mutex<HashMap<String, Option<Peer>>>,
+    /// Peer slots: see [`PeerSlot`].
+    peers: Mutex<HashMap<String, PeerSlot>>,
     /// Signalled whenever a peer is returned to its slot.
     peers_returned: Condvar,
     model: NetworkModel,
@@ -494,37 +525,85 @@ impl FedCore {
         sink.replica_failovers.fetch_add(ladder.failovers, Ordering::Relaxed);
     }
 
-    /// Takes `name`'s peer out of its slot, waiting up to `wait` (the
-    /// caller's per-call deadline) while another call holds it. An unknown
+    /// An honest resubmission hint for a busy peer: its observed EWMA
+    /// service latency when the scoreboard has one (roughly when the
+    /// current holder should be done), else the ladder's busy-switch wait.
+    fn busy_retry_hint(&self, name: &str) -> Duration {
+        self.board
+            .lock()
+            .unwrap()
+            .ewma(name)
+            .filter(|d| !d.is_zero())
+            .unwrap_or(BUSY_SWITCH_WAIT)
+    }
+
+    /// Takes `name`'s peer out of its slot, waiting up to `wait` — which
+    /// every caller bounds by its *remaining* deadline budget — while
+    /// another call holds it. The per-slot wait queue is bounded by
+    /// [`ExecOptions::peer_queue_depth`]: a caller arriving beyond the
+    /// bound is rejected immediately (backpressure) instead of piling up
+    /// behind the condvar. Both rejection paths return a typed
+    /// [`XrpcError::PeerBusy`] with an honest retry-after hint. An unknown
     /// peer fails immediately — and is distinguished from a busy one, so
     /// callers can retry the latter but not the former.
     fn take_peer(&self, name: &str, wait: Duration) -> Result<Peer, XrpcError> {
+        let max_waiters = self.options().peer_queue_depth;
         let mut peers = self.peers.lock().unwrap();
+        {
+            let Some(slot) = peers.get_mut(name) else {
+                return Err(XrpcError::UnknownPeer { peer: name.to_string() });
+            };
+            if let Some(p) = slot.peer.take() {
+                return Ok(p);
+            }
+            if max_waiters > 0 && slot.waiters as usize >= max_waiters {
+                let waiting = slot.waiters;
+                drop(peers);
+                return Err(XrpcError::PeerBusy {
+                    peer: name.to_string(),
+                    detail: format!(
+                        "wait queue full ({waiting} callers already queued on the slot)"
+                    ),
+                    retry_after: self.busy_retry_hint(name),
+                });
+            }
+            slot.waiters += 1;
+        }
         let deadline = Instant::now() + wait;
         loop {
-            match peers.get_mut(name) {
-                None => return Err(XrpcError::UnknownPeer { peer: name.to_string() }),
-                Some(slot) => {
-                    if let Some(p) = slot.take() {
-                        return Ok(p);
-                    }
-                }
-            }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
+                if let Some(slot) = peers.get_mut(name) {
+                    slot.waiters -= 1;
+                }
+                drop(peers);
                 return Err(XrpcError::PeerBusy {
                     peer: name.to_string(),
                     detail: format!("slot still held after {wait:?}"),
+                    retry_after: self.busy_retry_hint(name),
                 });
             }
             let (guard, _timeout) = self.peers_returned.wait_timeout(peers, remaining).unwrap();
             peers = guard;
+            match peers.get_mut(name) {
+                None => return Err(XrpcError::UnknownPeer { peer: name.to_string() }),
+                Some(slot) => {
+                    if let Some(p) = slot.peer.take() {
+                        slot.waiters -= 1;
+                        return Ok(p);
+                    }
+                }
+            }
         }
     }
 
     fn put_peer(&self, peer: Peer) {
         let mut peers = self.peers.lock().unwrap();
-        peers.insert(peer.name.clone(), Some(peer));
+        // preserve the slot's waiter count — only the peer comes back
+        let slot = peers
+            .entry(peer.name.clone())
+            .or_insert_with(|| PeerSlot { peer: None, waiters: 0 });
+        slot.peer = Some(peer);
         drop(peers);
         self.peers_returned.notify_all();
     }
@@ -653,7 +732,7 @@ impl Federation {
         let xml = {
             let p = peers
                 .get(primary)
-                .and_then(|slot| slot.as_ref())
+                .and_then(|slot| slot.peer.as_ref())
                 .ok_or_else(|| EvalError::new(format!("unknown or busy peer: {primary}")))?;
             let d = p
                 .store
@@ -666,8 +745,9 @@ impl Federation {
         };
         let entry = peers
             .entry(replica.to_string())
-            .or_insert_with(|| Some(Peer::new(replica)));
+            .or_insert_with(|| PeerSlot::ready(Peer::new(replica)));
         let rp = entry
+            .peer
             .as_mut()
             .ok_or_else(|| EvalError::new(format!("peer {replica} is busy")))?;
         if rp.store.doc_by_uri(&canonical).is_none() {
@@ -689,7 +769,7 @@ impl Federation {
             let peers = self.core.peers.lock().unwrap();
             let p = peers
                 .get(primary)
-                .and_then(|slot| slot.as_ref())
+                .and_then(|slot| slot.peer.as_ref())
                 .ok_or_else(|| EvalError::new(format!("unknown or busy peer: {primary}")))?;
             let prefix = format!("xrpc://{primary}/");
             p.store
@@ -718,7 +798,7 @@ impl Federation {
             .peers
             .lock()
             .unwrap()
-            .insert(name.to_string(), Some(Peer::new(name)));
+            .insert(name.to_string(), PeerSlot::ready(Peer::new(name)));
         self.core.catalog_gen.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -727,8 +807,9 @@ impl Federation {
         let mut peers = self.core.peers.lock().unwrap();
         let entry = peers
             .entry(peer.to_string())
-            .or_insert_with(|| Some(Peer::new(peer)));
+            .or_insert_with(|| PeerSlot::ready(Peer::new(peer)));
         entry
+            .peer
             .as_mut()
             .ok_or_else(|| EvalError::new(format!("peer {peer} is busy")))?
             .load_document(doc_name, xml)?;
@@ -987,7 +1068,7 @@ impl Federation {
     pub fn total_document_bytes(&self) -> u64 {
         let peers = self.core.peers.lock().unwrap();
         let mut total = 0u64;
-        for peer in peers.values().flatten() {
+        for peer in peers.values().filter_map(|slot| slot.peer.as_ref()) {
             for (_, doc) in peer.store.docs() {
                 if doc.uri.is_some() {
                     total += xqd_xml::serialize_document(doc, &peer.store.names).len() as u64;
@@ -1149,6 +1230,7 @@ fn fetch_document(
                     break 'attempt Err(XrpcError::PeerBusy {
                         peer: fhost.to_string(),
                         detail: "peer down (injected fault)".to_string(),
+                        retry_after: BUSY_SWITCH_WAIT,
                     });
                 }
                 Some(Fault::Hang) => {
@@ -1167,7 +1249,10 @@ fn fetch_document(
                 }
                 _ => {}
             }
-            let peer_obj = match core.take_peer(fhost, wait) {
+            // the slot wait is bounded by the ladder's per-rung wait AND the
+            // remaining deadline budget — a chain that already ate most of
+            // the deadline must not block the full wait on a busy slot
+            let peer_obj = match core.take_peer(fhost, wait.min(budget)) {
                 Ok(p) => p,
                 Err(e) => break 'attempt Err(e),
             };
@@ -1541,7 +1626,7 @@ fn transport_call(
     lane: u64,
     rung: u32,
     request: &str,
-    process: &mut dyn FnMut(&str) -> EvalResult<String>,
+    process: &mut dyn FnMut(&str, Duration) -> EvalResult<String>,
 ) -> (Duration, u32, Result<String, XrpcError>) {
     let options = core.options();
     let retry = options.retry;
@@ -1585,6 +1670,7 @@ fn transport_call(
                     break 'attempt Err(XrpcError::PeerBusy {
                         peer: peer.to_string(),
                         detail: "peer down (injected fault)".to_string(),
+                        retry_after: BUSY_SWITCH_WAIT,
                     });
                 }
                 Some(Fault::Hang) => {
@@ -1613,12 +1699,18 @@ fn transport_call(
                         detail: format!("request byte {pos} is not valid UTF-8"),
                     }))
                 }
-                _ => run_remote(
-                    peer,
-                    &delivered,
-                    matches!(fault, Some(Fault::RemotePanic)),
-                    process,
-                ),
+                _ => {
+                    // whatever the request leg consumed comes out of the
+                    // budget the remote side (and its slot wait) may spend
+                    let attempt_budget = budget.saturating_sub(spent);
+                    let mut bounded = |req: &str| process(req, attempt_budget);
+                    run_remote(
+                        peer,
+                        &delivered,
+                        matches!(fault, Some(Fault::RemotePanic)),
+                        &mut bounded,
+                    )
+                }
             };
             let response = match remote_outcome {
                 Ok(r) => r,
@@ -1857,7 +1949,11 @@ fn call_with_failover(
             None
         };
 
-        let mut rung_process = |req: &str| process(host, req, wait);
+        // the slot wait passed down is the rung's switch policy bounded by
+        // the attempt's remaining deadline budget (satellite of the
+        // unbounded busy-wait fix: no path may out-wait its own deadline)
+        let mut rung_process =
+            |req: &str, remaining: Duration| process(host, req, wait.min(remaining));
         let (chain_p, failed_p, res_p) =
             transport_call(core, host, lane, rung, request, &mut rung_process);
         rung += 1;
@@ -1874,7 +1970,8 @@ fn call_with_failover(
         if let Some((host2, delay)) = hedge {
             out.hedges += 1;
             let wait2 = deadline.min(BUSY_SWITCH_WAIT);
-            let mut hedge_process = |req: &str| process(&host2, req, wait2);
+            let mut hedge_process =
+                |req: &str, remaining: Duration| process(&host2, req, wait2.min(remaining));
             let (chain_h, failed_h, res_h) =
                 transport_call(core, &host2, lane, rung, request, &mut hedge_process);
             rung += 1;
@@ -2441,5 +2538,78 @@ fn canonical_node(store: &Store, n: NodeId, out: &mut String) {
             xqd_xml::serialize::escape_text(doc.value(n.idx).unwrap_or(""), out)
         }
         NodeKind::Comment | NodeKind::Pi => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn federation() -> Federation {
+        let mut f = Federation::new(NetworkModel::lan());
+        f.load_document("p", "d.xml", "<a><b/></a>").unwrap();
+        f
+    }
+
+    #[test]
+    fn take_peer_wait_is_bounded_by_the_caller_budget() {
+        let f = federation();
+        let held = f.core.take_peer("p", Duration::from_millis(5)).unwrap();
+        let budget = Duration::from_millis(20);
+        let t = Instant::now();
+        let err = f.core.take_peer("p", budget).unwrap_err();
+        let waited = t.elapsed();
+        assert_eq!(err.code(), "xrpc:peer-busy");
+        assert!(
+            err.retry_after().unwrap() > Duration::ZERO,
+            "busy rejection must carry a retry hint: {err}"
+        );
+        assert!(waited >= budget, "returned before the budget elapsed: {waited:?}");
+        assert!(
+            waited < Duration::from_secs(5),
+            "wait was not bounded by the caller's budget: {waited:?}"
+        );
+        f.core.put_peer(held);
+    }
+
+    #[test]
+    fn full_wait_queue_is_rejected_immediately_with_backpressure() {
+        let f = federation();
+        let mut options = f.exec_options();
+        options.peer_queue_depth = 1;
+        *f.core.options.lock().unwrap() = options;
+        let held = f.core.take_peer("p", Duration::from_millis(5)).unwrap();
+        // fill the single waiter seat from another thread
+        let core = Arc::clone(&f.core);
+        let waiter =
+            std::thread::spawn(move || core.take_peer("p", Duration::from_millis(300)));
+        while f.core.peers.lock().unwrap()["p"].waiters == 0 {
+            std::thread::yield_now();
+        }
+        // the next caller must bounce instantly instead of queueing
+        let t = Instant::now();
+        let err = f.core.take_peer("p", Duration::from_secs(30)).unwrap_err();
+        assert!(t.elapsed() < Duration::from_millis(250), "rejection was not immediate");
+        assert_eq!(err.code(), "xrpc:peer-busy");
+        assert!(format!("{err}").contains("wait queue full"), "{err}");
+        assert!(err.retry_after().unwrap() > Duration::ZERO);
+        // returning the peer hands it to the queued waiter
+        f.core.put_peer(held);
+        let woken = waiter.join().unwrap().expect("queued waiter should get the slot");
+        f.core.put_peer(woken);
+    }
+
+    #[test]
+    fn depth_zero_disables_the_waiter_bound() {
+        let f = federation();
+        let mut options = f.exec_options();
+        options.peer_queue_depth = 0;
+        *f.core.options.lock().unwrap() = options;
+        let held = f.core.take_peer("p", Duration::from_millis(5)).unwrap();
+        // with the bound off, an extra caller queues (and times out) rather
+        // than being rejected up front
+        let err = f.core.take_peer("p", Duration::from_millis(10)).unwrap_err();
+        assert!(format!("{err}").contains("slot still held"), "{err}");
+        f.core.put_peer(held);
     }
 }

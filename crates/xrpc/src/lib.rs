@@ -18,7 +18,12 @@
 //!   `DocResolver` implementations (including Bulk RPC and data-shipping
 //!   document fetches), the fault-injecting transport with
 //!   [`RetryPolicy`]-driven retries and graceful degradation, and
-//!   canonical result serialization.
+//!   canonical result serialization;
+//! * [`sched`] — the coordinator-side concurrency layer: admission
+//!   control with bounded per-tenant run queues, weighted fair queuing,
+//!   deadline propagation, and the deterministic multi-tenant
+//!   [`WorkloadEngine`] that drives saturation benchmarks on the
+//!   simulated clock.
 //!
 //! ```no_run
 //! use xqd_xrpc::{Federation, NetworkModel};
@@ -34,6 +39,7 @@ pub mod exec;
 pub mod health;
 pub mod message;
 pub mod net;
+pub mod sched;
 pub mod wire;
 
 pub use exec::{
@@ -45,3 +51,7 @@ pub use message::{
     WireSemantics,
 };
 pub use net::{Fault, FaultPlan, Metrics, NetworkModel, XrpcError};
+pub use sched::{
+    OutcomeKind, QueryOutcome, TenantReport, TenantSpec, WorkloadConfig, WorkloadEngine,
+    WorkloadReport,
+};

@@ -693,9 +693,15 @@ pub fn encode_fault(err: &XrpcError) -> String {
     escape_attr(&err.code(), &mut out);
     out.push_str("\" peer=\"");
     escape_attr(err.peer(), &mut out);
-    if let XrpcError::BreakerOpen { retry_after, .. } = err {
+    let retry_after_ms = match err {
+        XrpcError::BreakerOpen { retry_after, .. }
+        | XrpcError::PeerBusy { retry_after, .. } => Some(retry_after.as_millis()),
+        XrpcError::Overloaded { retry_after_ms } => Some(u128::from(*retry_after_ms)),
+        _ => None,
+    };
+    if let Some(ms) = retry_after_ms {
         out.push_str("\" retry-after-ms=\"");
-        out.push_str(&retry_after.as_millis().to_string());
+        out.push_str(&ms.to_string());
     }
     out.push_str("\"><message>");
     escape_text(&err.to_string(), &mut out);
@@ -717,10 +723,15 @@ pub fn decode_fault(message: &str) -> Option<XrpcError> {
         .map(|m| scratch.doc(m.doc).string_value(m.idx))
         .unwrap_or_default();
     let mut err = XrpcError::from_code(&code, &peer, &msg);
-    // the breaker cooldown rides along as an optional attribute
-    if let XrpcError::BreakerOpen { retry_after, .. } = &mut err {
-        if let Some(ms) = attr(&scratch, fault, "retry-after-ms").and_then(|v| v.parse().ok()) {
-            *retry_after = std::time::Duration::from_millis(ms);
+    // retry-after hints ride along as an optional attribute
+    if let Some(ms) = attr(&scratch, fault, "retry-after-ms").and_then(|v| v.parse::<u64>().ok()) {
+        match &mut err {
+            XrpcError::BreakerOpen { retry_after, .. }
+            | XrpcError::PeerBusy { retry_after, .. } => {
+                *retry_after = std::time::Duration::from_millis(ms);
+            }
+            XrpcError::Overloaded { retry_after_ms } => *retry_after_ms = ms,
+            _ => {}
         }
     }
     Some(err)
@@ -1277,7 +1288,11 @@ mod tests {
         use std::time::Duration;
         let faults = [
             XrpcError::UnknownPeer { peer: "p<1>".into() },
-            XrpcError::PeerBusy { peer: "p1".into(), detail: "slot held".into() },
+            XrpcError::PeerBusy {
+                peer: "p1".into(),
+                detail: "slot held".into(),
+                retry_after: Duration::from_millis(40),
+            },
             XrpcError::Timeout { peer: "p1".into(), deadline: Duration::from_millis(250) },
             XrpcError::TransportCorrupt { peer: "p1".into(), detail: "bad & bytes".into() },
             XrpcError::RemoteFault {
@@ -1287,6 +1302,7 @@ mod tests {
             },
             XrpcError::Cancelled { peer: "p1".into(), reason: "budget".into() },
             XrpcError::BreakerOpen { peer: "p1".into(), retry_after: Duration::ZERO },
+            XrpcError::Overloaded { retry_after_ms: 80 },
         ];
         for f in &faults {
             let wire = encode_fault(f);
@@ -1312,6 +1328,28 @@ mod tests {
         let wire = encode_fault(&f);
         assert!(wire.contains("retry-after-ms=\"375\""), "{wire}");
         assert_eq!(decode_fault(&wire), Some(f));
+    }
+
+    #[test]
+    fn busy_and_overload_faults_roundtrip_retry_after() {
+        use std::time::Duration;
+        let busy = XrpcError::PeerBusy {
+            peer: "p2".into(),
+            detail: "wait queue full".into(),
+            retry_after: Duration::from_millis(60),
+        };
+        let wire = encode_fault(&busy);
+        assert!(wire.contains("retry-after-ms=\"60\""), "{wire}");
+        // the detail is display text on the wire; the typed fields round-trip
+        let back = decode_fault(&wire).expect("fault parses");
+        assert_eq!(back.code(), busy.code());
+        assert_eq!(back.peer(), busy.peer());
+        assert_eq!(back.retry_after(), busy.retry_after());
+
+        let shed = XrpcError::Overloaded { retry_after_ms: 210 };
+        let wire = encode_fault(&shed);
+        assert!(wire.contains("retry-after-ms=\"210\""), "{wire}");
+        assert_eq!(decode_fault(&wire), Some(shed));
     }
 
     #[test]

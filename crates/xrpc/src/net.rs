@@ -40,8 +40,10 @@ pub enum XrpcError {
     /// amount of waiting makes an unconfigured peer appear.
     UnknownPeer { peer: String },
     /// The peer exists but could not be engaged (slot held past the
-    /// deadline, or the fault plan declared it down). Retryable.
-    PeerBusy { peer: String, detail: String },
+    /// deadline, its bounded wait queue was full, or the fault plan
+    /// declared it down). Retryable after `retry_after` — an honest hint
+    /// derived from the peer's observed service time where one is known.
+    PeerBusy { peer: String, detail: String, retry_after: Duration },
     /// The call did not complete within its per-call deadline (hang, or
     /// injected latency pushing the chain past the budget).
     Timeout { peer: String, deadline: Duration },
@@ -61,6 +63,13 @@ pub enum XrpcError {
     /// point), but failover-eligible — another replica may answer — and
     /// degradable as a last resort.
     BreakerOpen { peer: String, retry_after: Duration },
+    /// The coordinator's admission controller shed this query: the bounded
+    /// run queue was full when it arrived. Nothing was dispatched, so the
+    /// caller may safely resubmit after `retry_after_ms` (an honest
+    /// estimate of when queue space frees up). Not retryable *immediately*
+    /// — hammering an overloaded coordinator is the failure mode admission
+    /// control exists to prevent — and not degradable: no work was lost.
+    Overloaded { retry_after_ms: u64 },
 }
 
 impl XrpcError {
@@ -75,6 +84,7 @@ impl XrpcError {
             XrpcError::RemoteFault { code, .. } => code.clone(),
             XrpcError::Cancelled { .. } => "xrpc:cancelled".into(),
             XrpcError::BreakerOpen { .. } => "xrpc:breaker-open".into(),
+            XrpcError::Overloaded { .. } => "xrpc:overloaded".into(),
         }
     }
 
@@ -88,6 +98,20 @@ impl XrpcError {
             | XrpcError::RemoteFault { peer, .. }
             | XrpcError::Cancelled { peer, .. }
             | XrpcError::BreakerOpen { peer, .. } => peer,
+            // an admission shed happens before any peer is chosen
+            XrpcError::Overloaded { .. } => "",
+        }
+    }
+
+    /// The server-suggested resubmission delay, for errors that carry one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            XrpcError::PeerBusy { retry_after, .. }
+            | XrpcError::BreakerOpen { retry_after, .. } => Some(*retry_after),
+            XrpcError::Overloaded { retry_after_ms } => {
+                Some(Duration::from_millis(*retry_after_ms))
+            }
+            _ => None,
         }
     }
 
@@ -122,6 +146,9 @@ impl XrpcError {
         match self {
             XrpcError::RemoteFault { code, .. } => code == "xrpc:panic",
             XrpcError::UnknownPeer { .. } => false,
+            // the shed happened before a peer was picked; there is no
+            // replica to route around an overloaded coordinator
+            XrpcError::Overloaded { .. } => false,
             _ => true,
         }
     }
@@ -133,7 +160,11 @@ impl XrpcError {
         let peer = peer.to_string();
         match code {
             "xrpc:unknown-peer" => XrpcError::UnknownPeer { peer },
-            "xrpc:peer-busy" => XrpcError::PeerBusy { peer, detail: message.to_string() },
+            "xrpc:peer-busy" => XrpcError::PeerBusy {
+                peer,
+                detail: message.to_string(),
+                retry_after: Duration::ZERO,
+            },
             "xrpc:timeout" => XrpcError::Timeout { peer, deadline: Duration::ZERO },
             "xrpc:transport-corrupt" => {
                 XrpcError::TransportCorrupt { peer, detail: message.to_string() }
@@ -142,6 +173,7 @@ impl XrpcError {
             "xrpc:breaker-open" => {
                 XrpcError::BreakerOpen { peer, retry_after: Duration::ZERO }
             }
+            "xrpc:overloaded" => XrpcError::Overloaded { retry_after_ms: 0 },
             other => XrpcError::RemoteFault {
                 peer,
                 code: other.to_string(),
@@ -168,8 +200,8 @@ impl fmt::Display for XrpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XrpcError::UnknownPeer { peer } => write!(f, "unknown peer {peer}"),
-            XrpcError::PeerBusy { peer, detail } => {
-                write!(f, "peer {peer} unavailable: {detail}")
+            XrpcError::PeerBusy { peer, detail, retry_after } => {
+                write!(f, "peer {peer} unavailable: {detail} (retry after {retry_after:?})")
             }
             XrpcError::Timeout { peer, deadline } => {
                 write!(f, "call to peer {peer} timed out after {deadline:?}")
@@ -185,6 +217,9 @@ impl fmt::Display for XrpcError {
             }
             XrpcError::BreakerOpen { peer, retry_after } => {
                 write!(f, "circuit breaker open for peer {peer} (retry after {retry_after:?})")
+            }
+            XrpcError::Overloaded { retry_after_ms } => {
+                write!(f, "coordinator overloaded: run queue full, retry after {retry_after_ms}ms")
             }
         }
     }
@@ -493,6 +528,20 @@ pub struct Metrics {
     /// Bytes the compact keyset encoding saved versus spelling the same
     /// atoms out as individual `<atom>` items.
     pub join_bytes_saved: u64,
+    /// Queries that had to wait in the scheduler's bounded run queue
+    /// before a worker slot freed (admitted-then-queued; queries dispatched
+    /// on arrival do not count).
+    pub queued: u64,
+    /// Queries rejected by admission control with a typed
+    /// [`XrpcError::Overloaded`] because the bounded run queue was full.
+    pub shed: u64,
+    /// Queued queries cancelled with a typed timeout because their
+    /// deadline could no longer be met, *before* they consumed a worker
+    /// slot.
+    pub deadline_cancelled: u64,
+    /// High-water mark of the scheduler's run-queue depth (all tenants
+    /// combined). Accumulates by `max`, not by sum.
+    pub peak_queue_depth: u64,
     /// End-to-end wall-clock time of the run.
     pub total: Duration,
 }
@@ -550,13 +599,18 @@ impl Metrics {
         self.semijoins += other.semijoins;
         self.join_keys_shipped += other.join_keys_shipped;
         self.join_bytes_saved += other.join_bytes_saved;
+        self.queued += other.queued;
+        self.shed += other.shed;
+        self.deadline_cancelled += other.deadline_cancelled;
+        // a high-water mark accumulates by max, not by sum
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
         self.total += other.total;
     }
 
     /// The counter-valued fields (everything deterministic under a fixed
     /// seed and fault plan — measured durations are excluded). The retry
     /// determinism suite compares these across repeated runs.
-    pub fn counters(&self) -> [u64; 19] {
+    pub fn counters(&self) -> [u64; 23] {
         [
             self.message_bytes,
             self.document_bytes,
@@ -577,6 +631,10 @@ impl Metrics {
             self.semijoins,
             self.join_keys_shipped,
             self.join_bytes_saved,
+            self.queued,
+            self.shed,
+            self.deadline_cancelled,
+            self.peak_queue_depth,
         ]
     }
 }
@@ -673,7 +731,11 @@ mod tests {
     fn xrpc_error_code_roundtrip() {
         let cases = [
             XrpcError::UnknownPeer { peer: "a".into() },
-            XrpcError::PeerBusy { peer: "a".into(), detail: "slot held".into() },
+            XrpcError::PeerBusy {
+                peer: "a".into(),
+                detail: "slot held".into(),
+                retry_after: Duration::ZERO,
+            },
             XrpcError::TransportCorrupt { peer: "a".into(), detail: "bad utf-8".into() },
             XrpcError::RemoteFault {
                 peer: "a".into(),
@@ -702,7 +764,11 @@ mod tests {
 
     #[test]
     fn retryability_classes() {
-        let busy = XrpcError::PeerBusy { peer: "a".into(), detail: String::new() };
+        let busy = XrpcError::PeerBusy {
+            peer: "a".into(),
+            detail: String::new(),
+            retry_after: Duration::ZERO,
+        };
         let timeout = XrpcError::Timeout { peer: "a".into(), deadline: Duration::ZERO };
         let corrupt = XrpcError::TransportCorrupt { peer: "a".into(), detail: String::new() };
         let unknown = XrpcError::UnknownPeer { peer: "a".into() };
@@ -842,6 +908,60 @@ mod tests {
             ..Default::default()
         };
         a.add(&b);
-        assert_eq!(a.counters()[16..], [11, 22, 33]);
+        assert_eq!(a.counters()[16..19], [11, 22, 33]);
+    }
+
+    #[test]
+    fn metrics_counters_include_scheduler_fields() {
+        let mut a = Metrics {
+            queued: 1,
+            shed: 2,
+            deadline_cancelled: 3,
+            peak_queue_depth: 9,
+            ..Default::default()
+        };
+        let b = Metrics {
+            queued: 10,
+            shed: 20,
+            deadline_cancelled: 30,
+            peak_queue_depth: 4,
+            ..Default::default()
+        };
+        a.add(&b);
+        // additive counters sum; the queue-depth high-water mark takes max
+        assert_eq!(a.counters()[19..], [11, 22, 33, 9]);
+        let c = Metrics { peak_queue_depth: 40, ..Default::default() };
+        a.add(&c);
+        assert_eq!(a.peak_queue_depth, 40);
+    }
+
+    #[test]
+    fn overloaded_classification_and_roundtrip() {
+        let e = XrpcError::Overloaded { retry_after_ms: 125 };
+        assert_eq!(e.code(), "xrpc:overloaded");
+        assert_eq!(e.peer(), "");
+        assert_eq!(e.retry_after(), Some(Duration::from_millis(125)));
+        // a shed must not trigger retries, failover, or degradation — the
+        // whole point is that the caller backs off and resubmits later
+        assert!(!e.retryable() && !e.degradable() && !e.failover_eligible());
+        assert!(matches!(
+            XrpcError::from_code(&e.code(), "", ""),
+            XrpcError::Overloaded { .. }
+        ));
+        let ev: EvalError = e.into();
+        assert!(ev.has_code("xrpc:overloaded"));
+        assert!(ev.message.contains("retry after 125ms"), "{ev}");
+    }
+
+    #[test]
+    fn retry_after_hints_are_exposed() {
+        let busy = XrpcError::PeerBusy {
+            peer: "a".into(),
+            detail: "queue full".into(),
+            retry_after: Duration::from_millis(40),
+        };
+        assert_eq!(busy.retry_after(), Some(Duration::from_millis(40)));
+        let timeout = XrpcError::Timeout { peer: "a".into(), deadline: Duration::ZERO };
+        assert_eq!(timeout.retry_after(), None);
     }
 }

@@ -1,0 +1,64 @@
+//! Throughput experiment: the multi-tenant workload engine driving the
+//! Section VII federation at offered loads from well below to well past
+//! saturation, on the simulated clock with seeded Poisson arrivals.
+//! Reports goodput (completed queries/sec) and p50/p95/p99 latency per
+//! load point; past saturation the admission controller sheds with typed
+//! `Overloaded` errors and goodput stays flat instead of collapsing.
+//! Writes the curve to `BENCH_throughput.json` (override with
+//! `--out <path>`) and prints the table.
+//!
+//! Run with: `cargo run --release --example throughput_bench`
+//! CI smoke:  `cargo run --release --example throughput_bench -- --small --out target/BENCH_throughput.ci.json`
+
+fn main() {
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut bytes_per_doc = 8_000;
+    let mut target_arrivals = 1_200;
+    let mut loads: Vec<f64> = vec![0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--small" => {
+                bytes_per_doc = 4_000;
+                target_arrivals = 200;
+                loads = vec![0.5, 1.0, 2.0];
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let capacity = xqd_bench::throughput_capacity(bytes_per_doc);
+    eprintln!(
+        "throughput sweep: 3 tenants, ~{} arrivals/point, {} bytes/doc, capacity ~{:.0} q/s",
+        target_arrivals, bytes_per_doc, capacity
+    );
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>6}",
+        "load", "offered q/s", "goodput q/s", "arrivals", "shed", "cancel", "p50 us", "p95 us", "p99 us", "ok"
+    );
+    let mut points = Vec::new();
+    for &load in &loads {
+        let p = xqd_bench::throughput_point(bytes_per_doc, capacity, load, target_arrivals);
+        println!(
+            "{:>5.2}x {:>12.1} {:>12.1} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>6}",
+            p.load_factor,
+            p.offered_qps,
+            p.goodput_qps,
+            p.arrivals,
+            p.shed,
+            p.deadline_cancelled,
+            p.p50_us,
+            p.p95_us,
+            p.p99_us,
+            p.results_identical && p.all_errors_typed,
+        );
+        points.push(p);
+    }
+
+    let json = xqd_bench::throughput_json(&points);
+    std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
+    eprintln!("curve written to {out_path}");
+}

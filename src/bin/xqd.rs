@@ -14,13 +14,17 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use xqd::{BreakerPolicy, ExecOptions, FaultPlan, Federation, NetworkModel, RetryPolicy, Strategy};
+use xqd::{
+    BreakerPolicy, ExecOptions, FaultPlan, Federation, NetworkModel, RetryPolicy, Strategy,
+    TenantSpec, WorkloadConfig, WorkloadEngine,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..], false),
         Some("explain") => cmd_run(&args[1..], true),
+        Some("workload") => cmd_workload(&args[1..]),
         Some("gen-xmark") => cmd_gen(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -39,6 +43,11 @@ xqd — distributed XQuery (pass-by-value / -fragment / -projection)
 USAGE:
   xqd run [QUERY-FILE] [-e QUERY] [OPTIONS]     execute a federated query
   xqd explain [QUERY-FILE] [-e QUERY] [OPTIONS] print the decomposition plan
+  xqd workload [QUERY-FILE] [-e QUERY] [OPTIONS]
+                           drive a multi-tenant workload of the query through
+                           the admission-controlled scheduler (simulated
+                           clock, seeded Poisson arrivals) and report
+                           goodput, tail latency and shed/cancel counts
   xqd gen-xmark --bytes N [--seed S] --people FILE --auctions FILE
 
 OPTIONS:
@@ -68,6 +77,24 @@ OPTIONS:
                            shipping for cross-peer value joins; default on)
   --plan-cache-size N      coordinator LRU plan-cache capacity (default 64;
                            0 recompiles on every run)
+
+WORKLOAD OPTIONS (xqd workload):
+  --tenants N              simulated tenants splitting the offered load
+                           (default 2)
+  --offered-qps Q          total offered load in queries per second of
+                           simulated time (default 500)
+  --queue-depth N          per-tenant run-queue bound; arrivals beyond it
+                           are shed with a typed Overloaded error and an
+                           honest retry-after hint (default 16)
+  --fair-weights W1,W2,..  per-tenant fair-queuing weights, cycled across
+                           the tenants; `off` disables fairness and falls
+                           back to one global FIFO (default: all 1)
+  --workers N              concurrent executor slots (default 4)
+  --duration-ms N          arrival window in simulated ms (default 250)
+  --query-deadline-ms N    per-query deadline from arrival; queued work
+                           that can no longer meet it is cancelled before
+                           it takes a slot (default 200)
+  --seed N                 arrival-process seed (default 1)
 ";
 
 struct RunOptions {
@@ -85,6 +112,15 @@ struct RunOptions {
     compile: bool,
     semijoin: bool,
     plan_cache_size: usize,
+    // `xqd workload` knobs
+    tenants: usize,
+    offered_qps: f64,
+    queue_depth: usize,
+    fair_weights: Option<Vec<u32>>, // None = all 1; empty = fairness off
+    workers: usize,
+    duration: Duration,
+    query_deadline: Duration,
+    seed: u64,
 }
 
 fn parse_strategy(s: &str) -> Option<Vec<Strategy>> {
@@ -114,6 +150,14 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         compile: ExecOptions::default().compile,
         semijoin: ExecOptions::default().semijoin,
         plan_cache_size: ExecOptions::default().plan_cache_size,
+        tenants: 2,
+        offered_qps: 500.0,
+        queue_depth: 16,
+        fair_weights: None,
+        workers: 4,
+        duration: Duration::from_millis(250),
+        query_deadline: Duration::from_millis(200),
+        seed: 1,
     };
     fn num_arg<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
         args.get(i + 1)
@@ -216,6 +260,60 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             }
             "--plan-cache-size" => {
                 opts.plan_cache_size = num_arg(args, i, "--plan-cache-size")?;
+                i += 2;
+            }
+            "--tenants" => {
+                opts.tenants = num_arg(args, i, "--tenants")?;
+                if opts.tenants == 0 {
+                    return Err("--tenants must be at least 1".to_string());
+                }
+                i += 2;
+            }
+            "--offered-qps" => {
+                opts.offered_qps = num_arg(args, i, "--offered-qps")?;
+                if opts.offered_qps <= 0.0 {
+                    return Err(format!("--offered-qps must be positive, got {}", opts.offered_qps));
+                }
+                i += 2;
+            }
+            "--queue-depth" => {
+                opts.queue_depth = num_arg(args, i, "--queue-depth")?;
+                i += 2;
+            }
+            "--fair-weights" => {
+                let spec = args.get(i + 1).ok_or("--fair-weights requires W1,W2,.. or `off`")?;
+                if spec == "off" {
+                    opts.fair_weights = Some(Vec::new());
+                } else {
+                    let weights: Option<Vec<u32>> =
+                        spec.split(',').map(|w| w.parse().ok()).collect();
+                    let weights =
+                        weights.ok_or_else(|| format!("bad --fair-weights spec {spec:?}"))?;
+                    if weights.is_empty() || weights.contains(&0) {
+                        return Err(format!("bad --fair-weights spec {spec:?}: weights must be ≥ 1"));
+                    }
+                    opts.fair_weights = Some(weights);
+                }
+                i += 2;
+            }
+            "--workers" => {
+                opts.workers = num_arg(args, i, "--workers")?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                i += 2;
+            }
+            "--duration-ms" => {
+                opts.duration = Duration::from_millis(num_arg(args, i, "--duration-ms")?);
+                i += 2;
+            }
+            "--query-deadline-ms" => {
+                opts.query_deadline =
+                    Duration::from_millis(num_arg(args, i, "--query-deadline-ms")?);
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = num_arg(args, i, "--seed")?;
                 i += 2;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
@@ -419,6 +517,158 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_workload(args: &[String]) -> ExitCode {
+    let opts = match parse_run_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(query) = opts.query else {
+        eprintln!("error: no query given (use -e QUERY or a query file)\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let strategy = opts.strategies[0];
+
+    if opts.fault_seed.is_some() {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("injected fault"))
+                .unwrap_or(false);
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
+
+    let mut fed = Federation::new(opts.network);
+    fed.set_exec_options(ExecOptions {
+        compile: opts.compile,
+        semijoin: opts.semijoin,
+        plan_cache_size: opts.plan_cache_size,
+        ..ExecOptions::default()
+    });
+    fed.set_retry_policy(opts.retry);
+    fed.set_hedge(opts.hedge);
+    fed.set_breaker_policy(opts.breaker);
+    if let Some(seed) = opts.fault_seed {
+        fed.set_fault_plan(Some(FaultPlan::uniform(seed, opts.fault_rate)));
+        fed.set_replica_seed(seed);
+    }
+    for (peer, doc, file) in &opts.peers {
+        let xml = match std::fs::read_to_string(file) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("cannot read {file:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = fed.load_document(peer, doc, &xml) {
+            eprintln!("loading {doc} on {peer}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for (primary, alts) in &opts.replicas {
+        for alt in alts {
+            if let Err(e) = fed.replicate_peer(primary, alt) {
+                eprintln!("replicating {primary} onto {alt}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // N tenants splitting the offered load evenly, all running the query;
+    // weights come from --fair-weights (cycled), `off` degrades to FIFO
+    let fair = !matches!(&opts.fair_weights, Some(w) if w.is_empty());
+    let weights: Vec<u32> = match &opts.fair_weights {
+        Some(w) if !w.is_empty() => w.clone(),
+        _ => vec![1],
+    };
+    let per_tenant_qps = opts.offered_qps / opts.tenants as f64;
+    let tenants: Vec<TenantSpec> = (0..opts.tenants)
+        .map(|i| {
+            TenantSpec::new(
+                &format!("t{}", i + 1),
+                weights[i % weights.len()],
+                per_tenant_qps,
+                vec![query.clone()],
+            )
+        })
+        .collect();
+    let mut config = WorkloadConfig::new(tenants);
+    config.strategy = strategy;
+    config.seed = opts.seed;
+    config.duration = opts.duration;
+    config.workers = opts.workers;
+    config.queue_depth = opts.queue_depth;
+    config.deadline = opts.query_deadline;
+    config.fair = fair;
+
+    let report = match WorkloadEngine::run(&mut fed, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("workload error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "offered {:.0} q/s over {} tenants for {:?} -> goodput {:.0} q/s",
+        report.offered_qps,
+        opts.tenants,
+        opts.duration,
+        report.goodput_qps,
+    );
+    println!(
+        "arrivals {}: {} completed, {} shed, {} deadline-cancelled, {} errored",
+        report.arrivals, report.completed, report.shed, report.deadline_cancelled, report.errored,
+    );
+    println!(
+        "latency p50 {:?} / p95 {:?} / p99 {:?}  (simulated clock)",
+        report.p50, report.p95, report.p99,
+    );
+    println!(
+        "completed results bit-identical to serial execution: {}; all errors typed: {}",
+        report.results_identical, report.all_errors_typed,
+    );
+    for t in &report.per_tenant {
+        println!(
+            "  {:>8}: {} arrivals, {} ok, {} shed, {} cancelled, {} errored, p99 {:?}",
+            t.name, t.arrivals, t.completed, t.shed, t.deadline_cancelled, t.errored, t.p99,
+        );
+    }
+    if opts.metrics {
+        let m = &report.metrics;
+        eprintln!(
+            "# workload: {} queued, {} shed, {} deadline_cancelled, peak queue depth {}",
+            m.queued, m.shed, m.deadline_cancelled, m.peak_queue_depth,
+        );
+        eprintln!(
+            "# workload: {} bytes ({} msg / {} doc), {} transfers, {} remote calls",
+            m.transferred_bytes(),
+            m.message_bytes,
+            m.document_bytes,
+            m.transfers,
+            m.remote_calls,
+        );
+        if opts.fault_seed.is_some() || m.faults_injected > 0 {
+            eprintln!(
+                "# workload: {} faults injected, {} retries, {} fallbacks",
+                m.faults_injected, m.retries, m.fallbacks,
+            );
+        }
+    }
+    if report.results_identical && report.all_errors_typed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_gen(args: &[String]) -> ExitCode {

@@ -50,5 +50,6 @@ pub use xqd_xquery::{
 };
 pub use xqd_xrpc::{
     BreakerPolicy, BreakerState, ExecOptions, Fault, FaultPlan, Federation, Metrics, NetworkModel,
-    PreparedQuery, RetryPolicy, RunOutcome, Scoreboard, XrpcError,
+    OutcomeKind, PreparedQuery, QueryOutcome, RetryPolicy, RunOutcome, Scoreboard, TenantReport,
+    TenantSpec, WorkloadConfig, WorkloadEngine, WorkloadReport, XrpcError,
 };

@@ -13,7 +13,10 @@
 
 use std::time::Duration;
 
-use xqd::{rendezvous_order, FaultPlan, Federation, Metrics, NetworkModel, Strategy};
+use xqd::{
+    rendezvous_order, FaultPlan, Federation, Metrics, NetworkModel, OutcomeKind, Strategy,
+    TenantSpec, WorkloadConfig, WorkloadEngine,
+};
 
 const SEEDS: u64 = 40;
 const FAULT_RATE: f64 = 0.3;
@@ -315,6 +318,88 @@ fn replicated_schedules_replay_identically_including_availability_counters() {
                     "seed {seed} {strategy:?}: availability counters drifted between replays"
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// concurrent schedules: fault injection while N tenants run
+// ---------------------------------------------------------------------------
+
+/// The fixture queries as a two-tenant workload: each tenant hammers one of
+/// the chaos queries, so every dispatched query walks the same wire paths
+/// the single-query sweeps pin — now under scheduler contention.
+fn chaos_workload(seed: u64, qps: f64) -> WorkloadConfig {
+    let mut config = WorkloadConfig::new(vec![
+        TenantSpec::new("alpha", 2, qps, vec![QUERIES[0].to_string()]),
+        TenantSpec::new("beta", 1, qps, vec![QUERIES[1].to_string()]),
+    ]);
+    config.seed = seed;
+    config.duration = Duration::from_millis(50);
+    config.queue_depth = 6;
+    config
+}
+
+#[test]
+fn concurrent_schedules_under_faults_complete_identically_or_fail_typed() {
+    // Fault injection (peer-down, hangs, panics, breaker trips) while two
+    // tenants run a saturating workload: every arrival must end as a
+    // bit-identical completion or a typed error — the single-query chaos
+    // invariant survives scheduler contention.
+    quiet_injected_panics();
+    let mut total_faults = 0u64;
+    let mut total_shed = 0u64;
+    let mut total_errored = 0u64;
+    for seed in 0..10u64 {
+        let mut f = federation();
+        f.set_fault_plan(Some(FaultPlan::uniform(seed, FAULT_RATE)));
+        let report = WorkloadEngine::run(&mut f, &chaos_workload(seed, 900.0)).unwrap();
+        assert!(report.fully_accounted(), "seed {seed}: lost arrivals");
+        assert!(
+            report.results_identical,
+            "seed {seed}: wrong answer under faults and contention"
+        );
+        assert!(report.all_errors_typed, "seed {seed}: untyped error escaped");
+        for o in report.outcomes.iter().filter(|o| o.kind == OutcomeKind::Errored) {
+            let code = o.error_code.as_deref().unwrap();
+            assert!(
+                code.starts_with("xrpc:") || code == "err:dynamic",
+                "seed {seed}: unexpected error code {code:?}"
+            );
+        }
+        total_faults += report.metrics.faults_injected;
+        total_shed += report.shed;
+        total_errored += report.errored;
+    }
+    assert!(total_faults > 0, "the fault schedules never fired under contention");
+    assert!(total_shed > 0, "the workload never saturated admission control");
+    assert!(total_errored > 0, "no query ever lost to a fault — the chaos was a no-op");
+}
+
+#[test]
+fn concurrent_schedules_replay_identically_including_scheduler_counters() {
+    // Replay determinism under contention: the whole multi-tenant run —
+    // per-query fates, completion times on the simulated clock, and the
+    // full 23-counter metric vector (wire + availability + scheduler) — is
+    // a pure function of the seed.
+    quiet_injected_panics();
+    for seed in 0..10u64 {
+        let run = || {
+            let mut f = federation();
+            f.set_fault_plan(Some(FaultPlan::uniform(seed, FAULT_RATE)));
+            WorkloadEngine::run(&mut f, &chaos_workload(seed, 900.0)).unwrap()
+        };
+        let (first, second) = (run(), run());
+        assert_eq!(
+            first.replay_signature(),
+            second.replay_signature(),
+            "seed {seed}: scheduler buckets or counters drifted between replays"
+        );
+        assert_eq!(first.outcomes.len(), second.outcomes.len(), "seed {seed}");
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!(a.kind, b.kind, "seed {seed}: a query's fate drifted");
+            assert_eq!(a.finish, b.finish, "seed {seed}: a completion time drifted");
+            assert_eq!(a.error_code, b.error_code, "seed {seed}");
         }
     }
 }

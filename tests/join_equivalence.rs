@@ -72,7 +72,7 @@ fn run_mode(
     compile: bool,
     use_indexes: bool,
     fault: Option<FaultPlan>,
-) -> (Result<Vec<String>, String>, [u64; 19]) {
+) -> (Result<Vec<String>, String>, [u64; 23]) {
     let mut f = federation();
     f.set_exec_options(ExecOptions { semijoin, compile, use_indexes, fault, ..ExecOptions::default() });
     match f.run(JOIN_QUERY, strategy) {

@@ -1,0 +1,187 @@
+//! Saturation semantics — the overload PR's headline invariant:
+//!
+//! > At 2x capacity (and beyond), every query either completes
+//! > **bit-identically** to serial execution or returns a **typed**
+//! > `Overloaded`/`Timeout` error — never a panic, a hang, or a wrong
+//! > answer — and weighted fair queuing bounds any tenant's p99 inflation
+//! > when a rogue tenant floods.
+//!
+//! The suite drives the multi-tenant workload engine (simulated clock,
+//! seeded Poisson arrivals, real query execution) across seeds and load
+//! factors.
+
+use std::time::Duration;
+
+use xqd::{
+    Federation, NetworkModel, OutcomeKind, TenantSpec, WorkloadConfig, WorkloadEngine,
+};
+
+fn federation() -> Federation {
+    let mut fed = Federation::new(NetworkModel::lan());
+    fed.load_document(
+        "emp",
+        "people.xml",
+        "<people><p><name>ann</name></p><p><name>bob</name></p><p><name>cat</name></p></people>",
+    )
+    .unwrap();
+    fed.load_document(
+        "hr",
+        "depts.xml",
+        "<depts><dept name=\"sales\"/><dept name=\"dev\"/><dept name=\"ops\"/></depts>",
+    )
+    .unwrap();
+    fed
+}
+
+const QUERIES: [&str; 2] = [
+    "count(doc(\"xrpc://emp/people.xml\")//name)",
+    "doc(\"xrpc://hr/depts.xml\")//dept/@name",
+];
+
+fn tenant(name: &str, weight: u32, qps: f64) -> TenantSpec {
+    TenantSpec::new(name, weight, qps, QUERIES.iter().map(|q| q.to_string()).collect())
+}
+
+fn capacity() -> f64 {
+    let mut fed = federation();
+    let config = WorkloadConfig::new(vec![tenant("probe", 1, 1.0)]);
+    WorkloadEngine::capacity_qps(&mut fed, &config).unwrap()
+}
+
+#[test]
+fn at_2x_capacity_every_query_completes_bit_identically_or_returns_a_typed_error() {
+    let cap = capacity();
+    for seed in 0..8u64 {
+        let mut fed = federation();
+        let mut config =
+            WorkloadConfig::new(vec![tenant("a", 2, cap), tenant("b", 1, cap)]);
+        config.seed = seed;
+        config.duration = Duration::from_millis(80);
+        config.queue_depth = 8;
+        let report = WorkloadEngine::run(&mut fed, &config).unwrap();
+        assert!(report.arrivals > 0, "seed {seed}: no arrivals");
+        assert!(report.fully_accounted(), "seed {seed}: lost arrivals: {report:?}");
+        assert!(
+            report.results_identical,
+            "seed {seed}: a completed query diverged from serial execution"
+        );
+        // every non-completed outcome carries a typed code
+        for o in &report.outcomes {
+            match o.kind {
+                OutcomeKind::Completed => assert!(o.error_code.is_none()),
+                OutcomeKind::Shed => {
+                    assert_eq!(o.error_code.as_deref(), Some("xrpc:overloaded"), "seed {seed}")
+                }
+                OutcomeKind::DeadlineCancelled => {
+                    assert_eq!(o.error_code.as_deref(), Some("xrpc:timeout"), "seed {seed}")
+                }
+                OutcomeKind::Errored => assert!(
+                    o.error_code.is_some(),
+                    "seed {seed}: untyped execution error"
+                ),
+            }
+        }
+        assert!(report.shed > 0, "seed {seed}: 2x load never tripped admission control");
+    }
+}
+
+#[test]
+fn goodput_stays_flat_past_saturation_instead_of_collapsing() {
+    let cap = capacity();
+    let run_at = |factor: f64| {
+        let mut fed = federation();
+        let mut config = WorkloadConfig::new(vec![tenant("a", 1, cap * factor)]);
+        // fix the arrival count so both points see comparable workloads
+        config.duration = Duration::from_secs_f64(300.0 / (cap * factor));
+        config.queue_depth = 8;
+        WorkloadEngine::run(&mut fed, &config).unwrap()
+    };
+    let at_1x = run_at(1.0);
+    let at_3x = run_at(3.0);
+    assert!(at_3x.shed > 0, "3x load must shed: {at_3x:?}");
+    assert!(
+        at_3x.goodput_qps >= at_1x.goodput_qps * 0.9,
+        "goodput collapsed past saturation: {:.0} q/s at 1x vs {:.0} q/s at 3x",
+        at_1x.goodput_qps,
+        at_3x.goodput_qps
+    );
+}
+
+#[test]
+fn fair_queuing_bounds_the_victim_p99_when_a_rogue_tenant_floods() {
+    let cap = capacity();
+    let run = |fair: bool| {
+        let mut fed = federation();
+        let mut config = WorkloadConfig::new(vec![
+            tenant("victim", 1, cap * 0.25),
+            tenant("rogue", 1, cap * 8.0),
+        ]);
+        config.fair = fair;
+        config.duration = Duration::from_millis(60);
+        config.queue_depth = 32;
+        config.deadline = Duration::from_secs(5);
+        WorkloadEngine::run(&mut fed, &config).unwrap()
+    };
+    let wfq = run(true);
+    let fifo = run(false);
+    let victim_wfq = &wfq.per_tenant[0];
+    let victim_fifo = &fifo.per_tenant[0];
+    assert!(victim_wfq.completed > 0 && victim_fifo.completed > 0);
+    assert!(
+        victim_wfq.p99 < victim_fifo.p99,
+        "WFQ must shield the victim from the rogue flood: WFQ p99 {:?} vs FIFO p99 {:?}",
+        victim_wfq.p99,
+        victim_fifo.p99
+    );
+    assert!(
+        victim_wfq.p99 * 2 < victim_fifo.p99,
+        "WFQ protection should be substantial, not marginal: {:?} vs {:?}",
+        victim_wfq.p99,
+        victim_fifo.p99
+    );
+    // the rogue pays for its own flood in both modes
+    assert!(wfq.per_tenant[1].shed > 0, "the rogue's bounded queue never shed");
+}
+
+#[test]
+fn tight_deadlines_cancel_queued_work_with_typed_timeouts_across_seeds() {
+    let cap = capacity();
+    for seed in [1u64, 7, 23] {
+        let mut fed = federation();
+        let mut config = WorkloadConfig::new(vec![tenant("a", 1, cap * 4.0)]);
+        config.seed = seed;
+        config.workers = 1;
+        config.duration = Duration::from_millis(40);
+        config.queue_depth = 64;
+        // a deadline a hair above one service time: anything that queues
+        // behind more than a couple of jobs can no longer make it
+        config.deadline = Duration::from_secs_f64(3.0 / cap);
+        let report = WorkloadEngine::run(&mut fed, &config).unwrap();
+        assert!(
+            report.deadline_cancelled > 0,
+            "seed {seed}: backlogged queries never hit the deadline check: {report:?}"
+        );
+        assert!(report.fully_accounted(), "seed {seed}");
+        assert!(report.results_identical, "seed {seed}");
+    }
+}
+
+#[test]
+fn shed_hints_are_honest_and_positive() {
+    let cap = capacity();
+    let mut fed = federation();
+    let mut config = WorkloadConfig::new(vec![tenant("a", 1, cap * 3.0)]);
+    config.duration = Duration::from_millis(60);
+    config.queue_depth = 4;
+    let report = WorkloadEngine::run(&mut fed, &config).unwrap();
+    assert!(report.shed > 0);
+    // the scheduler counters surface the queue pressure
+    assert!(report.metrics.queued > 0);
+    assert_eq!(report.metrics.shed, report.shed);
+    assert!(report.metrics.peak_queue_depth > 0);
+    assert!(
+        report.metrics.peak_queue_depth <= 4,
+        "one tenant's queue must respect its bound: {}",
+        report.metrics.peak_queue_depth
+    );
+}
