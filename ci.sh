@@ -36,6 +36,13 @@ if grep -q 'identical": false' target/BENCH_plans.ci.json; then
     echo "plans bench: compiled and interpreted execution diverged" >&2
     exit 1
 fi
+# Tracing overhead budget: a traced warm run must stay within 3% (plus a
+# 150us timer-noise floor) of the untraced run on every workload query.
+grep -q '"trace_overhead_ok": true' target/BENCH_plans.ci.json
+if grep -q '"trace_overhead_ok": false' target/BENCH_plans.ci.json; then
+    echo "plans bench: tracing overhead exceeded the 3% budget" >&2
+    exit 1
+fi
 
 echo "== joins bench smoke (small N, offline) =="
 # Small-scale run of the semi-join bench into a scratch path (the
@@ -81,5 +88,38 @@ echo "== chaos smoke (seeded fault sweep + replica failover, offline) =="
 # exits non-zero if any schedule returns a wrong answer, an untyped error,
 # panics, or degrades to data shipping while a healthy replica is up.
 cargo run --release --offline --example chaos_tour -- --seeds 25 --quiet
+
+echo "== traced chaos smoke (byte-identical replay + trace_event shape) =="
+# A seeded fault schedule run twice with tracing on must write the same
+# bytes — the trace is part of the replay contract — and the Chrome export
+# must carry the trace_event object-format markers chrome://tracing and
+# Perfetto expect. The scheduler trace gets the same replay check.
+XQD=target/release/xqd
+TQ='count(doc("xrpc://p/d.xml")//c)'
+printf '<a><b><c>one</c></b><b><c>two</c></b></a>' > target/ci_trace_doc.xml
+for i in 1 2; do
+    "$XQD" run -e "$TQ" --peer p:d.xml=target/ci_trace_doc.xml \
+        --fault-seed 7 --fault-rate 0.3 \
+        --trace-out "target/ci_trace_$i.json" > /dev/null 2> /dev/null
+done
+cmp target/ci_trace_1.json target/ci_trace_2.json
+grep -q '"trace_id": "0x' target/ci_trace_1.json
+grep -q '"name": "rpc.attempt"' target/ci_trace_1.json
+"$XQD" run -e "$TQ" --peer p:d.xml=target/ci_trace_doc.xml \
+    --fault-seed 7 --fault-rate 0.3 \
+    --trace-out target/ci_trace.chrome --trace-format chrome > /dev/null 2> /dev/null
+grep -q '^{"traceEvents": \[' target/ci_trace.chrome
+grep -q '"ph": "X"' target/ci_trace.chrome
+grep -q '"ts": ' target/ci_trace.chrome
+grep -q '"dur": ' target/ci_trace.chrome
+grep -q '"pid": 1' target/ci_trace.chrome
+for i in 1 2; do
+    "$XQD" workload -e "$TQ" --peer p:d.xml=target/ci_trace_doc.xml \
+        --offered-qps 2000 --workers 1 --queue-depth 4 \
+        --trace-out "target/ci_wtrace_$i.json" > /dev/null 2> /dev/null
+done
+cmp target/ci_wtrace_1.json target/ci_wtrace_2.json
+grep -q '"name": "sched.run"' target/ci_wtrace_1.json
+grep -q '"name": "sched.shed"' target/ci_wtrace_1.json
 
 echo "== ci OK =="

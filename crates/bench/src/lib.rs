@@ -471,6 +471,9 @@ pub struct PlansPoint {
     pub compiled_us: u128,
     /// End-to-end latency of one run with the tree-walk interpreter.
     pub interpreted_us: u128,
+    /// End-to-end latency of one run with span tracing enabled (same warm
+    /// federation as `compiled_us`) — the tracing overhead budget.
+    pub traced_us: u128,
     pub results_identical: bool,
     /// Message AND document bytes agree between compiled and interpreted
     /// execution — the wire is bit-identical.
@@ -483,6 +486,21 @@ impl PlansPoint {
         self.warm_plans_per_sec / self.off_plans_per_sec.max(f64::MIN_POSITIVE)
     }
 
+    /// Tracing overhead as a fraction of the untraced run (0 when the
+    /// traced run was not slower).
+    pub fn trace_overhead_frac(&self) -> f64 {
+        let base = self.compiled_us.max(1) as f64;
+        (self.traced_us.saturating_sub(self.compiled_us)) as f64 / base
+    }
+
+    /// The CI overhead budget: the traced run stays within 3% of the
+    /// untraced run, with a 150µs absolute floor absorbing host timer
+    /// noise on the sub-millisecond smoke points.
+    pub fn trace_overhead_ok(&self) -> bool {
+        let budget = (self.compiled_us * 3 / 100).max(150);
+        self.traced_us <= self.compiled_us + budget
+    }
+
     /// One JSON object for the BENCH_plans trajectory (hand-rolled: the
     /// workspace is std-only).
     pub fn to_json(&self) -> String {
@@ -490,6 +508,7 @@ impl PlansPoint {
             "{{\"query\": \"{}\", \"off_plans_per_sec\": {:.1}, \
              \"cold_plans_per_sec\": {:.1}, \"warm_plans_per_sec\": {:.1}, \
              \"warm_speedup\": {:.3}, \"compiled_us\": {}, \"interpreted_us\": {}, \
+             \"traced_us\": {}, \"trace_overhead_ok\": {}, \
              \"results_identical\": {}, \"bytes_identical\": {}}}",
             self.query,
             self.off_plans_per_sec,
@@ -498,6 +517,8 @@ impl PlansPoint {
             self.warm_speedup(),
             self.compiled_us,
             self.interpreted_us,
+            self.traced_us,
+            self.trace_overhead_ok(),
             self.results_identical,
             self.bytes_identical,
         )
@@ -567,6 +588,17 @@ pub fn plans_point(
     let compiled_out = compiled_out.expect("at least one run");
     let interp_out = interp_out.expect("at least one run");
 
+    // tracing overhead: the same warm federation with span tracing on
+    let saved = warm.exec_options();
+    warm.set_exec_options(ExecOptions { trace: true, ..saved });
+    let mut traced_us = u128::MAX;
+    for _ in 0..lat_iters.max(3) {
+        let t = Instant::now();
+        warm.run(query, strategy).expect("traced run");
+        traced_us = traced_us.min(t.elapsed().as_micros());
+    }
+    warm.set_exec_options(saved);
+
     PlansPoint {
         query: label,
         off_plans_per_sec,
@@ -574,6 +606,7 @@ pub fn plans_point(
         warm_plans_per_sec,
         compiled_us,
         interpreted_us,
+        traced_us,
         results_identical: compiled_out.result == interp_out.result,
         bytes_identical: compiled_out.metrics.message_bytes == interp_out.metrics.message_bytes
             && compiled_out.metrics.document_bytes == interp_out.metrics.document_bytes,

@@ -26,7 +26,12 @@
 //! network messages (the equivalence property suite in the workspace root
 //! asserts all three across every wire strategy).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use xqd_xml::axes::{axis_nodes, node_test_matches, NodeTest};
 use xqd_xml::{Axis, NameId, NodeId, Store};
@@ -441,6 +446,115 @@ impl Plan {
             PlanName::Computed(r) => format!("{{ @{r} }}"),
         }
     }
+
+    /// `EXPLAIN ANALYZE` output: the op listing annotated with the
+    /// execution profile of one run — calls, items produced, and inclusive
+    /// simulated-time attribution per op (percentages against the root
+    /// op's inclusive time, which covers the whole evaluation by
+    /// construction). The static index-vs-scan choice stays visible in
+    /// each path op's step annotations.
+    pub fn dump_analyze(&self, prof: &OpProfile) -> String {
+        let total = prof.sim_ns[self.root as usize];
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan profile: {} ops, root @{}, total sim {:?}\n",
+            self.ops.len(),
+            self.root,
+            Duration::from_nanos(total),
+        ));
+        for (i, op) in self.ops.iter().enumerate() {
+            let line = self.dump_op(op);
+            if prof.calls[i] == 0 {
+                out.push_str(&format!("{i:>4}: {line}\n      (never executed)\n"));
+                continue;
+            }
+            let pct = if total == 0 {
+                0.0
+            } else {
+                prof.sim_ns[i] as f64 * 100.0 / total as f64
+            };
+            out.push_str(&format!(
+                "{i:>4}: {line}\n      calls={} items={} sim={:?} ({:.1}%)\n",
+                prof.calls[i],
+                prof.items[i],
+                Duration::from_nanos(prof.sim_ns[i]),
+                pct,
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// per-op execution profiles (EXPLAIN ANALYZE)
+// ---------------------------------------------------------------------------
+
+/// Execution profile of one plan run: per-[`Op`] counters plus inclusive
+/// simulated-time attribution. Indexed like [`Plan::ops`].
+///
+/// Time is read from a shared simulated-clock cell (the tracer's) at op
+/// entry and exit, so attribution uses exactly the timeline the executor
+/// bills to the network metrics — wall-clock CPU never leaks in, which is
+/// what keeps profiled chaos replays byte-identical. Re-entrant
+/// activations of the same op (recursive functions, loop bodies) accrue
+/// inclusive time only for the outermost activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Times each op was entered.
+    pub calls: Vec<u64>,
+    /// Items produced, summed over each op's successful evaluations.
+    pub items: Vec<u64>,
+    /// Inclusive simulated nanoseconds per op.
+    pub sim_ns: Vec<u64>,
+    /// Live activation count per op (recursion guard).
+    active: Vec<u32>,
+    /// Clock reading at each op's outermost entry.
+    started: Vec<u64>,
+}
+
+impl OpProfile {
+    pub fn new(ops: usize) -> OpProfile {
+        OpProfile {
+            calls: vec![0; ops],
+            items: vec![0; ops],
+            sim_ns: vec![0; ops],
+            active: vec![0; ops],
+            started: vec![0; ops],
+        }
+    }
+
+    fn enter(&mut self, op: usize, now_ns: u64) {
+        self.calls[op] += 1;
+        if self.active[op] == 0 {
+            self.started[op] = now_ns;
+        }
+        self.active[op] += 1;
+    }
+
+    fn exit(&mut self, op: usize, now_ns: u64, items: Option<u64>) {
+        self.active[op] -= 1;
+        if self.active[op] == 0 {
+            self.sim_ns[op] += now_ns.saturating_sub(self.started[op]);
+        }
+        if let Some(n) = items {
+            self.items[op] += n;
+        }
+    }
+
+    /// Inclusive simulated time of `op`.
+    pub fn op_ns(&self, op: OpRef) -> u64 {
+        self.sim_ns[op as usize]
+    }
+}
+
+/// The evaluator-side profiling hook: where the per-op counters accrue and
+/// which simulated clock they read. Cheap to clone (two pointers); absent
+/// on unprofiled runs so the fast path stays a single branch.
+#[derive(Clone)]
+pub struct ProfileHook {
+    pub data: Rc<RefCell<OpProfile>>,
+    /// Shared simulated-clock cell — the tracer's, when tracing is on.
+    pub clock: Arc<AtomicU64>,
 }
 
 // ---------------------------------------------------------------------------
@@ -875,7 +989,24 @@ impl NameCache {
 /// mirrors the corresponding `Evaluator::eval` arm op-for-op so results,
 /// errors and remote messages stay bit-identical.
 impl<'a> Evaluator<'a> {
+    /// Single dispatch point of the compiled engine. When a [`ProfileHook`]
+    /// is attached, wraps the real dispatch with per-op accounting — one
+    /// branch and no other work on unprofiled runs.
     fn eval_op(&mut self, plan: &Plan, nc: &mut NameCache, op: OpRef) -> EvalResult {
+        let Some(hook) = self.profile.clone() else {
+            return self.eval_op_inner(plan, nc, op);
+        };
+        hook.data.borrow_mut().enter(op as usize, hook.clock.load(Ordering::SeqCst));
+        let result = self.eval_op_inner(plan, nc, op);
+        hook.data.borrow_mut().exit(
+            op as usize,
+            hook.clock.load(Ordering::SeqCst),
+            result.as_ref().ok().map(|seq| seq.len() as u64),
+        );
+        result
+    }
+
+    fn eval_op_inner(&mut self, plan: &Plan, nc: &mut NameCache, op: OpRef) -> EvalResult {
         match plan.op(op) {
             Op::Const(seq) => Ok(seq.clone()),
             Op::VarRef(v) => self.lookup(plan.sym(*v)),

@@ -146,6 +146,9 @@ pub struct Evaluator<'a> {
     /// Scratch rank buffer reused across `axis_nodes` / staircase calls so
     /// path evaluation doesn't allocate a fresh `Vec` per step.
     pub(crate) scratch: Vec<u32>,
+    /// Per-op profiling hook for the compiled engine (`EXPLAIN ANALYZE`);
+    /// `None` on ordinary runs, leaving only a branch on the dispatch path.
+    pub(crate) profile: Option<crate::compile::ProfileHook>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -165,6 +168,7 @@ impl<'a> Evaluator<'a> {
             call_depth: 0,
             use_indexes: true,
             scratch: Vec::new(),
+            profile: None,
         }
     }
 
@@ -181,6 +185,13 @@ impl<'a> Evaluator<'a> {
 
     pub fn with_static_context(mut self, ctx: StaticContext) -> Self {
         self.static_ctx = ctx;
+        self
+    }
+
+    /// Attaches a per-op execution profile (compiled-plan runs only — the
+    /// interpreter has no ops to attribute to).
+    pub fn with_profile(mut self, hook: crate::compile::ProfileHook) -> Self {
+        self.profile = Some(hook);
         self
     }
 

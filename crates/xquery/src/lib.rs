@@ -34,7 +34,8 @@ pub mod value;
 
 pub use ast::{Atomic, Expr, FunctionDef, QueryModule, XrpcParam};
 pub use compile::{
-    compile_module, compile_query, Op, OpRef, Plan, PlanRoute, PlanSemijoin, PlanStep, SymId,
+    compile_module, compile_query, Op, OpProfile, OpRef, Plan, PlanRoute, PlanSemijoin, PlanStep,
+    ProfileHook, SymId,
 };
 pub use eval::{
     eval_query, eval_query_with_indexes, scatter_rounds, DocResolver, Evaluator, LocalResolver,

@@ -72,6 +72,7 @@ use crate::message::{
     WireSemantics,
 };
 use crate::net::{Fault, FaultPlan, Metrics, NetworkModel, XrpcError};
+use crate::trace::{SpanBuilder, Trace, Tracer, ROOT_SPAN};
 
 /// One simulated peer: a named document store.
 #[derive(Debug)]
@@ -152,6 +153,15 @@ pub struct ExecOptions {
     /// [`XrpcError::PeerBusy`] carrying a retry-after hint (backpressure)
     /// instead of piling up behind the condvar. `0` disables the bound.
     pub peer_queue_depth: usize,
+    /// Collect a deterministic span trace of the run on the simulated
+    /// clock (see [`crate::trace`]). Off (the default) allocates nothing
+    /// on the hot path; the returned [`RunOutcome::trace`] is then `None`.
+    pub trace: bool,
+    /// Collect a per-operator execution profile of the coordinator's
+    /// compiled plan (execution counts, items produced, simulated-time
+    /// attribution — the `explain --analyze` payload). Requires
+    /// [`ExecOptions::compile`]; off by default.
+    pub profile: bool,
 }
 
 impl Default for ExecOptions {
@@ -169,6 +179,8 @@ impl Default for ExecOptions {
             plan_cache_size: 64,
             semijoin: true,
             peer_queue_depth: 32,
+            trace: false,
+            profile: false,
         }
     }
 }
@@ -385,6 +397,15 @@ struct FedCore {
     /// placement is added, so plans whose replica resolution was baked
     /// against the old topology miss the cache instead of being replayed.
     catalog_gen: AtomicU64,
+    /// The active run's span collector, installed by `begin_run` when
+    /// [`ExecOptions::trace`] is set and *taken* by `finish_run` — so spans
+    /// from stray `prepare()` calls between runs can never leak into the
+    /// next run's trace.
+    tracer: Mutex<Option<Arc<Tracer>>>,
+    /// The finished trace of the most recent traced run — kept here so a
+    /// run that ends in a typed error (no [`RunOutcome`]) still surfaces
+    /// its trace via [`Federation::take_trace`].
+    last_trace: Mutex<Option<Trace>>,
 }
 
 /// One cached unit of coordinator front-end work: the decomposition (kept
@@ -478,6 +499,11 @@ impl FedCore {
 
     fn options(&self) -> ExecOptions {
         *self.options.lock().unwrap()
+    }
+
+    /// The active run's tracer, if tracing is on.
+    fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.lock().unwrap().clone()
     }
 
     /// Allocates the fault-schedule lane for one ladder. Lanes are handed
@@ -623,6 +649,14 @@ pub struct RunOutcome {
     pub metrics: Metrics,
     /// The decomposition that was executed (for explain output).
     pub plan: xqd_core::Decomposition,
+    /// The run's span trace when [`ExecOptions::trace`] was set.
+    pub trace: Option<Trace>,
+    /// Per-operator execution profile when [`ExecOptions::profile`] was set
+    /// and the run executed a compiled plan (pair it with
+    /// [`RunOutcome::compiled`] for `explain --analyze` output).
+    pub profile: Option<xqd_xquery::OpProfile>,
+    /// The compiled plan the profile indexes into, when one executed.
+    pub compiled: Option<Arc<PreparedQuery>>,
 }
 
 impl Federation {
@@ -641,6 +675,8 @@ impl Federation {
                 plans: Mutex::new(PlanCache::default()),
                 static_ctx: Mutex::new(StaticContext::default()),
                 catalog_gen: AtomicU64::new(0),
+                tracer: Mutex::new(None),
+                last_trace: Mutex::new(None),
             }),
         }
     }
@@ -835,6 +871,7 @@ impl Federation {
         if !exec_options.compile {
             let module =
                 parse_query(query).map_err(|e| EvalError::new(format!("parse error: {e}")))?;
+            self.trace_parse_event(query);
             return self.run_prepared_module(&module, strategy, options, &exec_options, &static_ctx);
         }
         // key on the raw query text: a warm cache skips the parser too
@@ -844,10 +881,12 @@ impl Federation {
             None => {
                 let module = parse_query(query)
                     .map_err(|e| EvalError::new(format!("parse error: {e}")))?;
+                self.trace_parse_event(query);
                 self.compile_into_cache(key, &module, strategy, options, &exec_options, &static_ctx)?
             }
         };
-        self.finish_run(Some(&prepared.plan), prepared.decomposition.clone(), &exec_options, &static_ctx)
+        let decomposition = prepared.decomposition.clone();
+        self.finish_run(Some(prepared), decomposition, &exec_options, &static_ctx)
     }
 
     /// Like [`Self::run`] for an already-parsed module.
@@ -887,6 +926,18 @@ impl Federation {
         }
     }
 
+    /// Zero-duration front-end marker: the query parsed.
+    fn trace_parse_event(&self, query: &str) {
+        if let Some(tracer) = self.core.tracer() {
+            tracer.event(
+                ROOT_SPAN,
+                "frontend.parse",
+                "frontend",
+                vec![("chars", query.len().to_string())],
+            );
+        }
+    }
+
     /// Per-run state reset, done before the front end so cache events land
     /// inside the run's metric snapshot.
     fn begin_run(&mut self, strategy: Strategy) -> (ExecOptions, StaticContext) {
@@ -894,6 +945,18 @@ impl Federation {
         self.core.metrics.reset();
         self.core.lanes.store(0, Ordering::Relaxed);
         self.core.board.lock().unwrap().reset(exec_options.breaker);
+        *self.core.tracer.lock().unwrap() = exec_options.trace.then(|| {
+            // the trace id is a pure function of the run's seeds, drawn
+            // through the workspace PRNG — replaying a chaos schedule
+            // reproduces it bit for bit
+            let fault_seed = exec_options.fault.map(|p| p.seed).unwrap_or(0);
+            let mut rng = xqd_prng::Rng::seed_from_u64(
+                fault_seed ^ exec_options.replica_seed.rotate_left(32),
+            );
+            let tracer = Tracer::new(rng.next_u64(), "query", "query");
+            tracer.root_arg("strategy", format!("{strategy:?}"));
+            Arc::new(tracer)
+        });
         *self.core.wire.lock().unwrap() = match strategy {
             Strategy::ByFragment => WireSemantics::Fragment,
             Strategy::ByProjection => WireSemantics::Projection,
@@ -923,7 +986,8 @@ impl Federation {
                     self.compile_into_cache(key, module, strategy, options, exec_options, static_ctx)?
                 }
             };
-            self.finish_run(Some(&prepared.plan), prepared.decomposition.clone(), exec_options, static_ctx)
+            let decomposition = prepared.decomposition.clone();
+            self.finish_run(Some(prepared), decomposition, exec_options, static_ctx)
         } else {
             let plan = self.decompose_resolved(module, strategy, options, exec_options)?;
             self.finish_run(None, plan, exec_options, static_ctx)
@@ -979,6 +1043,10 @@ impl Federation {
             Some(_) => sink.plan_cache_hits.fetch_add(1, Ordering::Relaxed),
             None => sink.plan_cache_misses.fetch_add(1, Ordering::Relaxed),
         };
+        if let Some(tracer) = self.core.tracer() {
+            let name = if hit.is_some() { "frontend.cache-hit" } else { "frontend.cache-miss" };
+            tracer.event(ROOT_SPAN, name, "frontend", Vec::new());
+        }
         hit
     }
 
@@ -1014,6 +1082,19 @@ impl Federation {
             .with_routes(routes)
             .with_semijoins(semijoins);
         self.core.metrics.plans_compiled.fetch_add(1, Ordering::Relaxed);
+        if let Some(tracer) = self.core.tracer() {
+            // zero-duration marker: decompose + lowering are coordinator
+            // CPU, which the simulated clock does not bill (see trace docs)
+            tracer.event(
+                ROOT_SPAN,
+                "frontend.compile",
+                "frontend",
+                vec![
+                    ("remote_calls", decomposition.calls.len().to_string()),
+                    ("semijoins", decomposition.semijoins.len().to_string()),
+                ],
+            );
+        }
         let prepared = Arc::new(PreparedQuery { decomposition, plan });
         self.core.plans.lock().unwrap().insert(
             exec_options.plan_cache_size,
@@ -1027,12 +1108,27 @@ impl Federation {
     /// evaluate (compiled plan or interpreter), canonicalize, snapshot.
     fn finish_run(
         &mut self,
-        compiled: Option<&xqd_xquery::Plan>,
+        compiled: Option<Arc<PreparedQuery>>,
         plan: xqd_core::Decomposition,
         exec_options: &ExecOptions,
         static_ctx: &StaticContext,
     ) -> EvalResult<RunOutcome> {
         let started = Instant::now();
+        // per-op profiling reads the tracer's simulated clock when tracing
+        // is on (one shared timeline); a fresh zero cell otherwise
+        let hook = match (&compiled, exec_options.profile) {
+            (Some(p), true) => Some(xqd_xquery::ProfileHook {
+                data: std::rc::Rc::new(std::cell::RefCell::new(xqd_xquery::OpProfile::new(
+                    p.plan.ops.len(),
+                ))),
+                clock: self
+                    .core
+                    .tracer()
+                    .map(|t| t.clock_handle())
+                    .unwrap_or_default(),
+            }),
+            _ => None,
+        };
         // fresh coordinator store per run
         let mut local = Store::new();
         let mut link = FedLink { core: Arc::clone(&self.core), peer: String::new() };
@@ -1042,10 +1138,25 @@ impl Federation {
             .with_remote(&mut handler)
             .with_static_context(static_ctx.clone())
             .with_indexes(exec_options.use_indexes);
-        let result = match compiled {
-            Some(p) => p.eval(&mut ev)?,
-            None => ev.eval(&plan.rewritten)?,
+        if let Some(h) = &hook {
+            ev = ev.with_profile(h.clone());
+        }
+        let evaluated = match &compiled {
+            Some(p) => p.plan.eval(&mut ev),
+            None => ev.eval(&plan.rewritten),
         };
+        drop(ev);
+        // the tracer is *taken* even on error, so spans from one run (or
+        // from stray `prepare()` calls in between) never leak into the next
+        let trace = self.core.tracer.lock().unwrap().take().map(|t| {
+            if let Err(e) = &evaluated {
+                t.root_arg("error", e.message.clone());
+            }
+            t.finish()
+        });
+        *self.core.last_trace.lock().unwrap() = trace.clone();
+        let result = evaluated?;
+        let profile = hook.map(|h| h.data.borrow().clone());
         self.core
             .metrics
             .semijoins
@@ -1054,13 +1165,21 @@ impl Federation {
         let canonical = result.iter().map(|i| canonical_item(&local, i)).collect();
         let mut metrics = self.core.metrics.snapshot();
         metrics.total = total;
-        Ok(RunOutcome { result: canonical, metrics, plan })
+        Ok(RunOutcome { result: canonical, metrics, plan, trace, profile, compiled })
     }
 
     /// Metrics of the last run (also returned in [`RunOutcome`]); `total`
     /// is only carried by the [`RunOutcome`].
     pub fn metrics(&self) -> Metrics {
         self.core.metrics.snapshot()
+    }
+
+    /// Takes the finished trace of the most recent traced run. This is how
+    /// the trace of a run that ended in a typed error is recovered (a
+    /// successful run returns it in [`RunOutcome::trace`] too); a second
+    /// call returns `None`.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.core.last_trace.lock().unwrap().take()
     }
 
     /// Total serialized size in bytes of every document stored on peers —
@@ -1118,6 +1237,8 @@ impl DocResolver for FedLink {
                 // rather than failing the whole query without trying.
                 candidates.push((host.to_string(), false));
             }
+            let trace_on = options.trace;
+            let mut rungs: Vec<SpanBuilder> = Vec::new();
             let mut observations: Vec<Observation> = Vec::new();
             let mut total_chain = Duration::ZERO;
             let mut fetched: Option<Result<String, XrpcError>> = None;
@@ -1135,9 +1256,23 @@ impl DocResolver for FedLink {
                 } else {
                     retry.deadline
                 };
-                let (chain, failed_attempts, result) =
+                let w0 = total_chain;
+                let (chain, failed_attempts, result, spans) =
                     fetch_document(&self.core, fhost, uri, name, lane, rung as u32, wait);
                 total_chain += chain;
+                if trace_on {
+                    let mut sb = SpanBuilder::new("doc.rung", "doc")
+                        .at(w0)
+                        .lasting(chain)
+                        .arg("peer", fhost.as_str())
+                        .arg("rung", rung.to_string())
+                        .arg("kind", if *probe { "probe" } else { "primary" })
+                        .arg("breaker", board.state(fhost).name());
+                    for a in spans {
+                        sb.push_child(a);
+                    }
+                    rungs.push(sb);
+                }
                 observations.push(Observation {
                     peer: fhost.clone(),
                     ok: result.is_ok(),
@@ -1163,6 +1298,24 @@ impl DocResolver for FedLink {
             sink.charge_chain(total_chain);
             if self.peer.is_empty() {
                 self.core.apply_observations(total_chain, &observations);
+                if let Some(tracer) = self.core.tracer() {
+                    let anchor = tracer.clock_ns();
+                    let mut sb = SpanBuilder::new("doc.fetch", "doc")
+                        .lasting(total_chain)
+                        .arg("uri", uri)
+                        .arg(
+                            "outcome",
+                            match &fetched {
+                                Ok(_) => "ok".to_string(),
+                                Err(e) => e.code().to_string(),
+                            },
+                        );
+                    for r in rungs {
+                        sb.push_child(r);
+                    }
+                    tracer.submit(anchor, ROOT_SPAN, sb);
+                    tracer.advance(total_chain);
+                }
             }
             let xml = fetched.map_err(EvalError::from)?;
             let t0 = Instant::now();
@@ -1205,15 +1358,18 @@ fn fetch_document(
     lane: u64,
     rung: u32,
     wait: Duration,
-) -> (Duration, u32, Result<String, XrpcError>) {
+) -> (Duration, u32, Result<String, XrpcError>, Vec<SpanBuilder>) {
     let options = core.options();
     let retry = options.retry;
     let plan = options.fault;
     let sink = &core.metrics;
     let model = core.model;
+    let trace_on = options.trace;
+    let mut attempts: Vec<SpanBuilder> = Vec::new();
     let mut chain = Duration::ZERO;
     let mut failed = 0u32;
     loop {
+        let attempt_start = chain;
         let seq = plan.map(|_| fault_seq(lane, rung, failed));
         let fault = match (plan, seq) {
             (Some(p), Some(s)) => p.decide(fhost, s),
@@ -1319,11 +1475,26 @@ fn fetch_document(
             chain += spent;
             Ok(xml)
         };
+        if trace_on {
+            let mut sb = SpanBuilder::new("doc.attempt", "doc")
+                .at(attempt_start)
+                .lasting(chain.saturating_sub(attempt_start))
+                .arg("peer", fhost)
+                .arg("attempt", failed.to_string());
+            if let Some(f) = fault {
+                sb = sb.arg("fault", f.name());
+            }
+            sb = match &attempt {
+                Ok(xml) => sb.arg("outcome", "ok").arg("bytes", xml.len().to_string()),
+                Err(e) => sb.arg("outcome", e.code()),
+            };
+            attempts.push(sb);
+        }
         match attempt {
-            Ok(xml) => return (chain, failed, Ok(xml)),
+            Ok(xml) => return (chain, failed, Ok(xml), attempts),
             Err(e) => {
                 if !e.retryable() || failed + 1 >= retry.max_attempts {
-                    return (chain, failed + 1, Err(e));
+                    return (chain, failed + 1, Err(e), attempts);
                 }
                 failed += 1;
                 sink.retries.fetch_add(1, Ordering::Relaxed);
@@ -1331,7 +1502,16 @@ fn fetch_document(
                     (Some(p), Some(s)) => p.jitter(fhost, s),
                     _ => 0.0,
                 };
-                chain += retry.backoff(failed, jitter);
+                let wait = retry.backoff(failed, jitter);
+                if trace_on {
+                    attempts.push(
+                        SpanBuilder::new("doc.backoff", "doc")
+                            .at(chain)
+                            .lasting(wait)
+                            .arg("peer", fhost),
+                    );
+                }
+                chain += wait;
                 if chain >= retry.deadline {
                     return (
                         chain,
@@ -1342,6 +1522,7 @@ fn fetch_document(
                                 "fetch retry budget exhausted after {failed} failed attempt(s)"
                             ),
                         }),
+                        attempts,
                     );
                 }
             }
@@ -1627,15 +1808,20 @@ fn transport_call(
     rung: u32,
     request: &str,
     process: &mut dyn FnMut(&str, Duration) -> EvalResult<String>,
-) -> (Duration, u32, Result<String, XrpcError>) {
+) -> (Duration, u32, Result<String, XrpcError>, Vec<SpanBuilder>) {
     let options = core.options();
     let retry = options.retry;
     let plan = options.fault;
     let sink = &core.metrics;
     let model = core.model;
+    let trace_on = options.trace;
+    // span builders with rung-relative offsets; empty (no allocation
+    // beyond the Vec header) when tracing is off
+    let mut attempts: Vec<SpanBuilder> = Vec::new();
     let mut chain = Duration::ZERO;
     let mut failed = 0u32;
     loop {
+        let attempt_start = chain;
         let seq = plan.map(|_| fault_seq(lane, rung, failed));
         let fault = match (plan, seq) {
             (Some(p), Some(s)) => p.decide(peer, s),
@@ -1776,11 +1962,27 @@ fn transport_call(
             Ok(response)
         };
 
+        if trace_on {
+            let mut sb = SpanBuilder::new("rpc.attempt", "rpc")
+                .at(attempt_start)
+                .lasting(chain.saturating_sub(attempt_start))
+                .arg("peer", peer)
+                .arg("attempt", failed.to_string());
+            if let Some(f) = fault {
+                sb = sb.arg("fault", f.name());
+            }
+            sb = match &outcome {
+                Ok(r) => sb.arg("outcome", "ok").arg("payload", crate::message::payload_kind(r)),
+                Err(e) => sb.arg("outcome", e.code()),
+            };
+            attempts.push(sb);
+        }
+
         match outcome {
-            Ok(response) => return (chain, failed, Ok(response)),
+            Ok(response) => return (chain, failed, Ok(response), attempts),
             Err(e) => {
                 if !e.retryable() || failed + 1 >= retry.max_attempts {
-                    return (chain, failed + 1, Err(e));
+                    return (chain, failed + 1, Err(e), attempts);
                 }
                 failed += 1;
                 sink.retries.fetch_add(1, Ordering::Relaxed);
@@ -1788,7 +1990,16 @@ fn transport_call(
                     (Some(p), Some(s)) => p.jitter(peer, s),
                     _ => 0.0,
                 };
-                chain += retry.backoff(failed, jitter);
+                let wait = retry.backoff(failed, jitter);
+                if trace_on {
+                    attempts.push(
+                        SpanBuilder::new("rpc.backoff", "rpc")
+                            .at(chain)
+                            .lasting(wait)
+                            .arg("peer", peer),
+                    );
+                }
+                chain += wait;
                 if chain >= retry.deadline {
                     return (
                         chain,
@@ -1799,6 +2010,7 @@ fn transport_call(
                                 "retry budget exhausted after {failed} failed attempt(s)"
                             ),
                         }),
+                        attempts,
                     );
                 }
             }
@@ -1868,6 +2080,11 @@ struct LadderOutcome {
     probes: u64,
     failovers: u64,
     outcome: Result<String, XrpcError>,
+    /// The ladder's span tree (rung and attempt children with
+    /// ladder-relative offsets), built on whichever thread ran the ladder
+    /// and submitted by the coordinator at its gather point. `None` when
+    /// tracing is off.
+    trace: Option<SpanBuilder>,
 }
 
 impl LadderOutcome {
@@ -1882,6 +2099,7 @@ impl LadderOutcome {
             probes: 0,
             failovers: 0,
             outcome: Err(err),
+            trace: None,
         }
     }
 }
@@ -1911,7 +2129,40 @@ fn call_with_failover(
     request: &str,
     process: &mut dyn FnMut(&str, &str, Duration) -> EvalResult<String>,
 ) -> LadderOutcome {
+    let mut rungs = Vec::new();
+    let mut out = ladder_rungs(core, board, primary, lane, request, process, &mut rungs);
+    if core.options().trace {
+        let mut sb = SpanBuilder::new("rpc.ladder", "rpc")
+            .lasting(out.window)
+            .arg("peer", primary)
+            .arg(
+                "outcome",
+                match &out.outcome {
+                    Ok(_) => "ok".to_string(),
+                    Err(e) => e.code().to_string(),
+                },
+            );
+        for r in rungs {
+            sb.push_child(r);
+        }
+        out.trace = Some(sb);
+    }
+    out
+}
+
+/// The rung walk of [`call_with_failover`]; `rungs` collects one
+/// ladder-relative span per dialed rung when tracing is on.
+fn ladder_rungs(
+    core: &FedCore,
+    board: &Scoreboard,
+    primary: &str,
+    lane: u64,
+    request: &str,
+    process: &mut dyn FnMut(&str, &str, Duration) -> EvalResult<String>,
+    rungs: &mut Vec<SpanBuilder>,
+) -> LadderOutcome {
     let options = core.options();
+    let trace_on = options.trace;
     let deadline = options.retry.deadline;
     let seed = options.replica_seed;
     let hosts = core.catalog.lock().unwrap().hosts_serving_peer(primary);
@@ -1952,11 +2203,26 @@ fn call_with_failover(
         // the slot wait passed down is the rung's switch policy bounded by
         // the attempt's remaining deadline budget (satellite of the
         // unbounded busy-wait fix: no path may out-wait its own deadline)
+        let w0 = out.window;
+        let rung_idx = rung;
         let mut rung_process =
             |req: &str, remaining: Duration| process(host, req, wait.min(remaining));
-        let (chain_p, failed_p, res_p) =
+        let (chain_p, failed_p, res_p, spans_p) =
             transport_call(core, host, lane, rung, request, &mut rung_process);
         rung += 1;
+        if trace_on {
+            let mut sb = SpanBuilder::new("rpc.rung", "rpc")
+                .at(w0)
+                .lasting(chain_p)
+                .arg("peer", host.as_str())
+                .arg("rung", rung_idx.to_string())
+                .arg("kind", if *probe { "probe" } else { "primary" })
+                .arg("breaker", board.state(host).name());
+            for a in spans_p {
+                sb.push_child(a);
+            }
+            rungs.push(sb);
+        }
         out.observations.push(Observation {
             peer: host.clone(),
             ok: res_p.is_ok(),
@@ -1972,9 +2238,22 @@ fn call_with_failover(
             let wait2 = deadline.min(BUSY_SWITCH_WAIT);
             let mut hedge_process =
                 |req: &str, remaining: Duration| process(&host2, req, wait2.min(remaining));
-            let (chain_h, failed_h, res_h) =
+            let (chain_h, failed_h, res_h, spans_h) =
                 transport_call(core, &host2, lane, rung, request, &mut hedge_process);
             rung += 1;
+            if trace_on {
+                let mut sb = SpanBuilder::new("rpc.rung", "rpc")
+                    .at(w0 + delay)
+                    .lasting(chain_h)
+                    .arg("peer", host2.as_str())
+                    .arg("rung", rung_idx.saturating_add(1).to_string())
+                    .arg("kind", "hedge")
+                    .arg("breaker", board.state(&host2).name());
+                for a in spans_h {
+                    sb.push_child(a);
+                }
+                rungs.push(sb);
+            }
             out.observations.push(Observation {
                 peer: host2.clone(),
                 ok: res_h.is_ok(),
@@ -2229,13 +2508,22 @@ impl RemoteHandler for FedLink {
                 outcome
             }
         };
-        let ladder = call_with_failover(&self.core, &board, peer, lane, &request, &mut process);
+        let mut ladder = call_with_failover(&self.core, &board, peer, lane, &request, &mut process);
         let sink = &self.core.metrics;
         sink.network_ns.fetch_add(as_ns(ladder.serialized), Ordering::Relaxed);
         sink.network_overlapped_ns.fetch_add(as_ns(ladder.window), Ordering::Relaxed);
         self.core.charge_ladder_counters(&ladder);
         if self.peer.is_empty() {
             self.core.apply_observations(ladder.window, &ladder.observations);
+            // submit the ladder's span tree and advance the trace clock by
+            // exactly the wall clock the scoreboard just advanced by
+            if let Some(tracer) = self.core.tracer() {
+                if let Some(tb) = ladder.trace.take() {
+                    let anchor = tracer.clock_ns();
+                    tracer.submit(anchor, ROOT_SPAN, tb.arg("calls", calls.len().to_string()));
+                    tracer.advance(ladder.window);
+                }
+            }
         }
 
         let response = match ladder.outcome {
@@ -2252,6 +2540,19 @@ impl RemoteHandler for FedLink {
                         projection,
                         wire,
                     )? {
+                        if self.peer.is_empty() {
+                            if let Some(tracer) = self.core.tracer() {
+                                tracer.event(
+                                    ROOT_SPAN,
+                                    "rpc.degrade",
+                                    "rpc",
+                                    vec![
+                                        ("peer", peer.to_string()),
+                                        ("error", e.code().to_string()),
+                                    ],
+                                );
+                            }
+                        }
                         return Ok(sequences);
                     }
                 }
@@ -2399,7 +2700,7 @@ impl RemoteHandler for FedLink {
                 }
             }
         });
-        let rows: Vec<LadderOutcome> = slots
+        let mut rows: Vec<LadderOutcome> = slots
             .into_iter()
             .map(|r| r.expect("every call belongs to exactly one peer group"))
             .collect();
@@ -2431,6 +2732,21 @@ impl RemoteHandler for FedLink {
                 slowest_chain,
                 rows.iter().flat_map(|r| &r.observations),
             );
+            // slot ladders all anchor at the round start (they genuinely
+            // overlap); ids are assigned in slot order at this gather
+            if let Some(tracer) = self.core.tracer() {
+                let anchor = tracer.clock_ns();
+                let mut round = SpanBuilder::new("scatter.round", "rpc")
+                    .lasting(slowest_chain)
+                    .arg("slots", rows.len().to_string());
+                for (i, row) in rows.iter_mut().enumerate() {
+                    if let Some(tb) = row.trace.take() {
+                        round.push_child(tb.arg("slot", i.to_string()));
+                    }
+                }
+                tracer.submit(anchor, ROOT_SPAN, round);
+                tracer.advance(slowest_chain);
+            }
         }
 
         // ---- gather: decode or degrade per slot, in call order ----
@@ -2464,6 +2780,17 @@ impl RemoteHandler for FedLink {
                             c.projection,
                             wire,
                         )? {
+                            if let Some(tracer) = self.core.tracer() {
+                                tracer.event(
+                                    ROOT_SPAN,
+                                    "rpc.degrade",
+                                    "rpc",
+                                    vec![
+                                        ("peer", c.peer.to_string()),
+                                        ("error", e.code().to_string()),
+                                    ],
+                                );
+                            }
                             results.push(sequences.pop().unwrap_or_default());
                             continue;
                         }

@@ -45,6 +45,17 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable lowercase name, used verbatim as a trace-span annotation.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
 /// Breaker tuning knobs (CLI: `--breaker-threshold`,
 /// `--breaker-cooldown-ms`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

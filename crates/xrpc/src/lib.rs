@@ -23,7 +23,12 @@
 //!   control with bounded per-tenant run queues, weighted fair queuing,
 //!   deadline propagation, and the deterministic multi-tenant
 //!   [`WorkloadEngine`] that drives saturation benchmarks on the
-//!   simulated clock.
+//!   simulated clock;
+//! * [`trace`] — deterministic distributed tracing on the simulated
+//!   clock: per-query span trees (front end, failover rungs, RPC
+//!   attempts, scatter rounds, peer evaluations, queue residency),
+//!   exact-percentile latency histograms, and JSON / Chrome
+//!   `trace_event` export that replays byte-identically from a seed.
 //!
 //! ```no_run
 //! use xqd_xrpc::{Federation, NetworkModel};
@@ -40,6 +45,7 @@ pub mod health;
 pub mod message;
 pub mod net;
 pub mod sched;
+pub mod trace;
 pub mod wire;
 
 pub use exec::{
@@ -50,8 +56,9 @@ pub use message::{
     decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
     WireSemantics,
 };
-pub use net::{Fault, FaultPlan, Metrics, NetworkModel, XrpcError};
+pub use net::{Fault, FaultPlan, Metrics, MetricsSnapshot, NetworkModel, XrpcError, METRIC_NAMES};
 pub use sched::{
     OutcomeKind, QueryOutcome, TenantReport, TenantSpec, WorkloadConfig, WorkloadEngine,
     WorkloadReport,
 };
+pub use trace::{Histogram, Span, SpanBuilder, Trace, Tracer, ROOT_SPAN};

@@ -404,6 +404,22 @@ fn unescape_text(s: &str) -> String {
 /// form and `bytes_saved` is the exact byte difference against the per-item
 /// `<atom>` encoding of the same keys. Feeds the `join_keys_shipped` /
 /// `join_bytes_saved` metrics; a message without key sets reports `(0, 0)`.
+/// Coarse classification of a wire message by its envelope prefix — used
+/// as a deterministic trace-span annotation (`"request"` / `"response"` /
+/// `"fault"`), with `"data"` covering raw document payloads from the
+/// data-shipping path and anything mangled in flight.
+pub fn payload_kind(message: &str) -> &'static str {
+    if message.starts_with("<env><request") {
+        "request"
+    } else if message.starts_with("<env><response") {
+        "response"
+    } else if message.starts_with("<env><fault") {
+        "fault"
+    } else {
+        "data"
+    }
+}
+
 pub fn keyset_stats(message: &str) -> (u64, u64) {
     let mut keys = 0u64;
     let mut saved = 0u64;

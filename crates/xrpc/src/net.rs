@@ -262,6 +262,20 @@ pub enum Fault {
 }
 
 impl Fault {
+    /// Stable kebab-case name, used as a trace-span annotation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::PeerDown => "peer-down",
+            Fault::TruncateRequest => "truncate-request",
+            Fault::CorruptRequest => "corrupt-request",
+            Fault::TruncateResponse => "truncate-response",
+            Fault::CorruptResponse => "corrupt-response",
+            Fault::Latency => "latency",
+            Fault::Hang => "hang",
+            Fault::RemotePanic => "remote-panic",
+        }
+    }
+
     const ALL: [Fault; 8] = [
         Fault::PeerDown,
         Fault::TruncateRequest,
@@ -637,6 +651,132 @@ impl Metrics {
             self.peak_queue_depth,
         ]
     }
+
+    /// The same counters as a named snapshot — the readable view over the
+    /// replay-contract array.
+    pub fn named(&self) -> MetricsSnapshot {
+        MetricsSnapshot::from_counters(self.counters())
+    }
+}
+
+/// Stable names of the [`Metrics::counters`] array, index-aligned: the
+/// name at position `i` describes `counters()[i]`. Appending is fine;
+/// reordering or renaming breaks the replay contract and is pinned by
+/// `metric_names_pin_the_replay_contract` below.
+pub const METRIC_NAMES: [&str; 23] = [
+    "message_bytes",
+    "document_bytes",
+    "transfers",
+    "remote_calls",
+    "scatter_rounds",
+    "retries",
+    "faults_injected",
+    "fallbacks",
+    "hedges",
+    "hedge_wins",
+    "breaker_trips",
+    "breaker_probes",
+    "replica_failovers",
+    "plans_compiled",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "semijoins",
+    "join_keys_shipped",
+    "join_bytes_saved",
+    "queued",
+    "shed",
+    "deadline_cancelled",
+    "peak_queue_depth",
+];
+
+/// A named view over the deterministic counter array: every counter is
+/// reachable by a stable string name (`get`, `iter`) or a typed accessor,
+/// so call sites never index `counters()[N]` by magic number. The raw
+/// array stays the replay-contract wire format — this type is a reading
+/// aid, not a new format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; 23],
+}
+
+macro_rules! snapshot_accessors {
+    ($($idx:expr => $name:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("`counters()[", stringify!($idx), "]`.")]
+            pub fn $name(&self) -> u64 {
+                self.counters[$idx]
+            }
+        )*
+    };
+}
+
+impl MetricsSnapshot {
+    pub fn from_counters(counters: [u64; 23]) -> MetricsSnapshot {
+        MetricsSnapshot { counters }
+    }
+
+    /// The underlying replay-contract array, unchanged.
+    pub fn counters(&self) -> [u64; 23] {
+        self.counters
+    }
+
+    /// Looks a counter up by its [`METRIC_NAMES`] name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        METRIC_NAMES.iter().position(|&n| n == name).map(|i| self.counters[i])
+    }
+
+    /// `(name, value)` pairs in contract order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        METRIC_NAMES.iter().copied().zip(self.counters.iter().copied())
+    }
+
+    /// The transport and resilience counters — `message_bytes` through
+    /// `replica_failovers` — the contract prefix that must stay
+    /// byte-identical between the compiled engine and the interpreter
+    /// oracle (the plan-compilation trio that follows legitimately
+    /// differs between them).
+    pub fn wire(&self) -> &[u64] {
+        &self.counters[..13]
+    }
+
+    /// The plan-compilation trio `[plans_compiled, plan_cache_hits,
+    /// plan_cache_misses]`.
+    pub fn plan_cache(&self) -> [u64; 3] {
+        [self.counters[13], self.counters[14], self.counters[15]]
+    }
+
+    /// Everything after the plan trio: the join-rewrite (`semijoins`,
+    /// `join_keys_shipped`, `join_bytes_saved`) and scheduler
+    /// (`queued` … `peak_queue_depth`) counter families.
+    pub fn joins_and_scheduler(&self) -> &[u64] {
+        &self.counters[16..]
+    }
+
+    snapshot_accessors! {
+        0 => message_bytes,
+        1 => document_bytes,
+        2 => transfers,
+        3 => remote_calls,
+        4 => scatter_rounds,
+        5 => retries,
+        6 => faults_injected,
+        7 => fallbacks,
+        8 => hedges,
+        9 => hedge_wins,
+        10 => breaker_trips,
+        11 => breaker_probes,
+        12 => replica_failovers,
+        13 => plans_compiled,
+        14 => plan_cache_hits,
+        15 => plan_cache_misses,
+        16 => semijoins,
+        17 => join_keys_shipped,
+        18 => join_bytes_saved,
+        19 => queued,
+        20 => shed,
+        21 => deadline_cancelled,
+        22 => peak_queue_depth,
+    }
 }
 
 #[cfg(test)]
@@ -850,7 +990,8 @@ mod tests {
         assert_eq!(a.retries, 11);
         assert_eq!(a.faults_injected, 22);
         assert_eq!(a.fallbacks, 33);
-        assert_eq!(a.counters()[5..8], [11, 22, 33]);
+        let s = a.named();
+        assert_eq!([s.retries(), s.faults_injected(), s.fallbacks()], [11, 22, 33]);
     }
 
     #[test]
@@ -872,7 +1013,11 @@ mod tests {
             ..Default::default()
         };
         a.add(&b);
-        assert_eq!(a.counters()[8..13], [11, 22, 33, 44, 55]);
+        let s = a.named();
+        assert_eq!(
+            [s.hedges(), s.hedge_wins(), s.breaker_trips(), s.breaker_probes(), s.replica_failovers()],
+            [11, 22, 33, 44, 55]
+        );
     }
 
     #[test]
@@ -890,7 +1035,8 @@ mod tests {
             ..Default::default()
         };
         a.add(&b);
-        assert_eq!(a.counters()[13..16], [11, 22, 33]);
+        let s = a.named();
+        assert_eq!([s.plans_compiled(), s.plan_cache_hits(), s.plan_cache_misses()], [11, 22, 33]);
     }
 
     #[test]
@@ -908,7 +1054,8 @@ mod tests {
             ..Default::default()
         };
         a.add(&b);
-        assert_eq!(a.counters()[16..19], [11, 22, 33]);
+        let s = a.named();
+        assert_eq!([s.semijoins(), s.join_keys_shipped(), s.join_bytes_saved()], [11, 22, 33]);
     }
 
     #[test]
@@ -929,10 +1076,68 @@ mod tests {
         };
         a.add(&b);
         // additive counters sum; the queue-depth high-water mark takes max
-        assert_eq!(a.counters()[19..], [11, 22, 33, 9]);
+        let s = a.named();
+        assert_eq!(
+            [s.queued(), s.shed(), s.deadline_cancelled(), s.peak_queue_depth()],
+            [11, 22, 33, 9]
+        );
         let c = Metrics { peak_queue_depth: 40, ..Default::default() };
         a.add(&c);
         assert_eq!(a.peak_queue_depth, 40);
+    }
+
+    #[test]
+    fn metric_names_pin_the_replay_contract() {
+        // The name table is index-aligned with counters(): this test pins
+        // both the order and the accessor wiring, so the replay contract
+        // cannot silently shift when a counter is added or moved.
+        assert_eq!(
+            METRIC_NAMES,
+            [
+                "message_bytes",
+                "document_bytes",
+                "transfers",
+                "remote_calls",
+                "scatter_rounds",
+                "retries",
+                "faults_injected",
+                "fallbacks",
+                "hedges",
+                "hedge_wins",
+                "breaker_trips",
+                "breaker_probes",
+                "replica_failovers",
+                "plans_compiled",
+                "plan_cache_hits",
+                "plan_cache_misses",
+                "semijoins",
+                "join_keys_shipped",
+                "join_bytes_saved",
+                "queued",
+                "shed",
+                "deadline_cancelled",
+                "peak_queue_depth",
+            ]
+        );
+        // distinct sentinel per slot: get(name) must hit exactly its index
+        let mut counters = [0u64; 23];
+        for (i, c) in counters.iter_mut().enumerate() {
+            *c = 1000 + i as u64;
+        }
+        let s = MetricsSnapshot::from_counters(counters);
+        assert_eq!(s.counters(), counters);
+        for (i, name) in METRIC_NAMES.iter().enumerate() {
+            assert_eq!(s.get(name), Some(counters[i]), "{name} drifted from index {i}");
+        }
+        assert_eq!(s.get("no_such_metric"), None);
+        // typed accessors agree with the name table
+        assert_eq!(s.message_bytes(), s.get("message_bytes").unwrap());
+        assert_eq!(s.scatter_rounds(), s.get("scatter_rounds").unwrap());
+        assert_eq!(s.peak_queue_depth(), s.get("peak_queue_depth").unwrap());
+        let collected: Vec<(&str, u64)> = s.iter().collect();
+        assert_eq!(collected.len(), 23);
+        assert_eq!(collected[0], ("message_bytes", 1000));
+        assert_eq!(collected[22], ("peak_queue_depth", 1022));
     }
 
     #[test]

@@ -56,6 +56,7 @@ use xqd_xquery::value::{EvalError, EvalResult};
 
 use crate::exec::Federation;
 use crate::net::{FaultPlan, Metrics, XrpcError};
+use crate::trace::{SpanBuilder, Trace, Tracer, ROOT_SPAN};
 
 /// One simulated tenant: a name, a fair-queuing weight, an offered arrival
 /// rate and the query templates its arrivals cycle through.
@@ -273,9 +274,33 @@ impl WorkloadEngine {
     /// are restored afterwards.
     pub fn run(fed: &mut Federation, config: &WorkloadConfig) -> EvalResult<WorkloadReport> {
         let saved = fed.exec_options();
-        let result = Self::run_inner(fed, config, saved.fault);
+        let result = Self::run_inner(fed, config, saved.fault, None);
         fed.set_exec_options(saved);
         result
+    }
+
+    /// Like [`WorkloadEngine::run`], but also records a scheduler trace on
+    /// the simulated clock: queue residency (`sched.queued`), slot
+    /// occupancy (`sched.run`), admission rejections (`sched.shed`) and
+    /// dispatch-time deadline cancellations (`sched.cancelled`). Spans are
+    /// submitted in event-loop order and the trace id is drawn from the
+    /// seeded PRNG, so a replay from the same config emits byte-identical
+    /// trace files.
+    pub fn run_traced(
+        fed: &mut Federation,
+        config: &WorkloadConfig,
+    ) -> EvalResult<(WorkloadReport, Trace)> {
+        let saved = fed.exec_options();
+        let trace_id = Rng::seed_from_u64(mix_seed(config.seed, 0)).next_u64();
+        let tracer = Tracer::new(trace_id, "workload", "sched");
+        tracer.root_arg("tenants", config.tenants.len().to_string());
+        tracer.root_arg("workers", config.workers.to_string());
+        tracer.root_arg("fair", config.fair.to_string());
+        let result = Self::run_inner(fed, config, saved.fault, Some(&tracer));
+        fed.set_exec_options(saved);
+        let report = result?;
+        tracer.advance_to(report.sim_duration.as_nanos().min(u128::from(u64::MAX)) as u64);
+        Ok((report, tracer.finish()))
     }
 
     /// Capacity estimate in queries per second: `workers` slots over the
@@ -323,7 +348,9 @@ impl WorkloadEngine {
         fed: &mut Federation,
         config: &WorkloadConfig,
         fault: Option<FaultPlan>,
+        tracer: Option<&Tracer>,
     ) -> EvalResult<WorkloadReport> {
+        let ns = |d: Duration| d.as_nanos().min(u128::from(u64::MAX)) as u64;
         if config.tenants.is_empty() || config.workers == 0 {
             return Err(EvalError::new(
                 "workload needs at least one tenant and one worker".to_string(),
@@ -510,6 +537,24 @@ impl WorkloadEngine {
                     if start + estimates[job.template] > job.deadline {
                         agg.deadline_cancelled += 1;
                         sim_end = sim_end.max(start);
+                        if let Some(t) = tracer {
+                            t.submit(
+                                ns(job.arrival),
+                                ROOT_SPAN,
+                                SpanBuilder::new("sched.queued", "sched")
+                                    .lasting(start.saturating_sub(job.arrival))
+                                    .arg("tenant", config.tenants[job.tenant].name.as_str())
+                                    .arg("seq", job.seq.to_string()),
+                            );
+                            t.submit(
+                                ns(start),
+                                ROOT_SPAN,
+                                SpanBuilder::new("sched.cancelled", "sched")
+                                    .arg("tenant", config.tenants[job.tenant].name.as_str())
+                                    .arg("seq", job.seq.to_string())
+                                    .arg("error", "xrpc:timeout"),
+                            );
+                        }
                         outcomes.push((
                             job.seq,
                             QueryOutcome {
@@ -538,6 +583,29 @@ impl WorkloadEngine {
                         latencies.push(lat);
                         tenant_lat[job.tenant].push(lat);
                     }
+                    if let Some(t) = tracer {
+                        t.submit(
+                            ns(job.arrival),
+                            ROOT_SPAN,
+                            SpanBuilder::new("sched.queued", "sched")
+                                .lasting(start.saturating_sub(job.arrival))
+                                .arg("tenant", config.tenants[job.tenant].name.as_str())
+                                .arg("seq", job.seq.to_string()),
+                        );
+                        t.submit(
+                            ns(start),
+                            ROOT_SPAN,
+                            SpanBuilder::new("sched.run", "sched")
+                                .lasting(finish.saturating_sub(start))
+                                .arg("tenant", config.tenants[job.tenant].name.as_str())
+                                .arg("seq", job.seq.to_string())
+                                .arg("worker", wi.to_string())
+                                .arg(
+                                    "outcome",
+                                    row.error_code.clone().unwrap_or_else(|| "completed".into()),
+                                ),
+                        );
+                    }
                     outcomes.push((job.seq, row));
                 }
             };
@@ -563,6 +631,16 @@ impl WorkloadEngine {
                 if a.time + estimates[a.template] > deadline {
                     agg.deadline_cancelled += 1;
                     sim_end = sim_end.max(a.time);
+                    if let Some(t) = tracer {
+                        t.submit(
+                            ns(a.time),
+                            ROOT_SPAN,
+                            SpanBuilder::new("sched.cancelled", "sched")
+                                .arg("tenant", config.tenants[a.tenant].name.as_str())
+                                .arg("seq", seq.to_string())
+                                .arg("error", "xrpc:timeout"),
+                        );
+                    }
                     outcomes.push((
                         seq,
                         QueryOutcome {
@@ -591,6 +669,21 @@ impl WorkloadEngine {
                     latencies.push(lat);
                     tenant_lat[a.tenant].push(lat);
                 }
+                if let Some(t) = tracer {
+                    t.submit(
+                        ns(a.time),
+                        ROOT_SPAN,
+                        SpanBuilder::new("sched.run", "sched")
+                            .lasting(finish.saturating_sub(a.time))
+                            .arg("tenant", config.tenants[a.tenant].name.as_str())
+                            .arg("seq", seq.to_string())
+                            .arg("worker", wi.to_string())
+                            .arg(
+                                "outcome",
+                                row.error_code.clone().unwrap_or_else(|| "completed".into()),
+                            ),
+                    );
+                }
                 outcomes.push((seq, row));
                 continue;
             }
@@ -608,6 +701,16 @@ impl WorkloadEngine {
                     retry_after_ms: hint.as_millis().min(u128::from(u64::MAX)) as u64,
                 };
                 sim_end = sim_end.max(a.time);
+                if let Some(t) = tracer {
+                    t.submit(
+                        ns(a.time),
+                        ROOT_SPAN,
+                        SpanBuilder::new("sched.shed", "sched")
+                            .arg("tenant", config.tenants[a.tenant].name.as_str())
+                            .arg("seq", seq.to_string())
+                            .arg("retry_after_ms", hint.as_millis().to_string()),
+                    );
+                }
                 outcomes.push((
                     seq,
                     QueryOutcome {

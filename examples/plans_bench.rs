@@ -37,12 +37,13 @@ fn main() {
     let points = xqd_bench::plans_sweep(bytes_per_doc, strategy, iters);
 
     println!(
-        "{:>28} {:>12} {:>12} {:>12} {:>9} {:>10} {:>10} {:>6}",
-        "query", "off p/s", "cold p/s", "warm p/s", "speedup", "comp us", "interp us", "equal"
+        "{:>28} {:>12} {:>12} {:>12} {:>9} {:>10} {:>10} {:>10} {:>6}",
+        "query", "off p/s", "cold p/s", "warm p/s", "speedup", "comp us", "interp us", "traced us",
+        "equal"
     );
     for p in &points {
         println!(
-            "{:>28} {:>12.0} {:>12.0} {:>12.0} {:>8.1}x {:>10} {:>10} {:>6}",
+            "{:>28} {:>12.0} {:>12.0} {:>12.0} {:>8.1}x {:>10} {:>10} {:>10} {:>6}",
             p.query,
             p.off_plans_per_sec,
             p.cold_plans_per_sec,
@@ -50,9 +51,19 @@ fn main() {
             p.warm_speedup(),
             p.compiled_us,
             p.interpreted_us,
+            p.traced_us,
             p.results_identical && p.bytes_identical,
         );
     }
+    let worst = points
+        .iter()
+        .map(|p| p.trace_overhead_frac())
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "tracing overhead (traced vs untraced warm run): worst {:.1}% — budget ok: {}",
+        worst * 100.0,
+        points.iter().all(|p| p.trace_overhead_ok()),
+    );
 
     let json = xqd_bench::plans_json(&points, strategy);
     std::fs::write(&out_path, &json).expect("write BENCH_plans.json");

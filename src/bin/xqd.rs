@@ -42,7 +42,9 @@ xqd — distributed XQuery (pass-by-value / -fragment / -projection)
 
 USAGE:
   xqd run [QUERY-FILE] [-e QUERY] [OPTIONS]     execute a federated query
-  xqd explain [QUERY-FILE] [-e QUERY] [OPTIONS] print the decomposition plan
+  xqd explain [QUERY-FILE] [-e QUERY] [OPTIONS] print the decomposition plan;
+                           with --analyze, execute it and print per-operator
+                           and per-span simulated-time profiles
   xqd workload [QUERY-FILE] [-e QUERY] [OPTIONS]
                            drive a multi-tenant workload of the query through
                            the admission-controlled scheduler (simulated
@@ -77,6 +79,16 @@ OPTIONS:
                            shipping for cross-peer value joins; default on)
   --plan-cache-size N      coordinator LRU plan-cache capacity (default 64;
                            0 recompiles on every run)
+  --trace-out FILE         record a deterministic trace of the run on the
+                           simulated clock and write it to FILE; a chaos
+                           replay from the same seeds emits identical bytes
+  --trace-format json|chrome
+                           trace file format: self-describing span JSON
+                           (default) or Chrome trace_event, loadable in
+                           chrome://tracing and Perfetto
+  --analyze                (xqd explain) execute the query and print the
+                           per-operator plan profile (EXPLAIN ANALYZE) plus
+                           the span-level simulated-time attribution
 
 WORKLOAD OPTIONS (xqd workload):
   --tenants N              simulated tenants splitting the offered load
@@ -112,6 +124,9 @@ struct RunOptions {
     compile: bool,
     semijoin: bool,
     plan_cache_size: usize,
+    trace_out: Option<String>,
+    trace_chrome: bool,
+    analyze: bool,
     // `xqd workload` knobs
     tenants: usize,
     offered_qps: f64,
@@ -150,6 +165,9 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         compile: ExecOptions::default().compile,
         semijoin: ExecOptions::default().semijoin,
         plan_cache_size: ExecOptions::default().plan_cache_size,
+        trace_out: None,
+        trace_chrome: false,
+        analyze: false,
         tenants: 2,
         offered_qps: 500.0,
         queue_depth: 16,
@@ -262,6 +280,24 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.plan_cache_size = num_arg(args, i, "--plan-cache-size")?;
                 i += 2;
             }
+            "--trace-out" => {
+                let f = args.get(i + 1).ok_or("--trace-out requires a file path")?;
+                opts.trace_out = Some(f.clone());
+                i += 2;
+            }
+            "--trace-format" => {
+                let f = args.get(i + 1).ok_or("--trace-format requires json|chrome")?;
+                opts.trace_chrome = match f.as_str() {
+                    "json" => false,
+                    "chrome" => true,
+                    other => return Err(format!("unknown trace format {other:?}")),
+                };
+                i += 2;
+            }
+            "--analyze" => {
+                opts.analyze = true;
+                i += 1;
+            }
             "--tenants" => {
                 opts.tenants = num_arg(args, i, "--tenants")?;
                 if opts.tenants == 0 {
@@ -344,7 +380,7 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    if explain_only {
+    if explain_only && !opts.analyze {
         let module = match xqd::parse_query(&query) {
             Ok(m) => m,
             Err(e) => {
@@ -410,12 +446,15 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
         }));
     }
 
+    let explain_analyze = explain_only && opts.analyze;
     for strategy in &opts.strategies {
         let mut fed = Federation::new(opts.network);
         fed.set_exec_options(ExecOptions {
             compile: opts.compile,
             semijoin: opts.semijoin,
             plan_cache_size: opts.plan_cache_size,
+            trace: opts.trace_out.is_some() || opts.analyze,
+            profile: opts.analyze,
             ..ExecOptions::default()
         });
         fed.set_retry_policy(opts.retry);
@@ -451,8 +490,27 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
                 if opts.strategies.len() > 1 {
                     println!("=== {} ===", strategy.name());
                 }
-                for item in &out.result {
-                    println!("{item}");
+                if !explain_analyze {
+                    for item in &out.result {
+                        println!("{item}");
+                    }
+                }
+                if opts.analyze {
+                    print_analysis(&out);
+                }
+                if let Some(path) = &opts.trace_out {
+                    let path = if opts.strategies.len() > 1 {
+                        format!("{path}.{}", strategy.name())
+                    } else {
+                        path.clone()
+                    };
+                    if let Some(trace) = &out.trace {
+                        if let Err(e) = write_trace(trace, &path, opts.trace_chrome) {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("# trace written to {path}");
+                    }
                 }
                 if opts.metrics {
                     let m = &out.metrics;
@@ -508,6 +566,11 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
                             m.breaker_probes,
                         );
                     }
+                    // the full named counter registry (non-zero entries),
+                    // in replay-contract order
+                    for (name, value) in m.named().iter().filter(|(_, v)| *v > 0) {
+                        eprintln!("# {}: {name} = {value}", strategy.name());
+                    }
                 }
             }
             Err(e) => {
@@ -517,6 +580,55 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn write_trace(trace: &xqd::Trace, path: &str, chrome: bool) -> Result<(), String> {
+    let body = if chrome { trace.to_chrome() } else { trace.to_json() };
+    std::fs::write(path, body).map_err(|e| format!("writing trace {path:?}: {e}"))
+}
+
+/// `explain --analyze` output: the per-operator plan profile plus the
+/// span-level attribution of the run's simulated wall time.
+fn print_analysis(out: &xqd::RunOutcome) {
+    match (&out.compiled, &out.profile) {
+        (Some(prepared), Some(profile)) => println!("{}", prepared.plan.dump_analyze(profile)),
+        _ => println!("(no per-operator profile: query ran without the compiled plan IR)"),
+    }
+    let Some(trace) = &out.trace else { return };
+    // aggregate the root's direct children — the network-bearing spans that
+    // partition the simulated timeline — by span name
+    let mut rows: Vec<(&str, u64, u64)> = Vec::new();
+    for s in trace.children_of(xqd::ROOT_SPAN) {
+        match rows.iter_mut().find(|(n, _, _)| *n == s.name) {
+            Some(row) => {
+                row.1 += 1;
+                row.2 += s.dur_ns;
+            }
+            None => rows.push((s.name, 1, s.dur_ns)),
+        }
+    }
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    let total = trace.total_ns.max(1);
+    println!(
+        "trace {:#018x}: total simulated {:?}, span coverage {:.1}%",
+        trace.trace_id,
+        Duration::from_nanos(trace.total_ns),
+        trace.coverage() * 100.0,
+    );
+    for (name, count, ns) in &rows {
+        println!(
+            "  {name:<16} x{count:<4} {:>12}  {:>5.1}%",
+            format!("{:?}", Duration::from_nanos(*ns)),
+            *ns as f64 * 100.0 / total as f64,
+        );
+    }
+    let attempts = trace.histogram("rpc.attempt");
+    if attempts.count() > 0 {
+        println!("rpc.attempt latency:");
+        for line in attempts.render().lines() {
+            println!("  {line}");
+        }
+    }
 }
 
 fn cmd_workload(args: &[String]) -> ExitCode {
@@ -610,11 +722,28 @@ fn cmd_workload(args: &[String]) -> ExitCode {
     config.deadline = opts.query_deadline;
     config.fair = fair;
 
-    let report = match WorkloadEngine::run(&mut fed, &config) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("workload error: {e}");
-            return ExitCode::FAILURE;
+    let report = if let Some(path) = &opts.trace_out {
+        match WorkloadEngine::run_traced(&mut fed, &config) {
+            Ok((r, trace)) => {
+                if let Err(e) = write_trace(&trace, path, opts.trace_chrome) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("# scheduler trace written to {path}");
+                r
+            }
+            Err(e) => {
+                eprintln!("workload error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match WorkloadEngine::run(&mut fed, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("workload error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 

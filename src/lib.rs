@@ -48,8 +48,10 @@ pub use xqd_xquery::{
     compile_module, compile_query, eval_query, parse_query, EvalError, Item, Plan, QueryModule,
     Sequence, StaticContext,
 };
+pub use xqd_xquery::{OpProfile, ProfileHook};
 pub use xqd_xrpc::{
-    BreakerPolicy, BreakerState, ExecOptions, Fault, FaultPlan, Federation, Metrics, NetworkModel,
-    OutcomeKind, PreparedQuery, QueryOutcome, RetryPolicy, RunOutcome, Scoreboard, TenantReport,
-    TenantSpec, WorkloadConfig, WorkloadEngine, WorkloadReport, XrpcError,
+    BreakerPolicy, BreakerState, ExecOptions, Fault, FaultPlan, Federation, Histogram, Metrics,
+    MetricsSnapshot, NetworkModel, OutcomeKind, PreparedQuery, QueryOutcome, RetryPolicy,
+    RunOutcome, Scoreboard, Span, SpanBuilder, TenantReport, TenantSpec, Trace, Tracer,
+    WorkloadConfig, WorkloadEngine, WorkloadReport, XrpcError, METRIC_NAMES, ROOT_SPAN,
 };

@@ -14,8 +14,8 @@
 use std::time::Duration;
 
 use xqd::{
-    rendezvous_order, FaultPlan, Federation, Metrics, NetworkModel, OutcomeKind, Strategy,
-    TenantSpec, WorkloadConfig, WorkloadEngine,
+    rendezvous_order, ExecOptions, FaultPlan, Federation, Metrics, NetworkModel, OutcomeKind,
+    Strategy, TenantSpec, WorkloadConfig, WorkloadEngine,
 };
 
 const SEEDS: u64 = 40;
@@ -427,8 +427,72 @@ fn plan_counters_participate_in_the_replay_contract() {
     let mut f = federation();
     let first = f.run(QUERIES[0], Strategy::ByValue).unwrap();
     assert_eq!(first.metrics.plans_compiled, 1, "fresh run must lower a plan");
-    assert_eq!(first.metrics.counters()[13..16], [1, 0, 1]);
+    assert_eq!(first.metrics.named().plan_cache(), [1, 0, 1]);
     let second = f.run(QUERIES[0], Strategy::ByValue).unwrap();
     assert_eq!(second.metrics.plans_compiled, 0, "warm run must reuse the plan");
-    assert_eq!(second.metrics.counters()[13..16], [0, 1, 0]);
+    assert_eq!(second.metrics.named().plan_cache(), [0, 1, 0]);
+}
+
+// ---------------------------------------------------------------------------
+// the trace as a determinism oracle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn replayed_fault_schedules_emit_byte_identical_traces() {
+    // The trace file is part of the replay contract: every span timestamp
+    // comes from the simulated clock, every id from coordinator program
+    // order, and the trace id from the seeded PRNG — so replaying a chaos
+    // schedule reproduces both export formats byte for byte.
+    quiet_injected_panics();
+    for query in QUERIES {
+        for strategy in STRATEGIES {
+            for seed in [0u64, 7, 23] {
+                let run = || {
+                    let mut f = federation();
+                    let opts = f.exec_options();
+                    f.set_exec_options(ExecOptions { trace: true, ..opts });
+                    f.set_fault_plan(Some(FaultPlan::uniform(seed, FAULT_RATE)));
+                    match f.run(query, strategy) {
+                        Ok(out) => out.trace.expect("trace enabled"),
+                        Err(e) => {
+                            assert!(e.code.is_some(), "untyped error under seed {seed}");
+                            f.take_trace().expect("trace survives a failed run")
+                        }
+                    }
+                };
+                let (a, b) = (run(), run());
+                assert_eq!(
+                    a.to_json(),
+                    b.to_json(),
+                    "seed {seed} {strategy:?}: replayed JSON trace drifted"
+                );
+                assert_eq!(
+                    a.to_chrome(),
+                    b.to_chrome(),
+                    "seed {seed} {strategy:?}: replayed Chrome trace drifted"
+                );
+                assert!(!a.spans.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn replayed_workloads_emit_byte_identical_scheduler_traces() {
+    // Same oracle for the scheduler: queue-residency, run, shed and cancel
+    // spans are submitted in event-loop order off the discrete-event clock.
+    quiet_injected_panics();
+    for seed in 0..4u64 {
+        let run = || {
+            let mut f = federation();
+            f.set_fault_plan(Some(FaultPlan::uniform(seed, FAULT_RATE)));
+            let (report, trace) =
+                WorkloadEngine::run_traced(&mut f, &chaos_workload(seed, 900.0)).unwrap();
+            assert!(report.fully_accounted(), "seed {seed}");
+            trace
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.to_json(), b.to_json(), "seed {seed}: scheduler trace drifted");
+        assert!(a.named("sched.run").count() > 0, "seed {seed}: no sched.run spans");
+    }
 }

@@ -11,7 +11,9 @@
 
 use std::time::Duration;
 
-use xqd::{rendezvous_order, ExecOptions, FaultPlan, Federation, NetworkModel, Strategy};
+use xqd::{
+    rendezvous_order, ExecOptions, FaultPlan, Federation, MetricsSnapshot, NetworkModel, Strategy,
+};
 
 /// Twelve students on peer A and exams with duplicated ids on peer B —
 /// Q2's "many exams per student" key distribution, where `distinct-keys`
@@ -72,16 +74,16 @@ fn run_mode(
     compile: bool,
     use_indexes: bool,
     fault: Option<FaultPlan>,
-) -> (Result<Vec<String>, String>, [u64; 23]) {
+) -> (Result<Vec<String>, String>, MetricsSnapshot) {
     let mut f = federation();
     f.set_exec_options(ExecOptions { semijoin, compile, use_indexes, fault, ..ExecOptions::default() });
     match f.run(JOIN_QUERY, strategy) {
-        Ok(out) => (Ok(out.result), out.metrics.counters()),
+        Ok(out) => (Ok(out.result), out.metrics.named()),
         Err(e) => {
             let code = e
                 .code
                 .unwrap_or_else(|| panic!("{strategy:?}: untyped error {:?}", e.message));
-            (Err(code), f.metrics().counters())
+            (Err(code), f.metrics().named())
         }
     }
 }
@@ -124,21 +126,29 @@ fn semijoin_changes_bytes_never_results() {
             assert_eq!(res_on_i, res_off_i, "{strategy:?}: semi-join changed the interpreter");
             assert_eq!(res_off_c, res_off_i, "{strategy:?}: compiled diverged from oracle");
             assert_eq!(
-                ctr_off_c[..13],
-                ctr_off_i[..13],
+                ctr_off_c.wire(),
+                ctr_off_i.wire(),
                 "{strategy:?} indexes={use_indexes}: off-wire not byte-identical to oracle"
             );
             assert_eq!(
-                ctr_on_c[..13],
-                ctr_on_i[..13],
+                ctr_on_c.wire(),
+                ctr_on_i.wire(),
                 "{strategy:?} indexes={use_indexes}: on-wire not byte-identical to oracle"
             );
             // the join counters agree between engines too; the keyset
             // counters may fire even with the rewrite off (front-coding is
             // content-driven), but `semijoins` is the rewrite's alone
-            assert_eq!(ctr_on_c[16..], ctr_on_i[16..], "{strategy:?}: join counters diverged");
-            assert_eq!(ctr_off_c[16..], ctr_off_i[16..], "{strategy:?}: join counters diverged");
-            assert_eq!(ctr_off_c[16], 0, "{strategy:?}: off-run counted semi-joins");
+            assert_eq!(
+                ctr_on_c.joins_and_scheduler(),
+                ctr_on_i.joins_and_scheduler(),
+                "{strategy:?}: join counters diverged"
+            );
+            assert_eq!(
+                ctr_off_c.joins_and_scheduler(),
+                ctr_off_i.joins_and_scheduler(),
+                "{strategy:?}: join counters diverged"
+            );
+            assert_eq!(ctr_off_c.semijoins(), 0, "{strategy:?}: off-run counted semi-joins");
         }
     }
 }
@@ -180,8 +190,8 @@ fn semijoin_equivalence_holds_under_chaos() {
             let (res_c, ctr_c) = run_mode(true, strategy, true, true, plan);
             assert_eq!(res_c, res_i, "seed {seed} {strategy:?}: outcome diverged");
             assert_eq!(
-                ctr_c[..13],
-                ctr_i[..13],
+                ctr_c.wire(),
+                ctr_i.wire(),
                 "seed {seed} {strategy:?}: wire counters diverged"
             );
         }

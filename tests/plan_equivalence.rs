@@ -8,7 +8,9 @@
 //! exact, eviction follows recency, and a plan is never shared across
 //! distinct static contexts or catalog generations.
 
-use xqd::{ExecOptions, FaultPlan, Federation, NetworkModel, StaticContext, Strategy};
+use xqd::{
+    ExecOptions, FaultPlan, Federation, MetricsSnapshot, NetworkModel, StaticContext, Strategy,
+};
 
 const DOC_A: &str = "<people>\
     <person><name>Ann</name><age>31</age><tutor>Bo</tutor></person>\
@@ -53,16 +55,16 @@ fn run_mode(
     compile: bool,
     use_indexes: bool,
     fault: Option<FaultPlan>,
-) -> (Result<Vec<String>, String>, [u64; 23]) {
+) -> (Result<Vec<String>, String>, MetricsSnapshot) {
     let mut f = federation();
     f.set_exec_options(ExecOptions { compile, use_indexes, fault, ..ExecOptions::default() });
     match f.run(query, strategy) {
-        Ok(out) => (Ok(out.result), out.metrics.counters()),
+        Ok(out) => (Ok(out.result), out.metrics.named()),
         Err(e) => {
             let code = e
                 .code
                 .unwrap_or_else(|| panic!("{strategy:?}: untyped error {:?}", e.message));
-            (Err(code), f.metrics().counters())
+            (Err(code), f.metrics().named())
         }
     }
 }
@@ -103,18 +105,18 @@ fn compiled_execution_matches_interpreter_bit_for_bit() {
                     "{strategy:?} indexes={use_indexes}: compiled result diverged on {query}"
                 );
                 assert_eq!(
-                    ctr_c[..13],
-                    ctr_i[..13],
+                    ctr_c.wire(),
+                    ctr_i.wire(),
                     "{strategy:?} indexes={use_indexes}: wire counters diverged on {query}"
                 );
                 // the trio itself: interpreter compiles nothing...
-                assert_eq!(ctr_i[13..16], [0, 0, 0], "interpreter touched plan counters");
+                assert_eq!(ctr_i.plan_cache(), [0, 0, 0], "interpreter touched plan counters");
                 // ...while a fresh compiled federation misses once and lowers once
-                assert_eq!(ctr_c[13..16], [1, 0, 1], "compiled run miscounted on {query}");
+                assert_eq!(ctr_c.plan_cache(), [1, 0, 1], "compiled run miscounted on {query}");
                 // the join counters must agree bit-for-bit too
                 assert_eq!(
-                    ctr_c[16..],
-                    ctr_i[16..],
+                    ctr_c.joins_and_scheduler(),
+                    ctr_i.joins_and_scheduler(),
                     "{strategy:?} indexes={use_indexes}: join counters diverged on {query}"
                 );
             }
@@ -142,8 +144,8 @@ fn compiled_execution_matches_interpreter_under_chaos() {
                     "seed {seed} {strategy:?}: compiled outcome diverged on {query}"
                 );
                 assert_eq!(
-                    ctr_c[..13],
-                    ctr_i[..13],
+                    ctr_c.wire(),
+                    ctr_i.wire(),
                     "seed {seed} {strategy:?}: counters diverged on {query}"
                 );
             }
