@@ -81,6 +81,27 @@ if grep -q '"all_errors_typed": false' target/BENCH_throughput.ci.json; then
     exit 1
 fi
 
+echo "== multi-process crash harness (3 daemons over TCP, kill -9, drain) =="
+# Live `xqd serve` daemons on localhost ephemeral ports: the federated-join
+# workload must return bit-identical results to the simulated oracle over
+# the real wire, a kill -9'd peer must surface as a typed error (with a
+# replica standing, as the identical result via failover), and every
+# surviving daemon must exit 0 on graceful drain. The harness carries its
+# own 90s watchdog; the outer timeout is belt-and-braces where coreutils
+# provides one.
+run_crash_harness() {
+    cargo run --release --offline --example crash_harness -- --out target/ci_crash.json
+}
+if command -v timeout >/dev/null 2>&1; then
+    timeout 150 cargo run --release --offline --example crash_harness -- --out target/ci_crash.json
+else
+    run_crash_harness
+fi
+grep -q '"equivalence_identical": true' target/ci_crash.json
+grep -q '"killed_typed_or_identical": true' target/ci_crash.json
+grep -q '"replica_failover_identical": true' target/ci_crash.json
+grep -q '"drain_exit_zero": true' target/ci_crash.json
+
 echo "== chaos smoke (seeded fault sweep + replica failover, offline) =="
 # Small-N seeded fault-injection sweep across all three wire semantics,
 # followed by the replicated scene: every peer's documents live on a

@@ -28,6 +28,10 @@ pub struct ReplicaCatalog {
     /// Canonical `xrpc://primary/doc` URI → alternate hosts (registration
     /// order, primary excluded — it is implied by the URI).
     entries: BTreeMap<String, Vec<String>>,
+    /// Peer name → transport address (`host:port`). Empty in simulated
+    /// federations, where the name *is* the address; the socket transport
+    /// dials through this book.
+    addresses: BTreeMap<String, String>,
 }
 
 impl ReplicaCatalog {
@@ -107,6 +111,24 @@ impl ReplicaCatalog {
         let mut out = vec![primary.to_string()];
         out.extend(common.unwrap_or_default());
         out
+    }
+
+    /// Records the transport address a peer daemon answers on. Placement
+    /// (which host serves which document) and addressing (where that host
+    /// listens) live in the same catalog so a federation is described by
+    /// one structure.
+    pub fn set_address(&mut self, peer: &str, addr: &str) {
+        self.addresses.insert(peer.to_string(), addr.to_string());
+    }
+
+    /// The transport address registered for `peer`, if any.
+    pub fn address_of(&self, peer: &str) -> Option<&str> {
+        self.addresses.get(peer).map(String::as_str)
+    }
+
+    /// Every peer with a registered transport address, in name order.
+    pub fn addressed_peers(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.addresses.iter().map(|(p, a)| (p.as_str(), a.as_str()))
     }
 }
 
@@ -190,6 +212,15 @@ mod tests {
         assert_eq!(c.canonical_on("b", "da.xml"), Some("xrpc://a/da.xml".into()));
         assert_eq!(c.canonical_on("q", "missing.xml"), None);
         assert_eq!(c.canonical_on("z", "d.xml"), None);
+    }
+
+    #[test]
+    fn address_book_round_trips() {
+        let mut c = catalog();
+        c.set_address("p", "127.0.0.1:7001");
+        assert_eq!(c.address_of("p"), Some("127.0.0.1:7001"));
+        assert_eq!(c.address_of("q"), None);
+        assert_eq!(c.addressed_peers().collect::<Vec<_>>(), [("p", "127.0.0.1:7001")]);
     }
 
     #[test]

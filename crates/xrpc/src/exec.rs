@@ -68,11 +68,12 @@ use crate::health::{
     seeded_fraction, Admission, BreakerPolicy, BreakerState, Observation, Scoreboard,
 };
 use crate::message::{
-    decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
-    WireSemantics,
+    decode_doc_request, decode_fault, decode_request, decode_response, encode_doc_response,
+    encode_fault, encode_request, encode_response, WireSemantics,
 };
 use crate::net::{Fault, FaultPlan, Metrics, NetworkModel, XrpcError};
 use crate::trace::{SpanBuilder, Trace, Tracer, ROOT_SPAN};
+use crate::transport::Transport;
 
 /// One simulated peer: a named document store.
 #[derive(Debug)]
@@ -221,6 +222,21 @@ impl RetryPolicy {
         let shift = failed.saturating_sub(1).min(20);
         let exp = self.base_backoff.saturating_mul(1u32 << shift);
         exp.min(self.max_backoff).mul_f64(0.5 + 0.5 * jitter.clamp(0.0, 1.0))
+    }
+
+    /// Like [`RetryPolicy::backoff`], but honoring a server-supplied
+    /// `retry-after-ms` hint (`PeerBusy` / `BreakerOpen` / `Overloaded`
+    /// carry one). The server's estimate of when capacity frees up is
+    /// never *under*cut — retrying sooner is exactly the hammering the
+    /// hint exists to prevent — but it is capped by the caller's whole
+    /// deadline budget: a hint the budget cannot afford waits the budget
+    /// out, no longer.
+    pub fn backoff_with_hint(&self, failed: u32, jitter: f64, hint: Option<Duration>) -> Duration {
+        let exp = self.backoff(failed, jitter);
+        match hint {
+            Some(h) => exp.max(h).min(self.deadline),
+            None => exp,
+        }
     }
 }
 
@@ -854,6 +870,51 @@ impl Federation {
         Ok(())
     }
 
+    /// Loads `xml` on `peer` under an explicit foreign **canonical** URI —
+    /// a replica copy of another primary's document, arriving from outside
+    /// the federation (a daemon's CLI-provided file rather than a live
+    /// primary; [`Federation::replicate_document`] covers the in-process
+    /// case). The placement is recorded in the catalog so plain-name and
+    /// failover resolution can elect this host.
+    pub fn load_replica_copy(
+        &mut self,
+        peer: &str,
+        canonical_uri: &str,
+        xml: &str,
+    ) -> Result<(), EvalError> {
+        let mut peers = self.core.peers.lock().unwrap();
+        let entry = peers
+            .entry(peer.to_string())
+            .or_insert_with(|| PeerSlot::ready(Peer::new(peer)));
+        let p = entry
+            .peer
+            .as_mut()
+            .ok_or_else(|| EvalError::new(format!("peer {peer} is busy")))?;
+        if p.store.doc_by_uri(canonical_uri).is_none() {
+            xqd_xml::parse_document(&mut p.store, xml, Some(canonical_uri))
+                .map_err(|e| EvalError::new(format!("replicating {canonical_uri}: {e}")))?;
+        }
+        drop(peers);
+        self.core.catalog.lock().unwrap().register(canonical_uri, peer);
+        self.core.catalog_gen.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Takes `name`'s peer out of its slot without waiting (`None` if
+    /// absent or already held). Test scaffolding: a held slot is
+    /// indistinguishable from a long-running evaluation, which is exactly
+    /// what drain/overload tests need to stage deterministically.
+    #[doc(hidden)]
+    pub fn checkout_peer(&self, name: &str) -> Option<Peer> {
+        self.core.take_peer(name, Duration::ZERO).ok()
+    }
+
+    /// Returns a peer checked out with [`Federation::checkout_peer`].
+    #[doc(hidden)]
+    pub fn checkin_peer(&self, peer: Peer) {
+        self.core.put_peer(peer);
+    }
+
     /// Parses, decomposes and executes `query` under `strategy`.
     pub fn run(&mut self, query: &str, strategy: Strategy) -> EvalResult<RunOutcome> {
         self.run_with(query, strategy, xqd_core::DecomposeOptions::default())
@@ -1182,6 +1243,15 @@ impl Federation {
         self.core.last_trace.lock().unwrap().take()
     }
 
+    /// An envelope-level [`Transport`] view of this federation's peers: one
+    /// exchange takes a peer's slot, runs the real decode → evaluate →
+    /// encode path, and returns the reply envelope. The daemon harness uses
+    /// this as the in-process oracle the TCP transport is diffed against —
+    /// same codecs, same fault semantics, zero sockets.
+    pub fn transport(&self) -> SimTransport {
+        SimTransport { core: Arc::clone(&self.core) }
+    }
+
     /// Total serialized size in bytes of every document stored on peers —
     /// the Figure 7 x-axis.
     pub fn total_document_bytes(&self) -> u64 {
@@ -1195,6 +1265,51 @@ impl Federation {
             }
         }
         total
+    }
+}
+
+/// The simulated federation seen through the [`Transport`] seam: every
+/// exchange is one envelope round-trip against a real peer slot, using the
+/// same codecs and the same slot discipline (bounded wait queue, typed
+/// `PeerBusy`) as the in-process execution paths. No fault plan applies
+/// here — the chaos oracle stays attached to the simulated *run* paths —
+/// so a reply either round-trips faithfully or fails for a real reason
+/// (unknown peer, slot contention within `budget`).
+pub struct SimTransport {
+    core: Arc<FedCore>,
+}
+
+impl Transport for SimTransport {
+    fn exchange(&self, peer: &str, request: &str, budget: Duration) -> Result<String, XrpcError> {
+        // Doc-request envelopes serve the data-shipping path: look the
+        // document up under its canonical URI, falling back to the plain
+        // name it was loaded under.
+        if let Some(uri) = decode_doc_request(request) {
+            let p = self.core.take_peer(peer, budget)?;
+            let found = p.store.doc_by_uri(&uri).or_else(|| {
+                xqd_core::uris::split_xrpc_uri(&uri)
+                    .and_then(|(_, name)| p.store.doc_by_uri(name))
+            });
+            let reply = match found {
+                Some(id) => encode_doc_response(
+                    &uri,
+                    &xqd_xml::serialize_document(p.store.doc(id), &p.store.names),
+                ),
+                None => encode_fault(&XrpcError::RemoteFault {
+                    peer: peer.to_string(),
+                    code: "xrpc:document-not-found".to_string(),
+                    message: format!("document not found on {peer}: {uri}"),
+                }),
+            };
+            self.core.put_peer(p);
+            return Ok(reply);
+        }
+        let mut p = self.core.take_peer(peer, budget)?;
+        let outcome = run_remote(peer, request, false, &mut |req| {
+            process_request(&self.core, peer, &mut p.store, req)
+        });
+        self.core.put_peer(p);
+        outcome
     }
 }
 
@@ -1502,7 +1617,7 @@ fn fetch_document(
                     (Some(p), Some(s)) => p.jitter(fhost, s),
                     _ => 0.0,
                 };
-                let wait = retry.backoff(failed, jitter);
+                let wait = retry.backoff_with_hint(failed, jitter, e.retry_after());
                 if trace_on {
                     attempts.push(
                         SpanBuilder::new("doc.backoff", "doc")
@@ -1990,7 +2105,7 @@ fn transport_call(
                     (Some(p), Some(s)) => p.jitter(peer, s),
                     _ => 0.0,
                 };
-                let wait = retry.backoff(failed, jitter);
+                let wait = retry.backoff_with_hint(failed, jitter, e.retry_after());
                 if trace_on {
                     attempts.push(
                         SpanBuilder::new("rpc.backoff", "rpc")
@@ -2030,11 +2145,11 @@ const BUSY_SWITCH_WAIT: Duration = Duration::from_millis(250);
 /// first of them is reported so an all-rejected ladder can fail fast with
 /// a typed [`XrpcError::BreakerOpen`].
 /// `(host, probe)` pairs a ladder may dial, in preference order.
-type Candidates = Vec<(String, bool)>;
+pub(crate) type Candidates = Vec<(String, bool)>;
 /// The first open-breaker host and its remaining cooldown, if any.
-type RejectedHost = Option<(String, Duration)>;
+pub(crate) type RejectedHost = Option<(String, Duration)>;
 
-fn admitted_candidates(
+pub(crate) fn admitted_candidates(
     board: &Scoreboard,
     seed: u64,
     mut hosts: Vec<String>,
@@ -2876,6 +2991,36 @@ mod tests {
         let mut f = Federation::new(NetworkModel::lan());
         f.load_document("p", "d.xml", "<a><b/></a>").unwrap();
         f
+    }
+
+    #[test]
+    fn backoff_hint_is_never_undercut_and_never_exceeds_the_deadline() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            deadline: Duration::from_millis(200),
+        };
+        // no hint: plain exponential backoff, bit for bit
+        for failed in 1..5 {
+            assert_eq!(
+                policy.backoff_with_hint(failed, 0.5, None),
+                policy.backoff(failed, 0.5)
+            );
+        }
+        // a hint above the exponential wait wins: the server's estimate
+        // of when capacity frees is never undercut
+        let hint = Duration::from_millis(120);
+        assert_eq!(policy.backoff_with_hint(1, 0.0, Some(hint)), hint);
+        // a hint below the exponential wait changes nothing
+        let tiny = Duration::from_millis(1);
+        assert_eq!(
+            policy.backoff_with_hint(4, 1.0, Some(tiny)),
+            policy.backoff(4, 1.0)
+        );
+        // a hint the deadline budget cannot afford is capped by it
+        let huge = Duration::from_secs(60);
+        assert_eq!(policy.backoff_with_hint(1, 0.0, Some(huge)), policy.deadline);
     }
 
     #[test]

@@ -28,7 +28,19 @@
 //!   clock: per-query span trees (front end, failover rungs, RPC
 //!   attempts, scatter rounds, peer evaluations, queue residency),
 //!   exact-percentile latency histograms, and JSON / Chrome
-//!   `trace_event` export that replays byte-identically from a seed.
+//!   `trace_event` export that replays byte-identically from a seed;
+//! * [`transport`] — the [`Transport`] seam over the envelope protocol
+//!   (one exchange = one reply envelope), the length-prefixed socket
+//!   framing with typed corruption errors, and the wall-clock
+//!   [`call_with_retry`] driver honoring server `retry-after-ms` hints;
+//! * [`tcp`] — the real-socket side: [`TcpTransport`] (pooled
+//!   connections, per-attempt deadlines) and [`SocketFederation`], the
+//!   coordinator that drives a multi-process localhost federation
+//!   through the same failover ladder discipline;
+//! * [`server`] — the `xqd serve` daemon: [`PeerServer`] listening for
+//!   length-prefixed envelopes with read/write/idle deadlines, bounded
+//!   in-flight admission with honest `retry-after-ms`, typed faults for
+//!   malformed frames, and graceful drain.
 //!
 //! ```no_run
 //! use xqd_xrpc::{Federation, NetworkModel};
@@ -45,15 +57,20 @@ pub mod health;
 pub mod message;
 pub mod net;
 pub mod sched;
+pub mod server;
+pub mod tcp;
 pub mod trace;
+pub mod transport;
 pub mod wire;
 
 pub use exec::{
     canonical_item, ExecOptions, Federation, Peer, PreparedQuery, RetryPolicy, RunOutcome,
+    SimTransport,
 };
 pub use health::{Admission, BreakerPolicy, BreakerState, Scoreboard};
 pub use message::{
-    decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
+    decode_doc_request, decode_doc_response, decode_fault, decode_request, decode_response,
+    encode_doc_request, encode_doc_response, encode_fault, encode_request, encode_response,
     WireSemantics,
 };
 pub use net::{Fault, FaultPlan, Metrics, MetricsSnapshot, NetworkModel, XrpcError, METRIC_NAMES};
@@ -61,4 +78,9 @@ pub use sched::{
     OutcomeKind, QueryOutcome, TenantReport, TenantSpec, WorkloadConfig, WorkloadEngine,
     WorkloadReport,
 };
+pub use server::{DrainReport, PeerServer, ServerConfig};
+pub use tcp::{SocketFederation, TcpTransport};
 pub use trace::{Histogram, Span, SpanBuilder, Trace, Tracer, ROOT_SPAN};
+pub use transport::{
+    call_with_retry, read_frame, write_frame, CallOutcome, FrameError, Transport, MAX_FRAME_LEN,
+};

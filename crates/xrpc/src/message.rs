@@ -753,6 +753,55 @@ pub fn decode_fault(message: &str) -> Option<XrpcError> {
     Some(err)
 }
 
+/// Encodes a whole-document fetch request (the data-shipping path over a
+/// real transport; the simulated transport serializes the peer's store
+/// directly and never needs one of these on the wire).
+pub fn encode_doc_request(uri: &str) -> String {
+    let mut out = String::with_capacity(64 + uri.len());
+    out.push_str("<env><doc-request uri=\"");
+    escape_attr(uri, &mut out);
+    out.push_str("\"/></env>");
+    out
+}
+
+/// Decodes a doc-request envelope, returning the requested URI. `None` for
+/// any other message shape (the cheap `contains` gate keeps ordinary
+/// requests off the parse path).
+pub fn decode_doc_request(message: &str) -> Option<String> {
+    if !message.contains("<doc-request") {
+        return None;
+    }
+    let mut scratch = Store::new();
+    let doc = xqd_xml::parse_document(&mut scratch, message, None).ok()?;
+    let req = find_child(&scratch, NodeId::new(doc, 0), "env")
+        .and_then(|env| find_child(&scratch, env, "doc-request"))?;
+    attr(&scratch, req, "uri")
+}
+
+/// Encodes a fetched document as a reply envelope. The serialized document
+/// travels as escaped text so the envelope stays parseable regardless of
+/// the payload's own markup.
+pub fn encode_doc_response(uri: &str, xml: &str) -> String {
+    let mut out = String::with_capacity(64 + uri.len() + xml.len());
+    out.push_str("<env><doc uri=\"");
+    escape_attr(uri, &mut out);
+    out.push_str("\">");
+    escape_text(xml, &mut out);
+    out.push_str("</doc></env>");
+    out
+}
+
+/// Decodes a doc reply envelope back into the document's XML text. Returns
+/// `None` for non-doc messages and unparseable bytes — the caller treats
+/// those as transport corruption (after checking [`decode_fault`] first).
+pub fn decode_doc_response(message: &str) -> Option<String> {
+    let mut scratch = Store::new();
+    let doc = xqd_xml::parse_document(&mut scratch, message, None).ok()?;
+    let d = find_child(&scratch, NodeId::new(doc, 0), "env")
+        .and_then(|env| find_child(&scratch, env, "doc"))?;
+    Some(scratch.doc(d.doc).string_value(d.idx))
+}
+
 /// A decoded request, with all node values shredded into the receiving
 /// store.
 #[derive(Debug)]

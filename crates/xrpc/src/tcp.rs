@@ -1,0 +1,495 @@
+//! Real sockets under the [`Transport`] seam.
+//!
+//! [`TcpTransport`] dials peer daemons over localhost (or any reachable
+//! address) and speaks the length-prefixed envelope framing of
+//! [`crate::transport`]; [`SocketFederation`] is the coordinator that
+//! drives a **multi-process** federation through it — same decomposition
+//! front end, same replica failover ladder discipline, same health
+//! scoreboard as the simulated [`crate::exec::Federation`], so the same
+//! query returns bit-identical canonical results whichever side of the
+//! seam executes it.
+//!
+//! Differences from the simulated side are deliberate and small:
+//!
+//! * time is **wall clock** — retry backoff really sleeps, deadlines
+//!   really expire, and the scoreboard advances by observed elapsed time;
+//! * there is no graceful-degradation rung: a coordinator that cannot
+//!   reach any replica has no local copy to fall back on, so the ladder
+//!   ends in a typed error instead (the crash harness asserts exactly
+//!   this "typed error or identical result" dichotomy);
+//! * connections are pooled per peer and rebuilt transparently — a stale
+//!   pooled connection (server restarted, drained, or killed) costs one
+//!   reconnect, and a refused connection surfaces as a retryable
+//!   [`XrpcError::PeerBusy`] feeding the breaker like any other failure.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use xqd_core::replicas::ReplicaCatalog;
+use xqd_core::Strategy;
+use xqd_xml::Store;
+use xqd_xquery::eval::{DocResolver, Evaluator, RemoteHandler, StaticContext};
+use xqd_xquery::value::{EvalError, EvalResult, Sequence};
+use xqd_xquery::{ast::ExecProjection, parse_query};
+
+use crate::exec::{admitted_candidates, canonical_item, ExecOptions, RetryPolicy};
+use crate::health::{BreakerPolicy, Observation, Scoreboard};
+use crate::message::{
+    decode_doc_response, decode_response, encode_doc_request, encode_request, WireSemantics,
+};
+use crate::net::XrpcError;
+use crate::transport::{call_with_retry, read_frame, write_frame, Transport, MAX_FRAME_LEN};
+
+/// How long a fresh connection attempt may take before it counts as a
+/// failed attempt (distinct from the per-exchange budget: connecting to a
+/// dead localhost port fails in microseconds, but a blackholed address
+/// must not eat the whole deadline).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Retry hint attached to a refused connection: the daemon is restarting
+/// or its accept queue is momentarily full — both clear quickly.
+const RECONNECT_HINT: Duration = Duration::from_millis(25);
+
+/// A client-side TCP transport: one pooled connection per peer, framed
+/// envelope exchanges with per-attempt deadlines.
+pub struct TcpTransport {
+    addrs: Mutex<BTreeMap<String, String>>,
+    pool: Mutex<HashMap<String, TcpStream>>,
+    max_frame_len: usize,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport::new()
+    }
+}
+
+impl TcpTransport {
+    pub fn new() -> Self {
+        TcpTransport {
+            addrs: Mutex::new(BTreeMap::new()),
+            pool: Mutex::new(HashMap::new()),
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+
+    /// Registers (or replaces) the address `peer` answers on.
+    pub fn register(&self, peer: &str, addr: &str) {
+        self.addrs.lock().unwrap().insert(peer.to_string(), addr.to_string());
+        // a re-registered peer may have moved: drop any pooled connection
+        self.pool.lock().unwrap().remove(peer);
+    }
+
+    /// The registered address of `peer`, if any.
+    pub fn address_of(&self, peer: &str) -> Option<String> {
+        self.addrs.lock().unwrap().get(peer).cloned()
+    }
+
+    fn connect(&self, peer: &str) -> Result<TcpStream, XrpcError> {
+        let Some(addr) = self.address_of(peer) else {
+            return Err(XrpcError::UnknownPeer { peer: peer.to_string() });
+        };
+        let mut last: Option<std::io::Error> = None;
+        let resolved = addr.to_socket_addrs().map_err(|e| XrpcError::TransportCorrupt {
+            peer: peer.to_string(),
+            detail: format!("unresolvable address {addr}: {e}"),
+        })?;
+        for sa in resolved {
+            match TcpStream::connect_timeout(&sa, CONNECT_TIMEOUT) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    return Ok(s);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        // refused/unreachable is retryable: the daemon may be restarting,
+        // and the breaker decides when to stop believing that
+        Err(XrpcError::PeerBusy {
+            peer: peer.to_string(),
+            detail: match last {
+                Some(e) => format!("connect {addr}: {e}"),
+                None => format!("address {addr} resolved to nothing"),
+            },
+            retry_after: RECONNECT_HINT,
+        })
+    }
+
+    fn pooled(&self, peer: &str) -> Option<TcpStream> {
+        self.pool.lock().unwrap().remove(peer)
+    }
+
+    fn set_deadlines(stream: &TcpStream, remaining: Duration) {
+        // zero is "no timeout" to the socket API — clamp to 1ms instead
+        let t = remaining.max(Duration::from_millis(1));
+        let _ = stream.set_write_timeout(Some(t));
+        let _ = stream.set_read_timeout(Some(t));
+    }
+}
+
+impl Transport for TcpTransport {
+    fn exchange(&self, peer: &str, request: &str, budget: Duration) -> Result<String, XrpcError> {
+        let started = Instant::now();
+        let mut stream = match self.pooled(peer) {
+            Some(s) => s,
+            None => self.connect(peer)?,
+        };
+        TcpTransport::set_deadlines(&stream, budget);
+        if let Err(first) = write_frame(&mut stream, request) {
+            // the pooled connection went stale (drained / restarted peer):
+            // one transparent reconnect, then the error is real
+            stream = self.connect(peer)?;
+            let remaining = budget.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                return Err(XrpcError::Timeout { peer: peer.to_string(), deadline: budget });
+            }
+            TcpTransport::set_deadlines(&stream, remaining);
+            write_frame(&mut stream, request).map_err(|e| {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    XrpcError::Timeout { peer: peer.to_string(), deadline: budget }
+                } else {
+                    XrpcError::TransportCorrupt {
+                        peer: peer.to_string(),
+                        detail: format!("send failed twice ({first}; then {e})"),
+                    }
+                }
+            })?;
+        }
+        let remaining = budget.saturating_sub(started.elapsed());
+        TcpTransport::set_deadlines(&stream, remaining);
+        match read_frame(&mut stream, self.max_frame_len) {
+            Ok(Some(reply)) => {
+                // healthy exchange: the connection goes back in the pool
+                self.pool.lock().unwrap().insert(peer.to_string(), stream);
+                Ok(reply)
+            }
+            Ok(None) => Err(XrpcError::TransportCorrupt {
+                peer: peer.to_string(),
+                detail: "connection closed before a reply frame".to_string(),
+            }),
+            Err(fe) => Err(fe.into_xrpc(peer, budget)),
+        }
+    }
+}
+
+/// Per-run outcome of a socket-mode query: canonical result items (the
+/// same serialization [`crate::exec::Federation`] produces, enabling
+/// byte-level diffs across the seam) plus availability counters.
+#[derive(Debug)]
+pub struct SocketRunOutcome {
+    pub result: Vec<String>,
+    pub remote_calls: u64,
+    /// Whole documents data-shipped from a serving host.
+    pub doc_fetches: u64,
+    pub failovers: u64,
+    pub retries: u64,
+}
+
+struct SockCore {
+    transport: Arc<dyn Transport>,
+    catalog: Mutex<ReplicaCatalog>,
+    options: Mutex<ExecOptions>,
+    static_ctx: Mutex<StaticContext>,
+    wire: Mutex<WireSemantics>,
+    /// Wall-clock health scoreboard: persists across runs so a killed peer
+    /// stays distrusted (and its breaker open) from one query to the next.
+    board: Mutex<Scoreboard>,
+    /// Instant of the board's last advance — observations advance it by
+    /// genuinely elapsed time.
+    board_clock: Mutex<Instant>,
+    remote_calls: AtomicU64,
+    doc_fetches: AtomicU64,
+    failovers: AtomicU64,
+    retries: AtomicU64,
+    /// Jitter stream seed, bumped per ladder so same-peer retries across a
+    /// run do not share backoff phases.
+    lanes: AtomicU64,
+}
+
+impl SockCore {
+    fn observe(&self, host: &str, ok: bool, failed_attempts: u32, chain: Duration, probe: bool) {
+        let mut board = self.board.lock().unwrap();
+        let mut last = self.board_clock.lock().unwrap();
+        let now = Instant::now();
+        board.advance(now.duration_since(*last));
+        *last = now;
+        board.observe(&Observation { peer: host.to_string(), ok, failed_attempts, chain, probe });
+    }
+
+    /// The failover ladder over every host able to stand in for `primary`
+    /// (healthiest first, open breakers dropped): per rung a full
+    /// [`call_with_retry`] cycle, each outcome fed to the scoreboard. No
+    /// degradation rung — the socket coordinator holds no local copy to
+    /// fall back on, so an exhausted ladder is a typed error.
+    fn call_ladder(
+        &self,
+        primary: &str,
+        hosts: Vec<String>,
+        request: &str,
+        retry: &RetryPolicy,
+        seed: u64,
+    ) -> Result<String, XrpcError> {
+        let lane = self.lanes.fetch_add(1, Ordering::Relaxed);
+        let (candidates, rejected) = {
+            let board = self.board.lock().unwrap();
+            admitted_candidates(&board, seed, hosts)
+        };
+        if candidates.is_empty() {
+            return Err(match rejected {
+                Some((host, cooldown)) => {
+                    XrpcError::BreakerOpen { peer: host, retry_after: cooldown }
+                }
+                None => XrpcError::UnknownPeer { peer: primary.to_string() },
+            });
+        }
+        let mut last_err = None;
+        for (rung, (host, probe)) in candidates.into_iter().enumerate() {
+            if rung > 0 {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            let t0 = Instant::now();
+            let out = call_with_retry(
+                &*self.transport,
+                &host,
+                request,
+                retry,
+                seed ^ lane.rotate_left(17) ^ (rung as u64),
+            );
+            let ok = out.outcome.is_ok();
+            self.retries.fetch_add(
+                u64::from(out.failed_attempts.saturating_sub(u32::from(!ok))),
+                Ordering::Relaxed,
+            );
+            self.observe(&host, ok, out.failed_attempts, t0.elapsed(), probe);
+            match out.outcome {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    if !e.failover_eligible() {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("non-empty candidate list"))
+    }
+}
+
+/// The resolver/handler link of the socket coordinator: remote calls go
+/// through the ladder over the wire; `doc()` of a foreign URI data-ships
+/// the document from any host serving it.
+struct SockLink {
+    core: Arc<SockCore>,
+}
+
+impl DocResolver for SockLink {
+    fn resolve(&mut self, store: &mut Store, uri: &str) -> EvalResult<xqd_xml::DocId> {
+        if let Some(d) = store.doc_by_uri(uri) {
+            return Ok(d);
+        }
+        if xqd_core::uris::split_xrpc_uri(uri).is_none() {
+            return Err(EvalError::new(format!("document not found: {uri}")));
+        }
+        let (retry, seed) = {
+            let o = self.core.options.lock().unwrap();
+            (o.retry, o.replica_seed)
+        };
+        let hosts = self.core.catalog.lock().unwrap().hosts_for(uri);
+        let request = encode_doc_request(uri);
+        let reply = self
+            .core
+            .call_ladder(uri, hosts, &request, &retry, seed)
+            .map_err(EvalError::from)?;
+        let xml = decode_doc_response(&reply).ok_or_else(|| {
+            EvalError::from(XrpcError::TransportCorrupt {
+                peer: uri.to_string(),
+                detail: format!("doc reply for {uri} is not a doc envelope"),
+            })
+        })?;
+        self.core.doc_fetches.fetch_add(1, Ordering::Relaxed);
+        xqd_xml::parse_document(store, &xml, Some(uri))
+            .map_err(|e| EvalError::new(format!("shipped document {uri} failed to parse: {e}")))
+    }
+}
+
+impl RemoteHandler for SockLink {
+    fn execute(
+        &mut self,
+        local: &mut Store,
+        static_ctx: &StaticContext,
+        peer: &str,
+        params: &[(String, Sequence)],
+        body: &xqd_xquery::Expr,
+        projection: Option<&ExecProjection>,
+    ) -> EvalResult<Sequence> {
+        let one_call = vec![params.to_vec()];
+        let mut results = self.execute_bulk(local, static_ctx, peer, &one_call, body, projection)?;
+        Ok(results.pop().unwrap_or_default())
+    }
+
+    fn execute_bulk(
+        &mut self,
+        local: &mut Store,
+        static_ctx: &StaticContext,
+        peer: &str,
+        calls: &[Vec<(String, Sequence)>],
+        body: &xqd_xquery::Expr,
+        projection: Option<&ExecProjection>,
+    ) -> EvalResult<Vec<Sequence>> {
+        let wire = *self.core.wire.lock().unwrap();
+        let body_src = body.to_string();
+        let request = encode_request(
+            local,
+            wire,
+            static_ctx,
+            &body_src,
+            calls,
+            projection.map(|p| p.params.as_slice()),
+            projection.map(|p| &p.result),
+        )?;
+        self.core.remote_calls.fetch_add(calls.len() as u64, Ordering::Relaxed);
+        let (retry, seed) = {
+            let o = self.core.options.lock().unwrap();
+            (o.retry, o.replica_seed)
+        };
+        let hosts = self.core.catalog.lock().unwrap().hosts_serving_peer(peer);
+        let response = self
+            .core
+            .call_ladder(peer, hosts, &request, &retry, seed)
+            .map_err(EvalError::from)?;
+        let sequences = decode_response(local, &response)?;
+        if sequences.len() != calls.len() {
+            return Err(EvalError::new(format!(
+                "response carries {} sequences for {} calls",
+                sequences.len(),
+                calls.len()
+            )));
+        }
+        Ok(sequences)
+    }
+}
+
+/// The socket-mode coordinator: the same decomposition front end and
+/// failover discipline as the simulated [`crate::exec::Federation`],
+/// executing against live peer daemons through any [`Transport`].
+pub struct SocketFederation {
+    core: Arc<SockCore>,
+}
+
+impl SocketFederation {
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        let options = ExecOptions::default();
+        SocketFederation {
+            core: Arc::new(SockCore {
+                transport,
+                catalog: Mutex::new(ReplicaCatalog::new()),
+                options: Mutex::new(options),
+                static_ctx: Mutex::new(StaticContext::default()),
+                wire: Mutex::new(WireSemantics::Value),
+                board: Mutex::new(Scoreboard::new(options.breaker)),
+                board_clock: Mutex::new(Instant::now()),
+                remote_calls: AtomicU64::new(0),
+                doc_fetches: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                lanes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A federation dialing daemons over TCP; the returned transport
+    /// handle registers peer addresses.
+    pub fn over_tcp() -> (Self, Arc<TcpTransport>) {
+        let transport = Arc::new(TcpTransport::new());
+        (SocketFederation::new(Arc::<TcpTransport>::clone(&transport)), transport)
+    }
+
+    /// Records that `host` serves a bit-identical copy of `canonical_uri`
+    /// (replica placement — identical meaning to the simulated catalog).
+    pub fn register_replica(&mut self, canonical_uri: &str, host: &str) {
+        self.core.catalog.lock().unwrap().register(canonical_uri, host);
+    }
+
+    /// Records the transport address of `peer` in the catalog (the address
+    /// book the `--connect` flag populates; the TCP transport keeps its
+    /// own dial map, registered separately).
+    pub fn set_peer_address(&mut self, peer: &str, addr: &str) {
+        self.core.catalog.lock().unwrap().set_address(peer, addr);
+    }
+
+    pub fn set_exec_options(&mut self, options: ExecOptions) {
+        *self.core.options.lock().unwrap() = options;
+        let mut board = self.core.board.lock().unwrap();
+        board.reset(options.breaker);
+    }
+
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.core.options.lock().unwrap().retry = retry;
+    }
+
+    pub fn set_static_context(&mut self, ctx: StaticContext) {
+        *self.core.static_ctx.lock().unwrap() = ctx;
+    }
+
+    /// Breaker state of `peer` on the persistent wall-clock scoreboard.
+    pub fn breaker_state(&self, peer: &str) -> crate::health::BreakerState {
+        self.core.board.lock().unwrap().state(peer)
+    }
+
+    /// Resets the health scoreboard (keeps catalog and options).
+    pub fn reset_health(&mut self) {
+        let policy: BreakerPolicy = self.core.options.lock().unwrap().breaker;
+        self.core.board.lock().unwrap().reset(policy);
+        *self.core.board_clock.lock().unwrap() = Instant::now();
+    }
+
+    /// Parses, decomposes and executes `query` under `strategy` against
+    /// the live federation. Canonical result items are directly comparable
+    /// with [`crate::exec::Federation::run`] output — the equivalence the
+    /// daemon tests and the crash harness assert byte for byte.
+    pub fn run(&mut self, query: &str, strategy: Strategy) -> EvalResult<SocketRunOutcome> {
+        let module = parse_query(query).map_err(|e| EvalError::new(format!("parse error: {e}")))?;
+        let options = *self.core.options.lock().unwrap();
+        let dopts =
+            xqd_core::DecomposeOptions { semijoin: options.semijoin, ..Default::default() };
+        let mut plan = xqd_core::decompose_with(&module, strategy, dopts)?;
+        {
+            let catalog = self.core.catalog.lock().unwrap();
+            plan.resolve_replicas(&catalog, options.replica_seed);
+        }
+        *self.core.wire.lock().unwrap() = match strategy {
+            Strategy::ByFragment => WireSemantics::Fragment,
+            Strategy::ByProjection => WireSemantics::Projection,
+            _ => WireSemantics::Value,
+        };
+        self.core.remote_calls.store(0, Ordering::Relaxed);
+        self.core.doc_fetches.store(0, Ordering::Relaxed);
+        self.core.failovers.store(0, Ordering::Relaxed);
+        self.core.retries.store(0, Ordering::Relaxed);
+        let static_ctx = self.core.static_ctx.lock().unwrap().clone();
+        let mut local = Store::new();
+        let functions: Vec<xqd_xquery::FunctionDef> = Vec::new();
+        let mut link = SockLink { core: Arc::clone(&self.core) };
+        let mut handler = SockLink { core: Arc::clone(&self.core) };
+        let mut ev = Evaluator::new(&mut local, &functions, &mut link)
+            .with_remote(&mut handler)
+            .with_static_context(static_ctx)
+            .with_indexes(options.use_indexes);
+        let result = ev.eval(&plan.rewritten)?;
+        drop(ev);
+        let canonical = result.iter().map(|i| canonical_item(&local, i)).collect();
+        Ok(SocketRunOutcome {
+            result: canonical,
+            remote_calls: self.core.remote_calls.load(Ordering::Relaxed),
+            doc_fetches: self.core.doc_fetches.load(Ordering::Relaxed),
+            failovers: self.core.failovers.load(Ordering::Relaxed),
+            retries: self.core.retries.load(Ordering::Relaxed),
+        })
+    }
+}

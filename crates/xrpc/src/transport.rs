@@ -1,0 +1,346 @@
+//! Transport abstraction over the XRPC envelope protocol.
+//!
+//! Every envelope exchange — request/response, doc fetch, fault — goes
+//! through the [`Transport`] trait: the deterministic in-process simulated
+//! transport (the chaos oracle, unchanged behind this seam) and the real
+//! TCP transport ([`crate::tcp`]) implement the same one-exchange contract,
+//! so the coordinator above cannot tell a simulated federation from a
+//! multi-process one.
+//!
+//! The module also owns the **length-prefixed framing** both ends of the
+//! socket speak: a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 envelope text. Framing is where a real network's failure modes
+//! live — truncated prefixes, oversized declared lengths, mid-frame EOF —
+//! and every one of them maps to a *typed* error
+//! (`xrpc:transport-corrupt`), never a panic and never an allocation sized
+//! by an untrusted length field.
+
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+use crate::exec::RetryPolicy;
+use crate::health::seeded_fraction;
+use crate::message::decode_fault;
+use crate::net::XrpcError;
+
+/// Hard cap on a frame's declared payload length. A peer declaring more is
+/// answered with a typed fault, and — crucially — the declared length is
+/// validated *before* any allocation, so a hostile 4-byte prefix cannot
+/// reserve gigabytes.
+pub const MAX_FRAME_LEN: usize = 32 << 20;
+
+/// Why a frame could not be read. Carries enough detail for an honest
+/// fault message; [`FrameError::into_xrpc`] maps every variant into the
+/// typed taxonomy.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF before the first prefix byte: the peer closed the
+    /// connection between frames. Not corruption — connection lifecycle.
+    Closed,
+    /// EOF after 1–3 prefix bytes: the length header itself was cut.
+    TruncatedPrefix(usize),
+    /// The prefix declared more than the frame cap. Rejected before any
+    /// buffer is sized from it.
+    Oversized { declared: u64, max: usize },
+    /// EOF mid-payload: `got` of `declared` bytes arrived.
+    MidFrameEof { got: usize, declared: usize },
+    /// The payload is not valid UTF-8 (XRPC envelopes are XML text).
+    Utf8 { valid_up_to: usize },
+    /// An I/O error during the read; `timed_out` distinguishes a read
+    /// deadline from a reset/refused connection.
+    Io { detail: String, timed_out: bool },
+}
+
+impl FrameError {
+    /// True for the clean between-frames close (normal connection end).
+    pub fn is_clean_close(&self) -> bool {
+        matches!(self, FrameError::Closed)
+    }
+
+    /// True when the failure was a read deadline expiring.
+    pub fn timed_out(&self) -> bool {
+        matches!(self, FrameError::Io { timed_out: true, .. })
+    }
+
+    /// Lifts the framing failure into the typed taxonomy, attributed to
+    /// `peer`. Read deadlines become [`XrpcError::Timeout`]; everything
+    /// else — including a clean close where a reply was still owed — is
+    /// [`XrpcError::TransportCorrupt`].
+    pub fn into_xrpc(self, peer: &str, deadline: Duration) -> XrpcError {
+        let peer = peer.to_string();
+        match self {
+            FrameError::Io { timed_out: true, .. } => XrpcError::Timeout { peer, deadline },
+            FrameError::Closed => XrpcError::TransportCorrupt {
+                peer,
+                detail: "connection closed before a reply frame".to_string(),
+            },
+            FrameError::TruncatedPrefix(got) => XrpcError::TransportCorrupt {
+                peer,
+                detail: format!("length prefix truncated after {got} byte(s)"),
+            },
+            FrameError::Oversized { declared, max } => XrpcError::TransportCorrupt {
+                peer,
+                detail: format!("declared frame length {declared} exceeds the {max}-byte cap"),
+            },
+            FrameError::MidFrameEof { got, declared } => XrpcError::TransportCorrupt {
+                peer,
+                detail: format!("frame truncated mid-payload ({got} of {declared} bytes)"),
+            },
+            FrameError::Utf8 { valid_up_to } => XrpcError::TransportCorrupt {
+                peer,
+                detail: format!("frame payload byte {valid_up_to} is not valid UTF-8"),
+            },
+            FrameError::Io { detail, .. } => XrpcError::TransportCorrupt { peer, detail },
+        }
+    }
+}
+
+fn io_frame_err(e: std::io::Error) -> FrameError {
+    let timed_out = matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    );
+    FrameError::Io { detail: format!("read failed: {e}"), timed_out }
+}
+
+/// Writes one length-prefixed frame and flushes it.
+pub fn write_frame(w: &mut dyn Write, payload: &str) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload exceeds u32 length")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads the 4-byte length prefix. `Ok(None)` is a clean close (EOF before
+/// the first byte); a partial prefix is [`FrameError::TruncatedPrefix`].
+pub fn read_prefix(r: &mut dyn Read) -> Result<Option<u32>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::TruncatedPrefix(got)),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_frame_err(e)),
+        }
+    }
+    Ok(Some(u32::from_be_bytes(prefix)))
+}
+
+/// Reads a frame payload of `declared` bytes, capped by `max_len`. The
+/// declared length is validated before any buffer is sized from it, and
+/// the read itself is bounded, so a lying prefix can neither allocate nor
+/// stream without limit.
+pub fn read_payload(
+    r: &mut dyn Read,
+    declared: u32,
+    max_len: usize,
+) -> Result<String, FrameError> {
+    let declared = declared as usize;
+    if declared > max_len {
+        return Err(FrameError::Oversized { declared: declared as u64, max: max_len });
+    }
+    // grow towards the declared size instead of trusting it up front
+    let mut buf = Vec::with_capacity(declared.min(64 * 1024));
+    let mut limited = r.take(declared as u64);
+    match limited.read_to_end(&mut buf) {
+        Ok(_) => {}
+        Err(e) => return Err(io_frame_err(e)),
+    }
+    if buf.len() < declared {
+        return Err(FrameError::MidFrameEof { got: buf.len(), declared });
+    }
+    String::from_utf8(buf)
+        .map_err(|e| FrameError::Utf8 { valid_up_to: e.utf8_error().valid_up_to() })
+}
+
+/// Reads one whole frame: prefix plus payload. `Ok(None)` is a clean
+/// close between frames.
+pub fn read_frame(r: &mut dyn Read, max_len: usize) -> Result<Option<String>, FrameError> {
+    match read_prefix(r)? {
+        None => Ok(None),
+        Some(declared) => read_payload(r, declared, max_len).map(Some),
+    }
+}
+
+/// One envelope exchange with a named peer.
+///
+/// The reply is always an envelope — `<response>`, `<doc>`, or a typed
+/// `<fault>` the caller decodes — mirroring the simulated transport's
+/// contract that remote failures travel as wire bytes. `Err` is reserved
+/// for failures with no reply envelope at all: an unknown peer, a refused
+/// or reset connection, a frame that could not be read within `budget`.
+pub trait Transport: Send + Sync {
+    /// Ships `request` to `peer` and returns the reply envelope, spending
+    /// at most `budget` wall clock on this one attempt.
+    fn exchange(&self, peer: &str, request: &str, budget: Duration) -> Result<String, XrpcError>;
+
+    /// Fetches the serialized document `uri` from `host` (the data-shipping
+    /// path). The default implementation rides on [`Transport::exchange`]
+    /// with a doc-request envelope.
+    fn fetch_doc(&self, host: &str, uri: &str, budget: Duration) -> Result<String, XrpcError> {
+        let reply = self.exchange(host, &crate::message::encode_doc_request(uri), budget)?;
+        if reply.contains("<fault ") {
+            if let Some(e) = decode_fault(&reply) {
+                return Err(e);
+            }
+        }
+        crate::message::decode_doc_response(&reply).ok_or_else(|| XrpcError::TransportCorrupt {
+            peer: host.to_string(),
+            detail: format!("doc reply for {uri} is not a doc envelope"),
+        })
+    }
+}
+
+/// Outcome of one retried logical call: failed attempts (for the health
+/// scoreboard) plus the decoded-or-typed result.
+pub struct CallOutcome {
+    pub failed_attempts: u32,
+    pub outcome: Result<String, XrpcError>,
+}
+
+/// Drives one logical call through `transport` under `policy`: replays
+/// retryable failures with exponential backoff and deterministic jitter
+/// (seeded per `(peer, attempt)`), honors server-supplied `retry-after-ms`
+/// hints, decodes fault envelopes into typed errors, and gives up when the
+/// deadline budget or the attempt budget runs out.
+///
+/// This is the real-time sibling of the simulated transport's retry loop:
+/// backoff here is a genuine `thread::sleep`, and the deadline is wall
+/// clock.
+pub fn call_with_retry(
+    transport: &dyn Transport,
+    peer: &str,
+    request: &str,
+    policy: &RetryPolicy,
+    jitter_seed: u64,
+) -> CallOutcome {
+    let started = Instant::now();
+    let mut failed = 0u32;
+    loop {
+        let budget = policy.deadline.saturating_sub(started.elapsed());
+        if budget.is_zero() {
+            return CallOutcome {
+                failed_attempts: failed,
+                outcome: Err(XrpcError::Cancelled {
+                    peer: peer.to_string(),
+                    reason: format!("retry budget exhausted after {failed} failed attempt(s)"),
+                }),
+            };
+        }
+        let attempt = match transport.exchange(peer, request, budget) {
+            Ok(reply) if reply.contains("<fault ") => match decode_fault(&reply) {
+                Some(e) => Err(e),
+                None => Ok(reply),
+            },
+            other => other,
+        };
+        match attempt {
+            Ok(reply) => return CallOutcome { failed_attempts: failed, outcome: Ok(reply) },
+            Err(e) => {
+                // Overloaded is final in the simulated world (the
+                // coordinator's own admission verdict), but over the wire
+                // it is the *server's* shed carrying an honest
+                // `retry-after-ms` — the wall-clock driver waits the hint
+                // out and tries again.
+                let worth_retrying =
+                    e.retryable() || matches!(e, XrpcError::Overloaded { .. });
+                if !worth_retrying || failed + 1 >= policy.max_attempts {
+                    return CallOutcome { failed_attempts: failed + 1, outcome: Err(e) };
+                }
+                failed += 1;
+                let jitter = seeded_fraction(jitter_seed, peer, u64::from(failed));
+                let wait = policy.backoff_with_hint(failed, jitter, e.retry_after());
+                let elapsed = started.elapsed();
+                if elapsed + wait >= policy.deadline {
+                    return CallOutcome {
+                        failed_attempts: failed,
+                        outcome: Err(XrpcError::Cancelled {
+                            peer: peer.to_string(),
+                            reason: format!(
+                                "retry budget exhausted after {failed} failed attempt(s)"
+                            ),
+                        }),
+                    };
+                }
+                std::thread::sleep(wait);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "<env><request/></env>").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur, MAX_FRAME_LEN).unwrap().as_deref(),
+            Some("<env><request/></env>")
+        );
+        // a second read sees the clean close
+        assert!(read_frame(&mut cur, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    /// Replies with an `Overloaded` fault envelope (carrying a
+    /// `retry-after-ms` hint) a fixed number of times, then succeeds.
+    struct HintingTransport {
+        shed_remaining: std::sync::Mutex<u32>,
+        hint_ms: u64,
+    }
+
+    impl Transport for HintingTransport {
+        fn exchange(&self, _peer: &str, _req: &str, _budget: Duration) -> Result<String, XrpcError> {
+            let mut left = self.shed_remaining.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                return Ok(crate::message::encode_fault(&XrpcError::Overloaded {
+                    retry_after_ms: self.hint_ms,
+                }));
+            }
+            Ok("<env><response/></env>".to_string())
+        }
+    }
+
+    #[test]
+    fn retry_honors_server_retry_after_hint() {
+        // base backoff of 1ms would retry almost immediately; the server's
+        // 80ms hint must dominate the wait
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            deadline: Duration::from_secs(5),
+        };
+        let transport = HintingTransport {
+            shed_remaining: std::sync::Mutex::new(1),
+            hint_ms: 80,
+        };
+        let t0 = Instant::now();
+        let out = call_with_retry(&transport, "p", "<env><request/></env>", &policy, 7);
+        let elapsed = t0.elapsed();
+        assert_eq!(out.failed_attempts, 1);
+        assert!(out.outcome.is_ok(), "{:?}", out.outcome);
+        assert!(
+            elapsed >= Duration::from_millis(80),
+            "retried before the hinted wait: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut buf = u32::MAX.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"tiny");
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { .. }), "{err:?}");
+        assert_eq!(err.into_xrpc("p", Duration::from_secs(1)).code(), "xrpc:transport-corrupt");
+    }
+}

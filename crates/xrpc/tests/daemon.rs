@@ -1,0 +1,365 @@
+//! Daemon-mode robustness: real TCP sockets under the [`Transport`] seam.
+//!
+//! Everything here runs multi-threaded but single-process — live
+//! [`PeerServer`] daemons on ephemeral localhost ports, driven by
+//! [`SocketFederation`] or by a raw framed socket. The multi-*process*
+//! version of the same discipline (kill -9 included) lives in
+//! `examples/crash_harness.rs`.
+//!
+//! Invariants under test:
+//!
+//! * the same query over TCP returns **bit-identical** canonical results
+//!   to the simulated federation, across all three strategies;
+//! * malformed-but-well-framed payloads get a typed fault and the
+//!   connection **stays usable**; frame-level desync (mid-frame EOF,
+//!   oversized declared length) gets a typed fault and then a close;
+//! * admission beyond `max_inflight` sheds with `xrpc:overloaded`
+//!   carrying an honest `retry-after-ms`;
+//! * drain cancels in-flight work with `xrpc:timeout` inside the drain
+//!   deadline, refuses new connections with a typed fault meanwhile, and
+//!   always reaches a bounded clean exit;
+//! * a dead (or drained) peer yields a typed error — or, with a replica
+//!   registered, the identical result via failover.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xqd_core::Strategy;
+use xqd_xrpc::{
+    decode_doc_response, decode_fault, encode_doc_request, read_frame, write_frame, ExecOptions,
+    Federation, NetworkModel, PeerServer, RetryPolicy, ServerConfig, SocketFederation,
+    XrpcError, MAX_FRAME_LEN,
+};
+
+const PEOPLE: &str = r#"<people><person id="p1"><age>31</age></person><person id="p2"><age>55</age></person><person id="p3"><age>24</age></person></people>"#;
+const ORDERS: &str = r#"<orders><order buyer="p1"><total>10</total></order><order buyer="p2"><total>70</total></order><order buyer="p3"><total>5</total></order><order buyer="p1"><total>3</total></order></orders>"#;
+
+/// A federated value join across both peers — the workload the crash
+/// harness also runs.
+const JOIN_QUERY: &str = r#"
+    let $y := doc("xrpc://P1/people.xml")//person[age < 40]
+    return for $o in doc("xrpc://P2/orders.xml")//order
+           return if ($o/@buyer = $y/@id) then $o/total else ()
+"#;
+
+fn daemon(name: &str, config: ServerConfig) -> PeerServer {
+    let mut s = PeerServer::bind(name, "127.0.0.1:0", config).expect("bind ephemeral port");
+    match name {
+        "P1" => s.load_document("people.xml", PEOPLE).unwrap(),
+        "P2" => s.load_document("orders.xml", ORDERS).unwrap(),
+        _ => {}
+    }
+    s.start();
+    s
+}
+
+fn socket_fed(servers: &[&PeerServer]) -> SocketFederation {
+    let (mut fed, transport) = SocketFederation::over_tcp();
+    for s in servers {
+        transport.register(s.name(), &s.addr().to_string());
+        fed.set_peer_address(s.name(), &s.addr().to_string());
+    }
+    fed
+}
+
+/// Sends one framed payload and reads one framed reply on a fresh
+/// connection.
+fn raw_exchange(stream: &mut TcpStream, payload: &str) -> Option<String> {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(stream, payload).ok()?;
+    read_frame(stream, MAX_FRAME_LEN).ok().flatten()
+}
+
+// ---------------------------------------------------------------------------
+// equivalence across the seam
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tcp_results_are_bit_identical_to_simulated() {
+    let mut sim = Federation::new(NetworkModel::lan());
+    sim.load_document("P1", "people.xml", PEOPLE).unwrap();
+    sim.load_document("P2", "orders.xml", ORDERS).unwrap();
+
+    let p1 = daemon("P1", ServerConfig::default());
+    let p2 = daemon("P2", ServerConfig::default());
+    let mut fed = socket_fed(&[&p1, &p2]);
+
+    for strategy in [Strategy::ByValue, Strategy::ByFragment, Strategy::ByProjection] {
+        let expected = sim.run(JOIN_QUERY, strategy).expect("simulated run");
+        let got = fed.run(JOIN_QUERY, strategy).expect("tcp run");
+        assert_eq!(
+            got.result, expected.result,
+            "TCP and simulated results diverge under {strategy:?}"
+        );
+        assert!(!got.result.is_empty(), "join produced no rows");
+        assert!(
+            got.remote_calls + got.doc_fetches > 0,
+            "query never crossed the wire under {strategy:?}"
+        );
+    }
+    for mut s in [p1, p2] {
+        assert!(s.drain().clean, "idle daemon must drain cleanly");
+    }
+}
+
+#[test]
+fn doc_request_over_raw_socket_ships_the_document() {
+    let p1 = daemon("P1", ServerConfig::default());
+    let mut stream = TcpStream::connect(p1.addr()).unwrap();
+    let reply = raw_exchange(&mut stream, &encode_doc_request("xrpc://P1/people.xml"))
+        .expect("doc reply frame");
+    let xml = decode_doc_response(&reply).expect("doc envelope");
+    assert!(xml.contains("person"), "shipped document lost content: {xml}");
+}
+
+// ---------------------------------------------------------------------------
+// malformed and desynced frames
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_payload_gets_typed_fault_and_connection_survives() {
+    let p1 = daemon("P1", ServerConfig::default());
+    let mut stream = TcpStream::connect(p1.addr()).unwrap();
+
+    // well-framed garbage: typed fault, connection stays open
+    let reply = raw_exchange(&mut stream, "this is not an envelope").expect("fault frame");
+    let fault = decode_fault(&reply).expect("typed fault for malformed payload");
+    assert_eq!(fault.code(), "xrpc:transport-corrupt", "{fault:?}");
+
+    // the same connection still serves a valid request afterwards
+    let reply = raw_exchange(&mut stream, &encode_doc_request("xrpc://P1/people.xml"))
+        .expect("connection must survive a malformed payload");
+    assert!(decode_doc_response(&reply).is_some(), "second request failed: {reply}");
+}
+
+#[test]
+fn mid_frame_eof_gets_typed_fault_then_close() {
+    let p1 = daemon("P1", ServerConfig::default());
+    let mut stream = TcpStream::connect(p1.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // declare 100 payload bytes, deliver 10, then half-close: the server
+    // must answer with a typed fault before closing its side
+    {
+        use std::io::Write as _;
+        stream.write_all(&100u32.to_be_bytes()).unwrap();
+        stream.write_all(b"0123456789").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+    }
+    let reply = read_frame(&mut stream, MAX_FRAME_LEN)
+        .expect("fault frame expected")
+        .expect("fault frame expected");
+    let fault = decode_fault(&reply).expect("typed fault for mid-frame EOF");
+    assert_eq!(fault.code(), "xrpc:transport-corrupt", "{fault:?}");
+    // and then the close
+    assert!(read_frame(&mut stream, MAX_FRAME_LEN).unwrap().is_none());
+}
+
+#[test]
+fn oversized_declared_length_gets_typed_fault_then_close() {
+    let p1 = daemon("P1", ServerConfig::default());
+    let mut stream = TcpStream::connect(p1.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    {
+        use std::io::Write as _;
+        stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        stream.flush().unwrap();
+    }
+    let reply = read_frame(&mut stream, MAX_FRAME_LEN)
+        .expect("fault frame expected")
+        .expect("fault frame expected");
+    let fault = decode_fault(&reply).expect("typed fault for oversized length");
+    assert_eq!(fault.code(), "xrpc:transport-corrupt", "{fault:?}");
+    assert!(read_frame(&mut stream, MAX_FRAME_LEN).unwrap().is_none());
+}
+
+// ---------------------------------------------------------------------------
+// admission: bounded in-flight with honest hints
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overload_sheds_with_typed_fault_and_retry_after() {
+    let config = ServerConfig {
+        max_inflight: 1,
+        request_deadline: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let p1 = daemon("P1", config);
+    // hold the peer's evaluation slot so the admitted request stays in
+    // flight for as long as we need it to
+    let slot = p1.pause_peer().expect("peer slot");
+
+    let addr = p1.addr();
+    let blocked = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        raw_exchange(&mut stream, &encode_doc_request("xrpc://P1/people.xml"))
+    });
+    // deterministic wait: the request is genuinely in flight
+    let t0 = Instant::now();
+    while p1.inflight() == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "request never became in-flight");
+        std::thread::yield_now();
+    }
+
+    // second request: over the in-flight bound, shed with an honest hint
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let reply = raw_exchange(&mut stream, &encode_doc_request("xrpc://P1/people.xml"))
+        .expect("overload fault frame");
+    let fault = decode_fault(&reply).expect("typed overload fault");
+    match fault {
+        XrpcError::Overloaded { retry_after_ms } => {
+            assert!(retry_after_ms >= 1, "hint must be honest, got {retry_after_ms}ms");
+        }
+        other => panic!("expected xrpc:overloaded, got {other:?}"),
+    }
+    assert_eq!(p1.shed(), 1);
+
+    // release the slot: the blocked request completes normally
+    p1.resume_peer(slot);
+    let reply = blocked.join().unwrap().expect("blocked request must complete");
+    assert!(decode_doc_response(&reply).is_some(), "blocked request failed: {reply}");
+}
+
+// ---------------------------------------------------------------------------
+// graceful drain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drain_cancels_inflight_with_timeout_and_refuses_new_connections() {
+    let config = ServerConfig {
+        request_deadline: Duration::from_secs(30),
+        drain_deadline: Duration::from_millis(600),
+        ..ServerConfig::default()
+    };
+    let mut p1 = daemon("P1", config);
+    // a request that can never finish: the evaluation slot is held
+    let _slot = p1.pause_peer().expect("peer slot");
+    let addr = p1.addr();
+    let inflight = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        raw_exchange(&mut stream, &encode_doc_request("xrpc://P1/people.xml"))
+    });
+    let t0 = Instant::now();
+    while p1.inflight() == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "request never became in-flight");
+        std::thread::yield_now();
+    }
+
+    // while the drain waits out its deadline, fresh connections must be
+    // refused with a typed fault; the prober retries until it sees one
+    let saw_refusal = Arc::new(AtomicBool::new(false));
+    let prober = {
+        let saw_refusal = Arc::clone(&saw_refusal);
+        std::thread::spawn(move || {
+            let give_up = Instant::now() + Duration::from_secs(5);
+            while Instant::now() < give_up {
+                let Ok(mut stream) = TcpStream::connect(addr) else { return };
+                let Some(reply) =
+                    raw_exchange(&mut stream, &encode_doc_request("xrpc://P1/people.xml"))
+                else {
+                    return; // listener gone: drain already finished
+                };
+                if let Some(fault) = decode_fault(&reply) {
+                    if fault.code() == "xrpc:cancelled" {
+                        saw_refusal.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let report = p1.drain();
+    // the in-flight request was cancelled *with a typed fault* inside the
+    // drain deadline — not left hanging, not force-killed
+    let reply = inflight.join().unwrap().expect("cancelled request still gets a reply");
+    let fault = decode_fault(&reply).expect("typed cancellation fault");
+    assert_eq!(fault.code(), "xrpc:timeout", "{fault:?}");
+    assert_eq!(report.cancelled_inflight, 0, "request wound down by itself");
+    assert!(report.clean, "drain must be clean: {report:?}");
+    assert!(
+        report.elapsed < Duration::from_secs(3),
+        "drain must be bounded, took {:?}",
+        report.elapsed
+    );
+    prober.join().unwrap();
+    assert!(
+        saw_refusal.load(Ordering::SeqCst),
+        "no connection observed the typed draining refusal"
+    );
+}
+
+#[test]
+fn idle_drain_is_clean_and_immediate() {
+    let mut p1 = daemon("P1", ServerConfig::default());
+    // serve one request so the daemon has done real work
+    let mut stream = TcpStream::connect(p1.addr()).unwrap();
+    let reply = raw_exchange(&mut stream, &encode_doc_request("xrpc://P1/people.xml")).unwrap();
+    assert!(decode_doc_response(&reply).is_some());
+    drop(stream);
+    let report = p1.drain();
+    assert!(report.clean, "{report:?}");
+    assert_eq!(report.served, 1);
+    assert!(report.elapsed < Duration::from_secs(3), "idle drain took {:?}", report.elapsed);
+}
+
+// ---------------------------------------------------------------------------
+// dead peers: typed error, or the identical result via a replica
+// ---------------------------------------------------------------------------
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        deadline: Duration::from_millis(500),
+    }
+}
+
+#[test]
+fn dead_peer_yields_typed_error_not_hang() {
+    let p1 = daemon("P1", ServerConfig::default());
+    // P2 is registered at an address nobody listens on
+    let (mut fed, transport) = SocketFederation::over_tcp();
+    transport.register("P1", &p1.addr().to_string());
+    transport.register("P2", "127.0.0.1:1"); // reserved port: refused
+    fed.set_retry_policy(fast_retry());
+    let t0 = Instant::now();
+    let err = fed.run(JOIN_QUERY, Strategy::ByFragment).expect_err("dead peer must error");
+    assert!(err.code.is_some(), "error must be typed: {err:?}");
+    assert!(t0.elapsed() < Duration::from_secs(5), "bounded by deadline, took {:?}", t0.elapsed());
+}
+
+#[test]
+fn drained_primary_fails_over_to_replica_with_identical_result() {
+    let mut sim = Federation::new(NetworkModel::lan());
+    sim.load_document("P1", "people.xml", PEOPLE).unwrap();
+    sim.load_document("P2", "orders.xml", ORDERS).unwrap();
+    let expected = sim.run(JOIN_QUERY, Strategy::ByProjection).unwrap();
+
+    let mut p1 = daemon("P1", ServerConfig::default());
+    let p2 = daemon("P2", ServerConfig::default());
+    // P3 serves a bit-identical replica of P1's document
+    let mut p3 = PeerServer::bind("P3", "127.0.0.1:0", ServerConfig::default()).unwrap();
+    p3.load_replica("xrpc://P1/people.xml", PEOPLE).unwrap();
+    p3.start();
+
+    let mut fed = socket_fed(&[&p1, &p2, &p3]);
+    fed.register_replica("xrpc://P1/people.xml", "P3");
+    fed.set_retry_policy(fast_retry());
+
+    // healthy run first: identical to simulated
+    let healthy = fed.run(JOIN_QUERY, Strategy::ByProjection).expect("healthy run");
+    assert_eq!(healthy.result, expected.result);
+
+    // drain the primary mid-federation; the ladder must reach the replica
+    assert!(p1.drain().clean);
+    let failed_over = fed.run(JOIN_QUERY, Strategy::ByProjection).expect("failover run");
+    assert_eq!(
+        failed_over.result, expected.result,
+        "failover result must be bit-identical to the healthy one"
+    );
+    assert!(failed_over.failovers > 0, "the replica rung was never used");
+}

@@ -4,6 +4,12 @@
 //! flips, any non-panicking outcome) — never panic, across all three wire
 //! semantics. Truncation anywhere strictly inside the message must always
 //! be *detected*: the envelope's closing bytes are gone.
+//!
+//! The second half fuzzes the length-prefixed socket framing underneath
+//! the decoders: truncated prefixes, oversized declared lengths, mid-frame
+//! EOF and invalid UTF-8 must all surface as typed
+//! `xrpc:transport-corrupt` — never a panic, and never an allocation
+//! sized by an untrusted length field.
 
 use xqd_prng::Rng;
 use xqd_xml::Store;
@@ -19,9 +25,12 @@ impl DocResolver for LocalDocs {
         store.doc_by_uri(uri).ok_or_else(|| EvalError::new(format!("no document {uri}")))
     }
 }
+use std::io::Cursor;
+use std::time::Duration;
+
 use xqd_xrpc::{
     decode_fault, decode_request, decode_response, encode_fault, encode_request, encode_response,
-    WireSemantics, XrpcError,
+    read_frame, write_frame, FrameError, WireSemantics, XrpcError, MAX_FRAME_LEN,
 };
 
 const SEMANTICS: [WireSemantics; 3] =
@@ -159,6 +168,111 @@ fn shuffled_fragments_of_messages_never_panic_the_decoders() {
             let (lo, hi) = (a.min(b), a.max(b));
             let mutant = format!("{}{}", &message[hi..], &message[..lo]);
             decode_all(&mutant);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// length-prefixed framing under hostile bytes
+// ---------------------------------------------------------------------------
+
+/// Frames every valid message, then mutilates the byte stream: cut
+/// anywhere (inside the 4-byte prefix or the payload), and the reader
+/// must return a [`FrameError`] that lifts to `xrpc:transport-corrupt` —
+/// never panic, never report a clean close when payload bytes were owed.
+#[test]
+fn truncated_frames_always_read_as_typed_corruption() {
+    let mut rng = Rng::seed_from_u64(0xF8A3E);
+    for message in valid_messages() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &message).unwrap();
+        for _ in 0..200 {
+            // strictly inside the stream: cut after 1..len-1 bytes
+            let cut = 1 + rng.gen_range_usize(0..framed.len() - 1);
+            let mut cur = Cursor::new(&framed[..cut]);
+            let err = read_frame(&mut cur, MAX_FRAME_LEN)
+                .expect_err("truncated frame accepted")
+                .into_xrpc("p", Duration::from_secs(1));
+            assert_eq!(err.code(), "xrpc:transport-corrupt", "cut={cut}");
+        }
+    }
+}
+
+/// Random 4-byte prefixes declaring lengths above the cap are rejected
+/// before any allocation — the reader must not try to reserve what the
+/// prefix promises.
+#[test]
+fn oversized_declared_lengths_never_allocate() {
+    let mut rng = Rng::seed_from_u64(0x0515E);
+    for _ in 0..500 {
+        let declared = 1024 + rng.gen_range_usize(0..u32::MAX as usize - 1024) as u32;
+        let mut stream = declared.to_be_bytes().to_vec();
+        stream.extend_from_slice(b"some bytes that are not the payload");
+        let cap = 1024usize;
+        let err = read_frame(&mut Cursor::new(stream), cap).expect_err("over-cap accepted");
+        assert!(
+            matches!(err, FrameError::Oversized { .. }),
+            "declared={declared}: {err:?}"
+        );
+        assert_eq!(
+            err.into_xrpc("p", Duration::from_secs(1)).code(),
+            "xrpc:transport-corrupt"
+        );
+    }
+}
+
+/// A prefix that over-declares relative to the bytes that follow is
+/// mid-frame EOF; an after-the-fact close between frames is clean. The
+/// reader must distinguish the two exactly.
+#[test]
+fn mid_frame_eof_is_distinguished_from_clean_close() {
+    let mut rng = Rng::seed_from_u64(0xE0F);
+    for message in valid_messages() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &message).unwrap();
+        // whole frame then EOF: one Ok(Some), then a clean close
+        let mut cur = Cursor::new(framed.clone());
+        assert_eq!(read_frame(&mut cur, MAX_FRAME_LEN).unwrap().as_deref(), Some(&message[..]));
+        assert!(read_frame(&mut cur, MAX_FRAME_LEN).unwrap().is_none());
+        // payload cut short: MidFrameEof with honest byte counts
+        for _ in 0..50 {
+            let cut = 4 + rng.gen_range_usize(0..message.len());
+            let err = read_frame(&mut Cursor::new(&framed[..cut]), MAX_FRAME_LEN)
+                .expect_err("short payload accepted");
+            match err {
+                FrameError::MidFrameEof { got, declared } => {
+                    assert_eq!(got, cut - 4);
+                    assert_eq!(declared, message.len());
+                }
+                other => panic!("cut={cut}: expected MidFrameEof, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// Payload bytes mangled into invalid UTF-8 must surface as typed
+/// corruption, not a panic in the string conversion.
+#[test]
+fn non_utf8_payloads_are_typed_corruption() {
+    let mut rng = Rng::seed_from_u64(0xBEEF);
+    for message in valid_messages() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &message).unwrap();
+        for _ in 0..100 {
+            let mut stream = framed.clone();
+            // continuation bytes (0x80..0xBF) are never valid standalone
+            let pos = 4 + rng.gen_range_usize(0..message.len());
+            stream[pos] = 0x80 + (rng.gen_range_usize(0..0x40) as u8);
+            match read_frame(&mut Cursor::new(stream), MAX_FRAME_LEN) {
+                Ok(Some(_)) => {} // flip landed inside a multi-byte char and stayed valid
+                Ok(None) => panic!("mangled frame read as clean close"),
+                Err(e) => {
+                    assert_eq!(
+                        e.into_xrpc("p", Duration::from_secs(1)).code(),
+                        "xrpc:transport-corrupt"
+                    );
+                }
+            }
         }
     }
 }

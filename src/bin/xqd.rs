@@ -3,6 +3,8 @@
 //! ```text
 //! xqd run   -e 'doc("xrpc://a/d.xml")//x' --peer a:d.xml=./d.xml [--strategy S] [--metrics]
 //! xqd run   query.xq --peer hr:staff.xml=staff.xml --strategy all
+//! xqd run   -e QUERY --connect a=127.0.0.1:7001   # drive live daemons over TCP
+//! xqd serve --name a --listen 127.0.0.1:0 --doc d.xml=./d.xml   # one peer daemon
 //! xqd explain -e QUERY [--strategy S]        # print decomposition plans
 //! xqd gen-xmark --bytes 1000000 --seed 42 --people p.xml --auctions a.xml
 //! ```
@@ -11,12 +13,14 @@
 //! or `all` (run every strategy and compare). Network models: `lan`
 //! (1 Gb/s, default) or `wan` (10 Mb/s).
 
+use std::io::BufRead as _;
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use xqd::{
-    BreakerPolicy, ExecOptions, FaultPlan, Federation, NetworkModel, RetryPolicy, Strategy,
-    TenantSpec, WorkloadConfig, WorkloadEngine,
+    BreakerPolicy, ExecOptions, FaultPlan, Federation, NetworkModel, PeerServer, RetryPolicy,
+    ServerConfig, SocketFederation, Strategy, TenantSpec, WorkloadConfig, WorkloadEngine,
 };
 
 fn main() -> ExitCode {
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..], false),
         Some("explain") => cmd_run(&args[1..], true),
         Some("workload") => cmd_workload(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("gen-xmark") => cmd_gen(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -50,11 +55,20 @@ USAGE:
                            the admission-controlled scheduler (simulated
                            clock, seeded Poisson arrivals) and report
                            goodput, tail latency and shed/cancel counts
+  xqd serve --name PEER --listen ADDR [--doc DOC=FILE]... [--replica-doc URI=FILE]...
+                           run one peer as a TCP daemon speaking length-prefixed
+                           XRPC envelopes; prints `READY peer=NAME addr=IP:PORT`
+                           on stdout, then drains and exits on stdin `drain` / EOF
   xqd gen-xmark --bytes N [--seed S] --people FILE --auctions FILE
 
 OPTIONS:
   -e QUERY                 inline query text (alternative to QUERY-FILE)
   --peer NAME:DOC=FILE     load FILE as document DOC on peer NAME (repeatable)
+  --connect NAME=ADDR      federate with a live peer daemon at ADDR instead of
+                           simulating it (repeatable; switches `xqd run` to the
+                           multi-process TCP transport — same results, real wire)
+  --serves HOST=URI        record that daemon HOST serves a bit-identical replica
+                           of canonical document URI (repeatable; socket mode)
   --strategy S             ship | value | fragment | projection | all
                            (default: projection)
   --network lan|wan        link model for simulated transfer times
@@ -107,11 +121,32 @@ WORKLOAD OPTIONS (xqd workload):
                            that can no longer meet it is cancelled before
                            it takes a slot (default 200)
   --seed N                 arrival-process seed (default 1)
+
+SERVE OPTIONS (xqd serve):
+  --name PEER              peer name this daemon answers as (required)
+  --listen ADDR            bind address, e.g. 127.0.0.1:0 for an ephemeral
+                           port (default 127.0.0.1:0)
+  --doc DOC=FILE           load FILE as this peer's document DOC (repeatable)
+  --replica-doc URI=FILE   serve FILE as a bit-identical replica of the
+                           canonical document URI, e.g.
+                           xrpc://other/d.xml=./d.xml (repeatable)
+  --max-inflight N         concurrent requests before shedding with a typed
+                           xrpc:overloaded fault + retry-after-ms (default 32)
+  --max-connections N      concurrent connections before refusing with a
+                           typed fault (default 64)
+  --idle-timeout-ms N      quiet-close connections idle this long (default
+                           300000)
+  --request-deadline-ms N  per-request evaluation budget; expiry answers a
+                           typed xrpc:timeout fault (default 10000)
+  --drain-deadline-ms N    how long a drain lets in-flight work finish
+                           before cancelling it (default 5000)
 ";
 
 struct RunOptions {
     query: Option<String>,
     peers: Vec<(String, String, String)>, // (peer, doc, file)
+    connects: Vec<(String, String)>,      // (peer, addr) — socket mode
+    serves: Vec<(String, String)>,        // (host, canonical uri) — socket mode
     strategies: Vec<Strategy>,
     network: NetworkModel,
     metrics: bool,
@@ -153,6 +188,8 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
     let mut opts = RunOptions {
         query: None,
         peers: Vec::new(),
+        connects: Vec::new(),
+        serves: Vec::new(),
         strategies: vec![Strategy::ByProjection],
         network: NetworkModel::lan(),
         metrics: false,
@@ -197,6 +234,20 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 let (doc, file) =
                     rest.split_once('=').ok_or_else(|| format!("bad --peer spec {spec:?}"))?;
                 opts.peers.push((peer.to_string(), doc.to_string(), file.to_string()));
+                i += 2;
+            }
+            "--connect" => {
+                let spec = args.get(i + 1).ok_or("--connect requires NAME=ADDR")?;
+                let (peer, addr) =
+                    spec.split_once('=').ok_or_else(|| format!("bad --connect spec {spec:?}"))?;
+                opts.connects.push((peer.to_string(), addr.to_string()));
+                i += 2;
+            }
+            "--serves" => {
+                let spec = args.get(i + 1).ok_or("--serves requires HOST=URI")?;
+                let (host, uri) =
+                    spec.split_once('=').ok_or_else(|| format!("bad --serves spec {spec:?}"))?;
+                opts.serves.push((host.to_string(), uri.to_string()));
                 i += 2;
             }
             "--strategy" => {
@@ -375,10 +426,18 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(query) = opts.query else {
+    let Some(query) = opts.query.clone() else {
         eprintln!("error: no query given (use -e QUERY or a query file)\n{USAGE}");
         return ExitCode::FAILURE;
     };
+
+    if !opts.connects.is_empty() {
+        if explain_only {
+            eprintln!("error: --connect is an execution mode; use `xqd run`");
+            return ExitCode::FAILURE;
+        }
+        return cmd_run_socket(&opts, &query);
+    }
 
     if explain_only && !opts.analyze {
         let module = match xqd::parse_query(&query) {
@@ -580,6 +639,193 @@ fn cmd_run(args: &[String], explain_only: bool) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Socket mode: the same query against live peer daemons over TCP. The
+/// result lines are printed exactly like simulated runs, so the two modes
+/// diff byte for byte on stdout.
+fn cmd_run_socket(opts: &RunOptions, query: &str) -> ExitCode {
+    let (mut fed, transport) = SocketFederation::over_tcp();
+    for (peer, addr) in &opts.connects {
+        transport.register(peer, addr);
+        fed.set_peer_address(peer, addr);
+    }
+    for (host, uri) in &opts.serves {
+        fed.register_replica(uri, host);
+    }
+    fed.set_exec_options(ExecOptions {
+        semijoin: opts.semijoin,
+        replica_seed: opts.seed,
+        ..ExecOptions::default()
+    });
+    fed.set_retry_policy(opts.retry);
+    for strategy in &opts.strategies {
+        match fed.run(query, *strategy) {
+            Ok(out) => {
+                if opts.strategies.len() > 1 {
+                    println!("=== {} ===", strategy.name());
+                }
+                for item in &out.result {
+                    println!("{item}");
+                }
+                if opts.metrics {
+                    eprintln!(
+                        "# {}: {} remote calls, {} failovers, {} retries (tcp)",
+                        strategy.name(),
+                        out.remote_calls,
+                        out.failovers,
+                        out.retries,
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error under {}: {e}", strategy.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `xqd serve`: one peer daemon. Prints a READY line (the sleep-free
+/// startup synchronization point for harnesses), then blocks on stdin —
+/// a `drain` line or EOF triggers graceful drain and exit. Exit code 0
+/// means the drain was clean (every request and connection wound down
+/// inside its deadline).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut name: Option<String> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut docs: Vec<(String, String)> = Vec::new();
+    let mut replica_docs: Vec<(String, String)> = Vec::new();
+    let mut config = ServerConfig::default();
+    fn num_arg<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
+        args.get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("{flag} requires a number"))
+    }
+    let mut i = 0;
+    while i < args.len() {
+        let step = match args[i].as_str() {
+            "--name" => match args.get(i + 1) {
+                Some(n) => {
+                    name = Some(n.clone());
+                    Ok(2)
+                }
+                None => Err("--name requires a peer name".to_string()),
+            },
+            "--listen" => match args.get(i + 1) {
+                Some(a) => {
+                    listen = a.clone();
+                    Ok(2)
+                }
+                None => Err("--listen requires an address".to_string()),
+            },
+            "--doc" => match args.get(i + 1).and_then(|s| s.split_once('=')) {
+                Some((doc, file)) => {
+                    docs.push((doc.to_string(), file.to_string()));
+                    Ok(2)
+                }
+                None => Err("--doc requires DOC=FILE".to_string()),
+            },
+            "--replica-doc" => match args.get(i + 1).and_then(|s| s.split_once('=')) {
+                Some((uri, file)) => {
+                    replica_docs.push((uri.to_string(), file.to_string()));
+                    Ok(2)
+                }
+                None => Err("--replica-doc requires URI=FILE".to_string()),
+            },
+            "--max-inflight" => num_arg(args, i, "--max-inflight").map(|n| {
+                config.max_inflight = n;
+                2
+            }),
+            "--max-connections" => num_arg(args, i, "--max-connections").map(|n| {
+                config.max_connections = n;
+                2
+            }),
+            "--idle-timeout-ms" => num_arg(args, i, "--idle-timeout-ms").map(|n: u64| {
+                config.idle_timeout = Duration::from_millis(n);
+                2
+            }),
+            "--request-deadline-ms" => num_arg(args, i, "--request-deadline-ms").map(|n: u64| {
+                config.request_deadline = Duration::from_millis(n);
+                2
+            }),
+            "--drain-deadline-ms" => num_arg(args, i, "--drain-deadline-ms").map(|n: u64| {
+                config.drain_deadline = Duration::from_millis(n);
+                2
+            }),
+            other => Err(format!("unknown serve option {other:?}")),
+        };
+        match step {
+            Ok(n) => i += n,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("error: xqd serve requires --name PEER\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut server = match PeerServer::bind(&name, &listen, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (doc, file) in &docs {
+        let xml = match std::fs::read_to_string(file) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("cannot read {file:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = server.load_document(doc, &xml) {
+            eprintln!("loading {doc}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for (uri, file) in &replica_docs {
+        let xml = match std::fs::read_to_string(file) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("cannot read {file:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = server.load_replica(uri, &xml) {
+            eprintln!("loading replica {uri}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    server.start();
+    // the READY line is the startup handshake: a parent process reads it
+    // instead of sleeping, and learns the ephemeral port
+    println!("READY peer={} addr={}", server.name(), server.addr());
+    let _ = std::io::stdout().flush();
+    // std-only signal story: drain on stdin "drain" or EOF (a dying parent
+    // closes our stdin, so orphaned daemons still wind down)
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "drain" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let report = server.drain();
+    eprintln!(
+        "# drained: {} served, {} shed, {} cancelled in-flight, clean={} ({:?})",
+        report.served, report.shed, report.cancelled_inflight, report.clean, report.elapsed,
+    );
+    if report.clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn write_trace(trace: &xqd::Trace, path: &str, chrome: bool) -> Result<(), String> {

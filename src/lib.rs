@@ -50,8 +50,9 @@ pub use xqd_xquery::{
 };
 pub use xqd_xquery::{OpProfile, ProfileHook};
 pub use xqd_xrpc::{
-    BreakerPolicy, BreakerState, ExecOptions, Fault, FaultPlan, Federation, Histogram, Metrics,
-    MetricsSnapshot, NetworkModel, OutcomeKind, PreparedQuery, QueryOutcome, RetryPolicy,
-    RunOutcome, Scoreboard, Span, SpanBuilder, TenantReport, TenantSpec, Trace, Tracer,
+    BreakerPolicy, BreakerState, DrainReport, ExecOptions, Fault, FaultPlan, Federation,
+    Histogram, Metrics, MetricsSnapshot, NetworkModel, OutcomeKind, PeerServer, PreparedQuery,
+    QueryOutcome, RetryPolicy, RunOutcome, Scoreboard, ServerConfig, SocketFederation, Span,
+    SpanBuilder, TcpTransport, TenantReport, TenantSpec, Trace, Tracer, Transport,
     WorkloadConfig, WorkloadEngine, WorkloadReport, XrpcError, METRIC_NAMES, ROOT_SPAN,
 };
